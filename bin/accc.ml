@@ -1,0 +1,300 @@
+(* accc: the mgacc compiler driver.
+
+   Compile and run mini-C/OpenACC programs on the simulated machines:
+
+     accc run prog.c --machine desktop --gpus 2
+     accc run prog.c --variant openmp
+     accc check prog.c            (plans and placement decisions)
+     accc pretty prog.c           (normalized source) *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let read_program path =
+  try Ok (Mgacc.parse_file path) with
+  | Mgacc.Loc.Error (loc, msg) -> Error (Printf.sprintf "%s: %s" (Mgacc.Loc.to_string loc) msg)
+  | Sys_error e -> Error e
+
+let machine_of = function
+  | "desktop" -> Ok (fun () -> Mgacc.Machine.desktop ())
+  | "supernode" -> Ok (fun () -> Mgacc.Machine.supernode ())
+  | "cluster" -> Ok (fun () -> Mgacc.Machine.cluster ())
+  | other -> Error (Printf.sprintf "unknown machine %S (desktop|supernode|cluster)" other)
+
+(* ---------------- run ---------------- *)
+
+let arrays_declared_in_main (program : Mgacc.Ast.program) =
+  match Mgacc.Ast.find_func program "main" with
+  | None -> []
+  | Some f ->
+      List.filter_map
+        (fun s ->
+          match s.Mgacc.Ast.sdesc with
+          | Mgacc.Ast.Sarray_decl (_, name, _) -> Some name
+          | _ -> None)
+        f.Mgacc.Ast.fbody
+
+(* Compare every top-level array against a reference environment. *)
+let check_against_arrays program ~reference:ref_env env =
+  let failures = ref [] in
+  List.iter
+    (fun name ->
+      match Mgacc.Host_interp.find_array_opt env name with
+      | None -> ()
+      | Some view -> (
+          match view.Mgacc.View.elem with
+          | Mgacc.Ast.Edouble ->
+              let e = Mgacc.float_results ref_env name and g = Mgacc.float_results env name in
+              Array.iteri
+                (fun i v ->
+                  if
+                    !failures = []
+                    && Float.abs (v -. e.(i)) > 1e-9 *. Float.max 1.0 (Float.abs e.(i))
+                  then failures := Printf.sprintf "%s[%d]: %g vs %g" name i v e.(i) :: !failures)
+                g
+          | Mgacc.Ast.Eint ->
+              let e = Mgacc.int_results ref_env name and g = Mgacc.int_results env name in
+              Array.iteri
+                (fun i v ->
+                  if !failures = [] && v <> e.(i) then
+                    failures := Printf.sprintf "%s[%d]: %d vs %d" name i v e.(i) :: !failures)
+                g))
+    (arrays_declared_in_main program);
+  match !failures with
+  | [] -> Ok ()
+  | msg :: _ -> Error ("result mismatch vs sequential reference: " ^ msg)
+
+let check_against_reference program env =
+  match check_against_arrays program ~reference:(Mgacc.run_sequential program) env with
+  | Ok () ->
+      Format.printf "check: results match the sequential reference@.";
+      Ok ()
+  | Error _ as e -> e
+
+let run_cmd file machine_name variant gpus chunk_kb no_distribution no_layout no_misscheck
+    single_level_dirty dump_arrays show_trace trace_json check_results verbose =
+  setup_logs verbose;
+  let ( let* ) = Result.bind in
+  let* program = read_program file in
+  let* fresh_machine = machine_of machine_name in
+  try
+    match variant with
+    | "seq" ->
+        let env = Mgacc.run_sequential program in
+        List.iter
+          (fun name ->
+            match Mgacc.Host_interp.find_array_opt env name with
+            | Some view when view.Mgacc.View.elem = Mgacc.Ast.Edouble ->
+                let a = Mgacc.float_results env name in
+                Format.printf "%s = [|%s ...|]@." name
+                  (String.concat "; "
+                     (List.map (Printf.sprintf "%g") (Array.to_list (Array.sub a 0 (min 8 (Array.length a))))))
+            | Some _ ->
+                let a = Mgacc.int_results env name in
+                Format.printf "%s = [|%s ...|]@." name
+                  (String.concat "; "
+                     (List.map string_of_int (Array.to_list (Array.sub a 0 (min 8 (Array.length a))))))
+            | None -> Format.printf "%s: no such array@." name)
+          dump_arrays;
+        Ok ()
+    | "openmp" ->
+        let machine = fresh_machine () in
+        let _, report = Mgacc.run_openmp ~machine program in
+        Format.printf "%a@." Mgacc.Report.pp report;
+        Ok ()
+    | "acc" ->
+        let machine = fresh_machine () in
+        let translator =
+          {
+            Mgacc.Kernel_plan.enable_distribution = not no_distribution;
+            enable_layout_transform = not no_layout;
+            enable_miss_check_elim = not no_misscheck;
+          }
+        in
+        let config =
+          Mgacc.Rt_config.make
+            ?num_gpus:(if gpus = 0 then None else Some gpus)
+            ~chunk_bytes:(chunk_kb * 1024)
+            ~two_level_dirty:(not single_level_dirty) ~translator machine
+        in
+        let env, report = Mgacc.run_acc ~config ~machine program in
+        Format.printf "%a@." Mgacc.Report.pp report;
+        List.iter
+          (fun name ->
+            match Mgacc.Host_interp.find_array_opt env name with
+            | Some view when view.Mgacc.View.elem = Mgacc.Ast.Edouble ->
+                let a = Mgacc.float_results env name in
+                Format.printf "%s[0..%d] = %s@." name
+                  (min 7 (Array.length a - 1))
+                  (String.concat "; "
+                     (List.map (Printf.sprintf "%g") (Array.to_list (Array.sub a 0 (min 8 (Array.length a))))))
+            | Some _ ->
+                let a = Mgacc.int_results env name in
+                Format.printf "%s[0..%d] = %s@." name
+                  (min 7 (Array.length a - 1))
+                  (String.concat "; "
+                     (List.map string_of_int (Array.to_list (Array.sub a 0 (min 8 (Array.length a))))))
+            | None -> Format.printf "%s: no such array@." name)
+          dump_arrays;
+        if show_trace then
+          Format.printf "@.%a@." (Mgacc.Trace.pp_gantt ~width:100) machine.Mgacc.Machine.trace;
+        (match trace_json with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Mgacc.Trace.to_chrome_json machine.Mgacc.Machine.trace);
+            close_out oc;
+            Format.printf "trace written to %s (load in chrome://tracing or perfetto)@." path
+        | None -> ());
+        if check_results then check_against_reference program env else Ok ()
+    | other -> Error (Printf.sprintf "unknown variant %S (acc|openmp|seq)" other)
+  with
+  | Mgacc.Loc.Error (loc, msg) -> Error (Printf.sprintf "%s: %s" (Mgacc.Loc.to_string loc) msg)
+  | Mgacc.Memory.Out_of_device_memory { device_id; requested; available } ->
+      Error
+        (Printf.sprintf "device %d out of memory: requested %s, available %s" device_id
+           (Mgacc.Bytesize.to_string requested)
+           (Mgacc.Bytesize.to_string available))
+  | Mgacc.Launch.Window_violation { array; index; gpu; what } ->
+      Error
+        (Printf.sprintf
+           "localaccess violation on GPU %d: array %s index %d (%s) — the directive does not \
+            cover this access"
+           gpu array index what)
+
+(* ---------------- scale ---------------- *)
+
+(* A mini Fig. 7 for the user's own program: OpenMP baseline plus the
+   proposal on every GPU count of the chosen machine, with correctness
+   checked against the sequential reference at each configuration. *)
+let scale_cmd file machine_name =
+  let ( let* ) = Result.bind in
+  let* program = read_program file in
+  let* fresh_machine = machine_of machine_name in
+  try
+    let probe = fresh_machine () in
+    let max_gpus = Mgacc.Machine.num_gpus probe in
+    let ref_env = Mgacc.run_sequential program in
+    let machine = fresh_machine () in
+    let _, omp = Mgacc.run_openmp ~machine program in
+    let t = Mgacc.Table.create ~headers:[ "variant"; "total"; "vs OpenMP"; "CPU-GPU"; "GPU-GPU"; "check" ] in
+    Mgacc.Table.add_row t
+      [ omp.Mgacc.Report.variant; Printf.sprintf "%.6fs" omp.Mgacc.Report.total_time; "1.00x";
+        "-"; "-"; "-" ];
+    for gpus = 1 to max_gpus do
+      let machine = fresh_machine () in
+      let config = Mgacc.Rt_config.make ~num_gpus:gpus machine in
+      let env, r = Mgacc.run_acc ~config ~machine program in
+      let ok =
+        match check_against_arrays program ~reference:ref_env env with
+        | Ok () -> "ok"
+        | Error _ -> "MISMATCH"
+      in
+      Mgacc.Table.add_row t
+        [
+          r.Mgacc.Report.variant;
+          Printf.sprintf "%.6fs" r.Mgacc.Report.total_time;
+          Printf.sprintf "%.2fx" (Mgacc.Report.speedup_vs r ~baseline:omp);
+          Printf.sprintf "%.6fs" r.Mgacc.Report.cpu_gpu_time;
+          Printf.sprintf "%.6fs" r.Mgacc.Report.gpu_gpu_time;
+          ok;
+        ]
+    done;
+    Mgacc.Table.print t;
+    Ok ()
+  with
+  | Mgacc.Loc.Error (loc, msg) -> Error (Printf.sprintf "%s: %s" (Mgacc.Loc.to_string loc) msg)
+  | Mgacc.Launch.Window_violation { array; index; gpu; what } ->
+      Error (Printf.sprintf "localaccess violation on GPU %d: array %s index %d (%s)" gpu array index what)
+
+(* ---------------- check ---------------- *)
+
+let check_cmd file =
+  let ( let* ) = Result.bind in
+  let* program = read_program file in
+  try
+    let plans = Mgacc.compile program in
+    Format.printf "%s: %d parallel loop(s)@.@." file (Mgacc.Program_plan.loop_count plans);
+    List.iter
+      (fun plan ->
+        let loop = plan.Mgacc.Kernel_plan.loop in
+        Format.printf "loop %d at %s (var %s):@." loop.Mgacc.Loop_info.loop_id
+          (Mgacc.Loc.to_string loop.Mgacc.Loop_info.loop_loc)
+          loop.Mgacc.Loop_info.loop_var;
+        List.iter
+          (fun c ->
+            Format.printf "  %a%s%s@." Mgacc.Array_config.pp c
+              (if Mgacc.Kernel_plan.needs_miss_check plan c.Mgacc.Array_config.array then
+                 " [miss-checked]"
+               else "")
+              (if Mgacc.Kernel_plan.layout_transformed plan c.Mgacc.Array_config.array then
+                 " [transposed]"
+               else ""))
+          plan.Mgacc.Kernel_plan.configs;
+        Format.printf "@.")
+      (Mgacc.Program_plan.all_plans plans);
+    Ok ()
+  with Mgacc.Loc.Error (loc, msg) ->
+    Error (Printf.sprintf "%s: %s" (Mgacc.Loc.to_string loc) msg)
+
+(* ---------------- pretty ---------------- *)
+
+let pretty_cmd file =
+  Result.map (fun p -> print_string (Mgacc.Pretty.program_to_string p)) (read_program file)
+
+(* ---------------- cmdliner wiring ---------------- *)
+
+let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source")
+
+let exits_of = function Ok () -> 0 | Error msg -> Printf.eprintf "accc: %s\n" msg; 1
+
+let run_term =
+  let machine =
+    Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop or supernode")
+  in
+  let variant =
+    Arg.(value & opt string "acc" & info [ "variant"; "v" ] ~docv:"V" ~doc:"acc, openmp or seq")
+  in
+  let gpus = Arg.(value & opt int 0 & info [ "gpus"; "g" ] ~docv:"N" ~doc:"GPU count (default: all)") in
+  let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
+  let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
+  let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
+  let no_misscheck = Arg.(value & flag & info [ "no-misscheck-elim" ] ~doc:"always check writes") in
+  let single_level = Arg.(value & flag & info [ "single-level-dirty" ] ~doc:"one-level dirty bits") in
+  let dump = Arg.(value & opt_all string [] & info [ "dump" ] ~docv:"ARRAY" ~doc:"print array head") in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"print the execution Gantt chart") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "d" ] ~doc:"debug logging of runtime decisions") in
+  let trace_json =
+    Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc:"write a Chrome trace-event file")
+  in
+  let check_results =
+    Arg.(value & flag & info [ "check" ] ~doc:"validate results against the sequential reference")
+  in
+  Term.(
+    const (fun file m v g c nd nl nm sl d tr tj ck vb ->
+        exits_of (run_cmd file m v g c nd nl nm sl d tr tj ck vb))
+    $ file_arg $ machine $ variant $ gpus $ chunk $ no_dist $ no_layout $ no_misscheck
+    $ single_level $ dump $ trace $ trace_json $ check_results $ verbose)
+
+let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
+
+let scale_term =
+  let machine =
+    Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, supernode or cluster")
+  in
+  Term.(const (fun file m -> exits_of (scale_cmd file m)) $ file_arg $ machine)
+let pretty_term = Term.(const (fun file -> exits_of (pretty_cmd file)) $ file_arg)
+
+let () =
+  let run = Cmd.v (Cmd.info "run" ~doc:"compile and execute a program") run_term in
+  let check = Cmd.v (Cmd.info "check" ~doc:"show the translator's plans") check_term in
+  let scale = Cmd.v (Cmd.info "scale" ~doc:"OpenMP baseline + every GPU count, with verification") scale_term in
+  let pretty = Cmd.v (Cmd.info "pretty" ~doc:"pretty-print the program") pretty_term in
+  let main =
+    Cmd.group
+      (Cmd.info "accc" ~version:"1.0.0" ~doc:"multi-GPU OpenACC compiler on a simulated machine")
+      [ run; check; scale; pretty ]
+  in
+  exit (Cmd.eval' main)

@@ -1,0 +1,91 @@
+(* 2-D heat diffusion: the paper's §VI future work, implemented.
+
+   The frontend desugars [u[r][c]] over a [rows x cols] grid into 1-D
+   subscripts [u[r*cols + c]]; the parallel loop runs over rows, and
+   [localaccess(u: stride(cols, cols, cols))] declares that a row's update
+   reads its own row plus one halo row on each side. The runtime therefore
+   row-block-distributes the grid and exchanges halo *rows* between GPUs
+   after each sweep — the multi-dimensional generalization of the paper's
+   1-D windows.
+
+   Run with: dune exec examples/stencil2d.exe *)
+
+let source ~rows ~cols ~sweeps =
+  Printf.sprintf
+    {|
+void main() {
+  int rows = %d;
+  int cols = %d;
+  int sweeps = %d;
+  double u[rows][cols];
+  double v[rows][cols];
+  int r;
+  int c;
+  int it;
+  for (r = 0; r < rows; r++) {
+    for (c = 0; c < cols; c++) {
+      u[r][c] = 1.0 * ((r * 31 + c * 17) %% 97);
+      v[r][c] = 0.0;
+    }
+  }
+  #pragma acc data copy(u[0:rows*cols]) copy(v[0:rows*cols])
+  {
+    for (it = 0; it < sweeps; it++) {
+      #pragma acc parallel loop localaccess(u: stride(cols, cols, cols), v: stride(cols))
+      for (r = 0; r < rows; r++) {
+        if (r > 0 && r < rows - 1) {
+          #pragma acc loop vector(128)
+          for (c = 1; c < cols - 1; c++) {
+            v[r][c] = 0.25 * (u[r-1][c] + u[r+1][c] + u[r][c-1] + u[r][c+1]);
+          }
+        }
+      }
+      #pragma acc parallel loop localaccess(v: stride(cols, cols, cols), u: stride(cols))
+      for (r = 0; r < rows; r++) {
+        if (r > 0 && r < rows - 1) {
+          #pragma acc loop vector(128)
+          for (c = 1; c < cols - 1; c++) {
+            u[r][c] = 0.25 * (v[r-1][c] + v[r+1][c] + v[r][c-1] + v[r][c+1]);
+          }
+        }
+      }
+    }
+  }
+}
+|}
+    rows cols sweeps
+
+let () =
+  let rows = 600 and cols = 400 and sweeps = 6 in
+  let program = Mgacc.parse_string ~name:"stencil2d.c" (source ~rows ~cols ~sweeps) in
+
+  let ref_env = Mgacc.run_sequential program in
+  let expected = Mgacc.float_results ref_env "u" in
+
+  Format.printf "2-D heat diffusion, %dx%d grid, %d sweeps (rows distributed across GPUs)@.@."
+    rows cols sweeps;
+  List.iter
+    (fun gpus ->
+      let machine = Mgacc.Machine.desktop () in
+      let config = Mgacc.Rt_config.make ~num_gpus:gpus machine in
+      let env, report = Mgacc.run_acc ~config ~machine program in
+      let got = Mgacc.float_results env "u" in
+      Array.iteri
+        (fun i v ->
+          if Float.abs (v -. expected.(i)) > 1e-9 then
+            failwith (Printf.sprintf "mismatch at (%d,%d)" (i / cols) (i mod cols)))
+        got;
+      Format.printf
+        "%d GPU(s): total %.6fs, kernels %.6fs, halo-row traffic %s, user mem %s@." gpus
+        report.Mgacc.Report.total_time report.Mgacc.Report.kernel_time
+        (Mgacc.Bytesize.to_string report.Mgacc.Report.gpu_gpu_bytes)
+        (Mgacc.Bytesize.to_string report.Mgacc.Report.mem_user_bytes))
+    [ 1; 2 ];
+  Format.printf "@.grids verified against the sequential reference on both configurations@.";
+  Format.printf
+    "the inner column loop carries '#pragma acc loop vector(128)': its iterations map to@.";
+  Format.printf
+    "vector lanes, so coalescing is judged against the column index (adjacent lanes read@.";
+  Format.printf
+    "adjacent columns) and occupancy multiplies by the vector width — the nested@.";
+  Format.printf "parallelism the paper's §VI calls for on top of the 2-D row distribution.@."

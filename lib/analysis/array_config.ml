@@ -1,0 +1,89 @@
+open Mgacc_minic
+open Ast
+
+type placement = Replicated | Distributed
+
+type t = {
+  array : string;
+  read : bool;
+  written : bool;
+  reduction : Ast.redop option;
+  localaccess : Ast.localaccess_spec option;
+  placement : placement;
+  writes_in_window : bool;
+  coalesced_reads : bool;
+  layout_transform : bool;
+}
+
+(* A write [coeff*i + const] (no symbolic terms) is provably inside the
+   iteration's OWNED block [stride*i, stride*(i+1) - 1] iff the stride
+   matches and the constant offset lies within it. Deliberately stricter
+   than the read window: a write into the halo would land in a replica the
+   owner GPU never sees, so halo slack must not license check elimination. *)
+let write_in_window loop (spec : localaccess_spec) idx =
+  match Access.classify_index loop idx with
+  | Access.Dynamic -> false
+  | Access.Affine a -> (
+      match spec.la_stride.edesc with
+      | Int_lit stride ->
+          Affine.is_literal a && a.Affine.coeff = stride && a.Affine.const >= 0
+          && a.Affine.const <= stride - 1
+      | _ -> false)
+
+let build ?classify (loop : Loop_info.t) accesses =
+  let coalesce = match classify with Some c -> c | None -> Coalesce.make loop in
+  List.map
+    (fun (a : Access.array_access) ->
+      let localaccess = Loop_info.localaccess_for loop a.Access.array in
+      let reduction =
+        List.find_map
+          (fun (op, name) -> if name = a.Access.array then Some op else None)
+          loop.Loop_info.array_reductions
+      in
+      let written = a.Access.writes <> [] in
+      let placement =
+        match (localaccess, reduction) with
+        | Some _, None -> Distributed
+        | _ -> Replicated
+      in
+      let writes_in_window =
+        match (placement, localaccess) with
+        | Distributed, Some spec ->
+            written && List.for_all (write_in_window loop spec) a.Access.writes
+        | _ -> false
+      in
+      let modes = List.map coalesce a.Access.reads in
+      let coalesced_reads =
+        a.Access.reads <> []
+        && List.for_all
+             (function Coalesce.Broadcast | Coalesce.Coalesced -> true | _ -> false)
+             modes
+      in
+      let layout_transform =
+        Access.read_only a && localaccess <> None && (not coalesced_reads)
+        && List.for_all (function Coalesce.Random -> false | _ -> true) modes
+      in
+      {
+        array = a.Access.array;
+        read = a.Access.reads <> [];
+        written;
+        reduction;
+        localaccess;
+        placement;
+        writes_in_window;
+        coalesced_reads;
+        layout_transform;
+      })
+    accesses
+
+let find configs name = List.find_opt (fun c -> c.array = name) configs
+
+let pp ppf c =
+  Format.fprintf ppf "%s: %s%s%s placement=%s%s%s%s" c.array
+    (if c.read then "R" else "")
+    (if c.written then "W" else "")
+    (match c.reduction with Some op -> Printf.sprintf " red(%s)" (redop_to_string op) | None -> "")
+    (match c.placement with Replicated -> "replicated" | Distributed -> "distributed")
+    (if c.writes_in_window then " writes-in-window" else "")
+    (if c.coalesced_reads then " coalesced" else "")
+    (if c.layout_transform then " layout-transform" else "")

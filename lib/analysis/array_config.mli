@@ -1,0 +1,41 @@
+(** Array configuration information (paper §IV-B-5).
+
+    For every parallel loop and every device array used in it, the
+    translator emits a record summarizing the access pattern; the data
+    loader and the inter-GPU communication manager read these to choose
+    placement policies and to plan reconciliation. This module computes the
+    records from the access analysis and the directives. *)
+
+open Mgacc_minic
+
+type placement =
+  | Replicated  (** full copy on every GPU (default; dirty-bit reconciliation) *)
+  | Distributed
+      (** block partition with halos from the [localaccess] window
+          (write-miss buffering for out-of-partition writes) *)
+
+type t = {
+  array : string;
+  read : bool;  (** has plain reads in the loop *)
+  written : bool;  (** has plain (non-reduction) writes *)
+  reduction : Ast.redop option;  (** destination of [reductiontoarray] *)
+  localaccess : Ast.localaccess_spec option;
+  placement : placement;
+  writes_in_window : bool;
+      (** every plain write is affine [stride*i + d] with [d] inside the
+          declared window, so the translator drops the write-miss checks
+          (paper §IV-D-2, last paragraph) *)
+  coalesced_reads : bool;  (** all reads affine with unit or zero stride *)
+  layout_transform : bool;
+      (** read-only, all subscripts affine, has [localaccess]: candidate for
+          the coalescing data-layout transformation (paper §IV-B-4) *)
+}
+
+val build : ?classify:Coalesce.classifier -> Loop_info.t -> Access.array_access list -> t list
+(** One record per array used in the loop, sorted by name. [classify]
+    overrides the coalescing classifier (used when an inner vector loop
+    makes the inner index the coalescing dimension); defaults to
+    [Coalesce.make loop]. *)
+
+val find : t list -> string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+open Mgacc_minic
+open Ast
+
+type t = { tainted : (string, unit) Hashtbl.t }
+
+let is_tainted t v = Hashtbl.mem t.tainted v
+
+let rec expr_tainted t e =
+  match e.edesc with
+  | Int_lit _ | Float_lit _ | Length _ -> false
+  | Var v -> is_tainted t v
+  | Index (_, idx) ->
+      (* A load through an untainted subscript reads the same element in
+         every iteration, so the loaded value is uniform. *)
+      expr_tainted t idx
+  | Unop (_, x) -> expr_tainted t x
+  | Binop (_, x, y) -> expr_tainted t x || expr_tainted t y
+  | Ternary (c, a, b) -> expr_tainted t c || expr_tainted t a || expr_tainted t b
+  | Call (_, args) -> List.exists (expr_tainted t) args
+
+let compute (loop : Loop_info.t) =
+  let t = { tainted = Hashtbl.create 16 } in
+  Hashtbl.replace t.tainted loop.Loop_info.loop_var ();
+  let changed = ref true in
+  let mark v =
+    if not (Hashtbl.mem t.tainted v) then begin
+      Hashtbl.replace t.tainted v ();
+      changed := true
+    end
+  in
+  let assign lv rhs_tainted =
+    match lv with
+    | Lvar v -> if rhs_tainted then mark v
+    | Lindex _ -> ()
+  in
+  let rec stmt s =
+    match s.sdesc with
+    | Sdecl (_, v, init) -> (
+        match init with Some e when expr_tainted t e -> mark v | _ -> ())
+    | Sarray_decl _ -> ()
+    | Sassign (lv, op, rhs) ->
+        let reads_dest =
+          match (op, lv) with
+          | Set, _ -> false
+          | _, Lvar v -> is_tainted t v
+          | _, Lindex (_, idx) -> expr_tainted t idx
+        in
+        assign lv (reads_dest || expr_tainted t rhs)
+    | Sincr (lv, _) -> (
+        match lv with Lvar v -> if is_tainted t v then () else () | Lindex _ -> ())
+    | Sexpr _ | Sreturn _ | Sbreak | Scontinue -> ()
+    | Sif (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Swhile (_, b) | Sblock b -> List.iter stmt b
+    | Sfor (hdr, b) ->
+        Option.iter stmt hdr.for_init;
+        Option.iter stmt hdr.for_update;
+        List.iter stmt b
+    | Spragma (_, inner) -> stmt inner
+  in
+  while !changed do
+    changed := false;
+    List.iter stmt loop.Loop_info.body
+  done;
+  t

@@ -1,0 +1,24 @@
+(** Thread-index dependence ("taint") analysis of parallel-loop bodies.
+
+    A value is tainted when it can differ between iterations of the
+    parallel loop: the loop variable itself, anything computed from a
+    tainted value, and anything loaded through a tainted subscript. Private
+    scalars that never depend on the loop variable (e.g. inner sequential
+    loop counters) stay untainted — every GPU thread computes the same
+    sequence of values for them, which is what makes their array accesses
+    warp-uniform (broadcast) rather than scattered.
+
+    This powers the coalescing classification; it is deliberately a
+    may-analysis used only by the cost model, never for correctness
+    decisions. *)
+
+type t
+
+val compute : Loop_info.t -> t
+(** Fixpoint over the loop body's assignments (control-flow insensitive). *)
+
+val is_tainted : t -> string -> bool
+(** Whether a scalar variable may carry a loop-index-dependent value. *)
+
+val expr_tainted : t -> Mgacc_minic.Ast.expr -> bool
+(** Whether an expression may evaluate differently across iterations. *)

@@ -1,0 +1,50 @@
+type params = { paths : int; steps : int; bins : int; seed : int }
+
+let default_params = { paths = 20000; steps = 16; bins = 32; seed = 29 }
+
+(* Geometric Brownian walk with a crude uniform-sum gaussian (the sum of 4
+   uniforms, shifted): everything stays in deterministic integer LCG land
+   so the sequential oracle matches exactly. *)
+let source p =
+  Printf.sprintf
+    {|
+void main() {
+  int n = %d;
+  int m = %d;
+  int bins = %d;
+  int seed0 = %d;
+  double hist[bins];
+  double total = 0.0;
+  double strike = 105.0;
+  int i;
+  for (i = 0; i < bins; i++) { hist[i] = 0.0; }
+  #pragma acc data copy(hist[0:bins])
+  {
+    #pragma acc parallel loop reduction(+: total)
+    for (i = 0; i < n; i++) {
+      int s = (seed0 + i * 2654435761) %% 2147483648;
+      if (s < 0) { s = 0 - s; }
+      double price = 100.0;
+      int j;
+      for (j = 0; j < m; j++) {
+        double g = 0.0 - 2.0;
+        int u;
+        for (u = 0; u < 4; u++) {
+          s = (s * 1103515245 + 12345) %% 2147483648;
+          g = g + s / 2147483648.0;
+        }
+        price = price * (1.0 + 0.002 + 0.04 * g);
+      }
+      double payoff = fmax(price - strike, 0.0);
+      total += payoff;
+      int b = (int)(payoff / 4.0);
+      int b2 = min(b, bins - 1);
+      #pragma acc reductiontoarray(+: hist)
+      hist[b2] += 1.0;
+    }
+  }
+}
+|}
+    p.paths p.steps p.bins p.seed
+
+let app p = { App_common.name = "montecarlo"; source = source p; result_arrays = [ "hist" ] }

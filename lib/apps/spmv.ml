@@ -1,0 +1,60 @@
+type params = { rows : int; width : int; iterations : int; seed : int }
+
+let default_params = { rows = 20000; width = 12; iterations = 8; seed = 19 }
+
+let source p =
+  Printf.sprintf
+    {|
+void main() {
+  int n = %d;
+  int k = %d;
+  int iters = %d;
+  int seed = %d;
+  double vals[n*k];
+  int cols[n*k];
+  double x[n];
+  double y[n];
+  int i;
+  int e;
+  for (i = 0; i < n; i++) {
+    for (e = 0; e < k; e++) {
+      %s
+      int pad = seed %% 8;
+      %s
+      if (pad == 0) {
+        cols[i*k + e] = 0 - 1;
+        vals[i*k + e] = 0.0;
+      } else {
+        cols[i*k + e] = (i + 1 + seed %% 500) %% n;
+        vals[i*k + e] = 0.001 + (seed %% 1000) / 1000.0;
+      }
+    }
+    x[i] = 1.0;
+    y[i] = 0.0;
+  }
+  #pragma acc data copyin(vals[0:n*k], cols[0:n*k]) copy(x[0:n]) copy(y[0:n])
+  {
+    int it;
+    for (it = 0; it < iters; it++) {
+      double norm2 = 0.0;
+      #pragma acc parallel loop reduction(+: norm2) localaccess(vals: stride(k), cols: stride(k), y: stride(1))
+      for (i = 0; i < n; i++) {
+        double s = 0.0;
+        int e2;
+        for (e2 = 0; e2 < k; e2++) {
+          int c = cols[i*k + e2];
+          if (c >= 0) { s = s + vals[i*k + e2] * x[c]; }
+        }
+        y[i] = s;
+        norm2 += s * s;
+      }
+      double inv = 1.0 / sqrt(norm2);
+      #pragma acc parallel loop localaccess(y: stride(1))
+      for (i = 0; i < n; i++) { x[i] = y[i] * inv; }
+    }
+  }
+}
+|}
+    p.rows p.width p.iterations p.seed Workloads.lcg_c_snippet Workloads.lcg_c_snippet
+
+let app p = { App_common.name = "spmv"; source = source p; result_arrays = [ "x"; "y" ] }

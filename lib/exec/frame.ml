@@ -1,0 +1,91 @@
+open Mgacc_minic
+
+type slot = Int_slot of int | Float_slot of int | View_slot of int
+
+type t = { ints : int array; floats : float array; views : View.t option array }
+
+module Layout = struct
+  type t = {
+    mutable n_ints : int;
+    mutable n_floats : int;
+    mutable n_views : int;
+    mutable scopes : (string, slot * Ast.typ) Hashtbl.t list;
+  }
+
+  let create () = { n_ints = 0; n_floats = 0; n_views = 0; scopes = [ Hashtbl.create 8 ] }
+  let enter_scope t = t.scopes <- Hashtbl.create 8 :: t.scopes
+
+  let leave_scope t =
+    match t.scopes with
+    | [] | [ _ ] -> invalid_arg "Frame.Layout.leave_scope: no scope to leave"
+    | _ :: rest -> t.scopes <- rest
+
+  let declare t loc name ty =
+    let scope = match t.scopes with [] -> assert false | s :: _ -> s in
+    if Hashtbl.mem scope name then Loc.error loc "redeclaration of %s" name;
+    let slot =
+      match ty with
+      | Ast.Tint ->
+          let s = Int_slot t.n_ints in
+          t.n_ints <- t.n_ints + 1;
+          s
+      | Ast.Tdouble ->
+          let s = Float_slot t.n_floats in
+          t.n_floats <- t.n_floats + 1;
+          s
+      | Ast.Tarray _ ->
+          let s = View_slot t.n_views in
+          t.n_views <- t.n_views + 1;
+          s
+      | Ast.Tvoid -> Loc.error loc "void variable %s" name
+    in
+    Hashtbl.replace scope name (slot, ty);
+    slot
+
+  let lookup t name =
+    let rec go = function
+      | [] -> None
+      | scope :: rest -> (
+          match Hashtbl.find_opt scope name with Some v -> Some v | None -> go rest)
+    in
+    go t.scopes
+
+  let int_bank_size t = t.n_ints
+  let float_bank_size t = t.n_floats
+  let view_bank_size t = t.n_views
+end
+
+let create (layout : Layout.t) =
+  {
+    ints = Array.make (max 1 (Layout.int_bank_size layout)) 0;
+    floats = Array.make (max 1 (Layout.float_bank_size layout)) 0.0;
+    views = Array.make (max 1 (Layout.view_bank_size layout)) None;
+  }
+
+let set_view t slot v =
+  match slot with
+  | View_slot i -> t.views.(i) <- Some v
+  | Int_slot _ | Float_slot _ -> invalid_arg "Frame.set_view: not a view slot"
+
+let get_view t i =
+  match t.views.(i) with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Frame.get_view: unbound view slot %d" i)
+
+let set_int t slot v =
+  match slot with
+  | Int_slot i -> t.ints.(i) <- v
+  | Float_slot _ | View_slot _ -> invalid_arg "Frame.set_int: not an int slot"
+
+let set_float t slot v =
+  match slot with
+  | Float_slot i -> t.floats.(i) <- v
+  | Int_slot _ | View_slot _ -> invalid_arg "Frame.set_float: not a float slot"
+
+let get_int t = function
+  | Int_slot i -> t.ints.(i)
+  | Float_slot _ | View_slot _ -> invalid_arg "Frame.get_int: not an int slot"
+
+let get_float t = function
+  | Float_slot i -> t.floats.(i)
+  | Int_slot _ | View_slot _ -> invalid_arg "Frame.get_float: not a float slot"

@@ -1,0 +1,528 @@
+open Mgacc_minic
+open Ast
+module Cost = Mgacc_gpusim.Cost
+module Coalesce = Mgacc_analysis.Coalesce
+
+type t = {
+  run_iter : Frame.t -> int -> unit;
+  make_frame : unit -> Frame.t;
+  params : (string * Frame.slot * Ast.typ) list;
+  cost : Cost.t;
+}
+
+exception Brk
+exception Cnt
+
+(* ------------------------------------------------------------------ *)
+(* Reduction statement decomposition.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let same_subscript a b = Pretty.expr_to_string a = Pretty.expr_to_string b
+
+let extract_reduction op stmt =
+  let loc = stmt.sloc in
+  let bad fmt = Loc.error loc fmt in
+  match stmt.sdesc with
+  | Sassign (Lindex (arr, idx), aop, rhs) -> (
+      let neg e = { edesc = Unop (Neg, e); eloc = e.eloc } in
+      let is_dest e = match e.edesc with Index (a, i) -> a = arr && same_subscript i idx | _ -> false in
+      match (aop, op) with
+      | Add_set, Rplus -> (idx, rhs)
+      | Sub_set, Rplus -> (idx, neg rhs)
+      | Mul_set, Rmul -> (idx, rhs)
+      | Set, _ -> (
+          match rhs.edesc with
+          | Binop (Add, l, r) when op = Rplus && is_dest l -> (idx, r)
+          | Binop (Add, l, r) when op = Rplus && is_dest r -> (idx, l)
+          | Binop (Sub, l, r) when op = Rplus && is_dest l -> (idx, neg r)
+          | Binop (Mul, l, r) when op = Rmul && is_dest l -> (idx, r)
+          | Binop (Mul, l, r) when op = Rmul && is_dest r -> (idx, l)
+          | Call (("fmax" | "max"), [ l; r ]) when op = Rmax && is_dest l -> (idx, r)
+          | Call (("fmax" | "max"), [ l; r ]) when op = Rmax && is_dest r -> (idx, l)
+          | Call (("fmin" | "min"), [ l; r ]) when op = Rmin && is_dest l -> (idx, r)
+          | Call (("fmin" | "min"), [ l; r ]) when op = Rmin && is_dest r -> (idx, l)
+          | _ ->
+              bad "statement does not match a %s-reduction into %s" (redop_to_string op) arr)
+      | _ ->
+          bad "assignment operator does not match the declared %s reduction" (redop_to_string op))
+  | _ -> Loc.error loc "reductiontoarray must annotate an assignment into an array element"
+
+(* ------------------------------------------------------------------ *)
+(* Compilation context.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  layout : Frame.Layout.t;
+  cost : Cost.t;
+  classify : string -> Ast.expr -> Coalesce.mode;
+}
+
+let ty_of ctx e =
+  Typecheck.type_of_expr
+    (fun v -> Option.map snd (Frame.Layout.lookup ctx.layout v))
+    e
+
+let slot_of ctx loc v =
+  match Frame.Layout.lookup ctx.layout v with
+  | Some (slot, ty) -> (slot, ty)
+  | None -> Loc.error loc "kernel compilation: unbound variable %s" v
+
+let view_slot_of ctx loc a =
+  match slot_of ctx loc a with
+  | Frame.View_slot i, Tarray elem -> (i, elem)
+  | _ -> Loc.error loc "kernel compilation: %s is not an array" a
+
+(* Cost charge for one access of [width] bytes at the given site mode. *)
+let charge ctx mode width =
+  let cost = ctx.cost in
+  match mode with
+  | Coalesce.Broadcast -> fun () -> cost.Cost.broadcast_bytes <- cost.Cost.broadcast_bytes + width
+  | Coalesce.Coalesced -> fun () -> cost.Cost.coalesced_bytes <- cost.Cost.coalesced_bytes + width
+  | Coalesce.Strided _ | Coalesce.Random ->
+      fun () ->
+        cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+        cost.Cost.random_bytes <- cost.Cost.random_bytes + width
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec comp_f ctx e : Frame.t -> float =
+  match ty_of ctx e with
+  | Tint ->
+      let f = comp_i ctx e in
+      fun fr -> float_of_int (f fr)
+  | Tdouble -> comp_f_native ctx e
+  | t -> Loc.error e.eloc "expected numeric expression, got %s" (typ_to_string t)
+
+and comp_f_native ctx e : Frame.t -> float =
+  let cost = ctx.cost in
+  match e.edesc with
+  | Float_lit v -> fun _ -> v
+  | Var v -> (
+      match slot_of ctx e.eloc v with
+      | Frame.Float_slot i, _ -> fun fr -> Array.unsafe_get fr.Frame.floats i
+      | _ -> Loc.error e.eloc "%s is not a double variable" v)
+  | Index (a, idx) ->
+      let vi, elem = view_slot_of ctx e.eloc a in
+      if elem <> Edouble then Loc.error e.eloc "%s is not a double array" a;
+      let ci = comp_i ctx idx in
+      let bump = charge ctx (ctx.classify a idx) 8 in
+      fun fr ->
+        bump ();
+        (Frame.get_view fr vi).View.get_f (ci fr)
+  | Unop (Neg, x) ->
+      let f = comp_f ctx x in
+      fun fr ->
+        cost.Cost.flops <- cost.Cost.flops + 1;
+        -.f fr
+  | Unop (Cast_double, x) -> comp_f ctx x
+  | Unop ((Not | Bit_not | Cast_int), _) -> assert false (* typed Tint *)
+  | Binop (op, x, y) -> (
+      let fx = comp_f ctx x and fy = comp_f ctx y in
+      let arith op2 =
+        fun fr ->
+          cost.Cost.flops <- cost.Cost.flops + 1;
+          op2 (fx fr) (fy fr)
+      in
+      match op with
+      | Add -> arith ( +. )
+      | Sub -> arith ( -. )
+      | Mul -> arith ( *. )
+      | Div -> arith ( /. )
+      | Mod | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor | Band | Bor | Bxor | Shl | Shr ->
+          assert false (* typed Tint *))
+  | Ternary (c, a, b) ->
+      let cc = comp_i ctx c and fa = comp_f ctx a and fb = comp_f ctx b in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        if cc fr <> 0 then fa fr else fb fr
+  | Call (name, args) -> (
+      match Builtins.find name with
+      | Some b when b.Builtins.result = Tdouble -> (
+          let flops = b.Builtins.flops in
+          match List.map (comp_f ctx) args with
+          | [ a1 ] ->
+              let g = (fun x -> Builtins.apply_double name [ x ]) in
+              fun fr ->
+                cost.Cost.flops <- cost.Cost.flops + flops;
+                g (a1 fr)
+          | [ a1; a2 ] ->
+              let g = (fun x y -> Builtins.apply_double name [ x; y ]) in
+              fun fr ->
+                cost.Cost.flops <- cost.Cost.flops + flops;
+                g (a1 fr) (a2 fr)
+          | _ -> Loc.error e.eloc "unsupported builtin arity for %s" name)
+      | Some _ -> assert false (* int builtin: typed Tint *)
+      | None -> Loc.error e.eloc "user function calls are not allowed in kernels: %s" name)
+  | Int_lit _ | Length _ -> assert false (* typed Tint *)
+
+and comp_i ctx e : Frame.t -> int =
+  match ty_of ctx e with
+  | Tdouble ->
+      (* C-style implicit truncation. *)
+      let f = comp_f_native ctx e in
+      fun fr -> int_of_float (f fr)
+  | Tint -> comp_i_native ctx e
+  | t -> Loc.error e.eloc "expected numeric expression, got %s" (typ_to_string t)
+
+and comp_i_native ctx e : Frame.t -> int =
+  let cost = ctx.cost in
+  match e.edesc with
+  | Int_lit v -> fun _ -> v
+  | Var v -> (
+      match slot_of ctx e.eloc v with
+      | Frame.Int_slot i, _ -> fun fr -> Array.unsafe_get fr.Frame.ints i
+      | _ -> Loc.error e.eloc "%s is not an int variable" v)
+  | Length a ->
+      let vi, _ = view_slot_of ctx e.eloc a in
+      fun fr -> (Frame.get_view fr vi).View.length
+  | Index (a, idx) ->
+      let vi, elem = view_slot_of ctx e.eloc a in
+      if elem <> Eint then Loc.error e.eloc "%s is not an int array" a;
+      let ci = comp_i ctx idx in
+      let bump = charge ctx (ctx.classify a idx) 4 in
+      fun fr ->
+        bump ();
+        (Frame.get_view fr vi).View.get_i (ci fr)
+  | Unop (Neg, x) ->
+      let f = comp_i ctx x in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        -f fr
+  | Unop (Not, x) ->
+      let t = ty_of ctx x in
+      if t = Tdouble then begin
+        let f = comp_f ctx x in
+        fun fr ->
+          cost.Cost.flops <- cost.Cost.flops + 1;
+          if f fr = 0.0 then 1 else 0
+      end
+      else begin
+        let f = comp_i ctx x in
+        fun fr ->
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          if f fr = 0 then 1 else 0
+      end
+  | Unop (Bit_not, x) ->
+      let f = comp_i ctx x in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        lnot (f fr)
+  | Unop (Cast_int, x) -> (
+      match ty_of ctx x with
+      | Tdouble ->
+          let f = comp_f_native ctx x in
+          fun fr ->
+            cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+            int_of_float (f fr)
+      | _ -> comp_i ctx x)
+  | Unop (Cast_double, _) -> assert false (* typed Tdouble *)
+  | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), x, y) ->
+      let tx = ty_of ctx x and ty_ = ty_of ctx y in
+      if tx = Tdouble || ty_ = Tdouble then begin
+        let fx = comp_f ctx x and fy = comp_f ctx y in
+        let cmp : float -> float -> bool =
+          match op with
+          | Eq -> ( = )
+          | Ne -> ( <> )
+          | Lt -> ( < )
+          | Le -> ( <= )
+          | Gt -> ( > )
+          | Ge -> ( >= )
+          | _ -> assert false
+        in
+        fun fr ->
+          cost.Cost.flops <- cost.Cost.flops + 1;
+          if cmp (fx fr) (fy fr) then 1 else 0
+      end
+      else begin
+        let fx = comp_i ctx x and fy = comp_i ctx y in
+        let cmp : int -> int -> bool =
+          match op with
+          | Eq -> ( = )
+          | Ne -> ( <> )
+          | Lt -> ( < )
+          | Le -> ( <= )
+          | Gt -> ( > )
+          | Ge -> ( >= )
+          | _ -> assert false
+        in
+        fun fr ->
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          if cmp (fx fr) (fy fr) then 1 else 0
+      end
+  | Binop (Land, x, y) ->
+      let fx = comp_i ctx x and fy = comp_i ctx y in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        if fx fr <> 0 && fy fr <> 0 then 1 else 0
+  | Binop (Lor, x, y) ->
+      let fx = comp_i ctx x and fy = comp_i ctx y in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        if fx fr <> 0 || fy fr <> 0 then 1 else 0
+  | Binop (op, x, y) -> (
+      let fx = comp_i ctx x and fy = comp_i ctx y in
+      let arith op2 =
+        fun fr ->
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          op2 (fx fr) (fy fr)
+      in
+      match op with
+      | Add -> arith ( + )
+      | Sub -> arith ( - )
+      | Mul -> arith ( * )
+      | Div -> arith ( / )
+      | Mod -> arith (fun a b -> a mod b)
+      | Band -> arith ( land )
+      | Bor -> arith ( lor )
+      | Bxor -> arith ( lxor )
+      | Shl -> arith ( lsl )
+      | Shr -> arith ( asr )
+      | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> assert false)
+  | Ternary (c, a, b) ->
+      let cc = comp_i ctx c and fa = comp_i ctx a and fb = comp_i ctx b in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        if cc fr <> 0 then fa fr else fb fr
+  | Call (name, args) -> (
+      match Builtins.find name with
+      | Some b when b.Builtins.result = Tint -> (
+          let flops = b.Builtins.flops in
+          match List.map (comp_i ctx) args with
+          | [ a1 ] ->
+              fun fr ->
+                cost.Cost.int_ops <- cost.Cost.int_ops + flops;
+                Builtins.apply_int name [ a1 fr ]
+          | [ a1; a2 ] ->
+              fun fr ->
+                cost.Cost.int_ops <- cost.Cost.int_ops + flops;
+                Builtins.apply_int name [ a1 fr; a2 fr ]
+          | _ -> Loc.error e.eloc "unsupported builtin arity for %s" name)
+      | Some _ -> assert false
+      | None -> Loc.error e.eloc "user function calls are not allowed in kernels: %s" name)
+  | Float_lit _ -> assert false (* typed Tdouble *)
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation.                                              *)
+(* ------------------------------------------------------------------ *)
+
+let nop : Frame.t -> unit = fun _ -> ()
+
+let seq fs =
+  match fs with
+  | [] -> nop
+  | [ f ] -> f
+  | fs ->
+      let arr = Array.of_list fs in
+      fun fr -> Array.iter (fun f -> f fr) arr
+
+let apply_binop_assign_int op =
+  match op with
+  | Set -> fun _ rhs -> rhs
+  | Add_set -> ( + )
+  | Sub_set -> ( - )
+  | Mul_set -> ( * )
+  | Div_set -> ( / )
+
+let apply_binop_assign_float op =
+  match op with
+  | Set -> fun _ rhs -> rhs
+  | Add_set -> ( +. )
+  | Sub_set -> ( -. )
+  | Mul_set -> ( *. )
+  | Div_set -> ( /. )
+
+let rec comp_stmt ctx s : Frame.t -> unit =
+  let cost = ctx.cost in
+  match s.sdesc with
+  | Sdecl (ty, name, init) -> (
+      let slot = Frame.Layout.declare ctx.layout s.sloc name ty in
+      match (ty, slot, init) with
+      | Tint, Frame.Int_slot i, None -> fun fr -> Array.unsafe_set fr.Frame.ints i 0
+      | Tint, Frame.Int_slot i, Some e ->
+          let f = comp_i ctx e in
+          fun fr -> Array.unsafe_set fr.Frame.ints i (f fr)
+      | Tdouble, Frame.Float_slot i, None -> fun fr -> Array.unsafe_set fr.Frame.floats i 0.0
+      | Tdouble, Frame.Float_slot i, Some e ->
+          let f = comp_f ctx e in
+          fun fr -> Array.unsafe_set fr.Frame.floats i (f fr)
+      | _ -> Loc.error s.sloc "unsupported declaration in kernel")
+  | Sarray_decl (_, name, _) ->
+      Loc.error s.sloc "array declaration of %s not allowed inside a kernel" name
+  | Sassign (Lvar v, op, rhs) -> (
+      match slot_of ctx s.sloc v with
+      | Frame.Int_slot i, _ ->
+          let f = comp_i ctx rhs in
+          if op = Set then fun fr -> Array.unsafe_set fr.Frame.ints i (f fr)
+          else
+            let g = apply_binop_assign_int op in
+            fun fr ->
+              cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+              Array.unsafe_set fr.Frame.ints i (g (Array.unsafe_get fr.Frame.ints i) (f fr))
+      | Frame.Float_slot i, _ ->
+          let f = comp_f ctx rhs in
+          if op = Set then fun fr -> Array.unsafe_set fr.Frame.floats i (f fr)
+          else
+            let g = apply_binop_assign_float op in
+            fun fr ->
+              cost.Cost.flops <- cost.Cost.flops + 1;
+              Array.unsafe_set fr.Frame.floats i (g (Array.unsafe_get fr.Frame.floats i) (f fr))
+      | Frame.View_slot _, _ -> Loc.error s.sloc "cannot assign whole array %s" v)
+  | Sassign (Lindex (a, idx), op, rhs) ->
+      let vi, elem = view_slot_of ctx s.sloc a in
+      let ci = comp_i ctx idx in
+      let width = elem_ty_size elem in
+      let bump_w = charge ctx (ctx.classify a idx) width in
+      (match elem with
+      | Edouble ->
+          let f = comp_f ctx rhs in
+          if op = Set then
+            fun fr ->
+              bump_w ();
+              (Frame.get_view fr vi).View.set_f (ci fr) (f fr)
+          else
+            let g = apply_binop_assign_float op in
+            let bump_r = charge ctx (ctx.classify a idx) width in
+            fun fr ->
+              cost.Cost.flops <- cost.Cost.flops + 1;
+              bump_r ();
+              bump_w ();
+              let view = Frame.get_view fr vi in
+              let i = ci fr in
+              view.View.set_f i (g (view.View.get_f i) (f fr))
+      | Eint ->
+          let f = comp_i ctx rhs in
+          if op = Set then
+            fun fr ->
+              bump_w ();
+              (Frame.get_view fr vi).View.set_i (ci fr) (f fr)
+          else
+            let g = apply_binop_assign_int op in
+            let bump_r = charge ctx (ctx.classify a idx) width in
+            fun fr ->
+              cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+              bump_r ();
+              bump_w ();
+              let view = Frame.get_view fr vi in
+              let i = ci fr in
+              view.View.set_i i (g (view.View.get_i i) (f fr)))
+  | Sincr (lv, d) ->
+      comp_stmt ctx
+        { s with sdesc = Sassign (lv, Add_set, { edesc = Int_lit d; eloc = s.sloc }) }
+  | Sexpr e ->
+      let t = ty_of ctx e in
+      if t = Tdouble then begin
+        let f = comp_f ctx e in
+        fun fr -> ignore (f fr)
+      end
+      else begin
+        let f = comp_i ctx e in
+        fun fr -> ignore (f fr)
+      end
+  | Sif (c, then_, else_) ->
+      let cc = comp_i ctx c in
+      let ct = comp_block ctx then_ and ce = comp_block ctx else_ in
+      fun fr ->
+        cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+        if cc fr <> 0 then ct fr else ce fr
+  | Swhile (c, body) ->
+      let cc = comp_i ctx c in
+      let cb = comp_block ctx body in
+      fun fr ->
+        (try
+           while
+             cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+             cc fr <> 0
+           do
+             try cb fr with Cnt -> ()
+           done
+         with Brk -> ())
+  | Sfor (hdr, body) ->
+      Frame.Layout.enter_scope ctx.layout;
+      let init = match hdr.for_init with Some s' -> comp_stmt ctx s' | None -> nop in
+      let cond = match hdr.for_cond with Some e -> comp_i ctx e | None -> fun _ -> 1 in
+      let update = match hdr.for_update with Some s' -> comp_stmt ctx s' | None -> nop in
+      let cb = comp_block_no_scope ctx body in
+      Frame.Layout.leave_scope ctx.layout;
+      fun fr ->
+        init fr;
+        (try
+           while
+             cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+             cond fr <> 0
+           do
+             (try cb fr with Cnt -> ());
+             update fr
+           done
+         with Brk -> ())
+  | Sreturn _ -> Loc.error s.sloc "return is not allowed inside a kernel"
+  | Sbreak -> fun _ -> raise Brk
+  | Scontinue -> fun _ -> raise Cnt
+  | Sblock body -> comp_block ctx body
+  | Spragma (Dreduction_to_array { rta_op; rta_array }, inner) ->
+      let idx, contrib = extract_reduction rta_op inner in
+      let vi, elem = view_slot_of ctx s.sloc rta_array in
+      let ci = comp_i ctx idx in
+      let width = elem_ty_size elem in
+      (* A reduction update behaves like an atomic scatter: charge one
+         transaction plus the combine op. *)
+      (match elem with
+      | Edouble ->
+          let cf = comp_f ctx contrib in
+          fun fr ->
+            cost.Cost.flops <- cost.Cost.flops + 1;
+            cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+            cost.Cost.random_bytes <- cost.Cost.random_bytes + width;
+            (Frame.get_view fr vi).View.reduce_f rta_op (ci fr) (cf fr)
+      | Eint ->
+          let cf = comp_i ctx contrib in
+          fun fr ->
+            cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+            cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+            cost.Cost.random_bytes <- cost.Cost.random_bytes + width;
+            (Frame.get_view fr vi).View.reduce_i rta_op (ci fr) (cf fr))
+  | Spragma ((Dparallel_loop _ | Dlocalaccess _), inner) ->
+      (* Nested parallelism: the inner loop's iterations map to vector
+         lanes. Executing them in order is a valid schedule; the launcher
+         separately multiplies the thread count for occupancy. *)
+      comp_stmt ctx inner
+  | Spragma (d, _) ->
+      Loc.error s.sloc "directive not allowed inside a kernel body: %s"
+        (Pretty.directive_to_string d)
+
+and comp_block ctx body =
+  Frame.Layout.enter_scope ctx.layout;
+  let f = comp_block_no_scope ctx body in
+  Frame.Layout.leave_scope ctx.layout;
+  f
+
+and comp_block_no_scope ctx body = seq (List.map (comp_stmt ctx) body)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let compile ~loop ~params ~classify =
+  let layout = Frame.Layout.create () in
+  let cost = Cost.zero () in
+  let ctx = { layout; cost; classify } in
+  let loop_loc = loop.Mgacc_analysis.Loop_info.loop_loc in
+  let iv_slot =
+    Frame.Layout.declare layout loop_loc loop.Mgacc_analysis.Loop_info.loop_var Tint
+  in
+  let param_slots =
+    List.map (fun (name, ty) -> (name, Frame.Layout.declare layout loop_loc name ty, ty)) params
+  in
+  let body = comp_block ctx loop.Mgacc_analysis.Loop_info.body in
+  let iv_index = match iv_slot with Frame.Int_slot i -> i | _ -> assert false in
+  {
+    run_iter =
+      (fun fr i ->
+        Array.unsafe_set fr.Frame.ints iv_index i;
+        body fr);
+    make_frame = (fun () -> Frame.create layout);
+    params = param_slots;
+    cost;
+  }

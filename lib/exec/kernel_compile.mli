@@ -1,0 +1,44 @@
+(** Closure compilation of parallel-loop bodies.
+
+    The loop body is compiled once into OCaml closures over a slotted
+    {!Frame.t}; running an iteration is then just closure application with
+    no name resolution. The same compiled body serves every execution
+    target — host OpenMP simulation, single-GPU CUDA baseline, and each GPU
+    partition of the multi-GPU runtime — differing only in the views bound
+    into the frame.
+
+    While executing, the closures bump a {!Mgacc_gpusim.Cost.t}: arithmetic
+    by operator type, and array traffic by the coalescing mode assigned to
+    each syntactic access site by the [classify] callback (this is where
+    the data-layout transformation changes the accounting).
+
+    Restrictions enforced here (with located errors): no user function
+    calls, no array declarations, no [return], and no nested parallel
+    directives inside a kernel body. *)
+
+open Mgacc_minic
+
+type t = {
+  run_iter : Frame.t -> int -> unit;  (** execute one iteration at index i *)
+  make_frame : unit -> Frame.t;
+  params : (string * Frame.slot * Ast.typ) list;
+      (** parameter binding sites, in the order given to {!compile} *)
+  cost : Mgacc_gpusim.Cost.t;  (** the live counter the closures bump *)
+}
+
+val compile :
+  loop:Mgacc_analysis.Loop_info.t ->
+  params:(string * Ast.typ) list ->
+  classify:(string -> Ast.expr -> Mgacc_analysis.Coalesce.mode) ->
+  t
+(** [params] lists the kernel's free variables (loop-uniform scalars and
+    arrays) with their host types; [classify array subscript] chooses the
+    coalescing mode charged for that access site. *)
+
+val extract_reduction :
+  Ast.redop -> Ast.stmt -> Ast.expr * Ast.expr
+(** [extract_reduction op stmt] decomposes a [reductiontoarray]-annotated
+    assignment into (destination subscript, contribution expression),
+    checking the statement really is an [op]-reduction (e.g.
+    [a\[k\] += v], [a\[k\] = a\[k\] + v], [a\[k\] = fmax(a\[k\], v)]).
+    Raises {!Loc.Error} otherwise. *)

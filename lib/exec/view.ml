@@ -1,0 +1,99 @@
+open Mgacc_minic
+open Ast
+
+type t = {
+  name : string;
+  elem : elem_ty;
+  length : int;
+  get_f : int -> float;
+  set_f : int -> float -> unit;
+  get_i : int -> int;
+  set_i : int -> int -> unit;
+  reduce_f : redop -> int -> float -> unit;
+  reduce_i : redop -> int -> int -> unit;
+}
+
+exception Bounds of { name : string; index : int; length : int }
+
+let apply_redop_f op a b =
+  match op with
+  | Rplus -> a +. b
+  | Rmul -> a *. b
+  | Rmax -> Float.max a b
+  | Rmin -> Float.min a b
+
+let apply_redop_i op a b =
+  match op with Rplus -> a + b | Rmul -> a * b | Rmax -> max a b | Rmin -> min a b
+
+let redop_identity_f = function
+  | Rplus -> 0.0
+  | Rmul -> 1.0
+  | Rmax -> neg_infinity
+  | Rmin -> infinity
+
+let redop_identity_i = function
+  | Rplus -> 0
+  | Rmul -> 1
+  | Rmax -> min_int
+  | Rmin -> max_int
+
+let wrong_type name what =
+  invalid_arg (Printf.sprintf "View: %s access on wrong-typed view %s" what name)
+
+let of_float_array ~name data =
+  let n = Array.length data in
+  let check i = if i < 0 || i >= n then raise (Bounds { name; index = i; length = n }) in
+  {
+    name;
+    elem = Edouble;
+    length = n;
+    get_f =
+      (fun i ->
+        check i;
+        Array.unsafe_get data i);
+    set_f =
+      (fun i v ->
+        check i;
+        Array.unsafe_set data i v);
+    get_i = (fun _ -> wrong_type name "int get");
+    set_i = (fun _ _ -> wrong_type name "int set");
+    reduce_f =
+      (fun op i v ->
+        check i;
+        Array.unsafe_set data i (apply_redop_f op (Array.unsafe_get data i) v));
+    reduce_i = (fun _ _ _ -> wrong_type name "int reduce");
+  }
+
+let of_int_array ~name data =
+  let n = Array.length data in
+  let check i = if i < 0 || i >= n then raise (Bounds { name; index = i; length = n }) in
+  {
+    name;
+    elem = Eint;
+    length = n;
+    get_i =
+      (fun i ->
+        check i;
+        Array.unsafe_get data i);
+    set_i =
+      (fun i v ->
+        check i;
+        Array.unsafe_set data i v);
+    get_f = (fun _ -> wrong_type name "float get");
+    set_f = (fun _ _ -> wrong_type name "float set");
+    reduce_i =
+      (fun op i v ->
+        check i;
+        Array.unsafe_set data i (apply_redop_i op (Array.unsafe_get data i) v));
+    reduce_f = (fun _ _ _ -> wrong_type name "float reduce");
+  }
+
+let snapshot_f v =
+  match v.elem with
+  | Edouble -> Array.init v.length v.get_f
+  | Eint -> invalid_arg (Printf.sprintf "View.snapshot_f: %s is an int view" v.name)
+
+let snapshot_i v =
+  match v.elem with
+  | Eint -> Array.init v.length v.get_i
+  | Edouble -> invalid_arg (Printf.sprintf "View.snapshot_i: %s is a double view" v.name)

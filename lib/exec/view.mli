@@ -1,0 +1,44 @@
+(** Array views: the storage interface kernels and host code execute
+    against.
+
+    A view hides where an array actually lives. A host array wraps an OCaml
+    array directly; the multi-GPU runtime builds views that translate
+    logical indices into a device partition, mark dirty bits on writes,
+    buffer write misses, or accumulate into reduction partials. The
+    compiled kernel code is the same either way. *)
+
+open Mgacc_minic
+
+type t = {
+  name : string;
+  elem : Ast.elem_ty;
+  length : int;  (** logical element count *)
+  get_f : int -> float;
+  set_f : int -> float -> unit;
+  get_i : int -> int;
+  set_i : int -> int -> unit;
+  reduce_f : Ast.redop -> int -> float -> unit;
+      (** accumulate into a reduction destination; only reduction views
+          implement this *)
+  reduce_i : Ast.redop -> int -> int -> unit;
+}
+
+exception Bounds of { name : string; index : int; length : int }
+(** Raised by the host-array accessors on out-of-range logical indices. *)
+
+val of_float_array : name:string -> float array -> t
+(** Bounds-checked direct view over (and aliasing) a host array;
+    [reduce_f] applies the operator in place (the host/OpenMP semantics of
+    a reduction). *)
+
+val of_int_array : name:string -> int array -> t
+
+val snapshot_f : t -> float array
+(** Copy of the logical contents, read through the accessors. *)
+
+val snapshot_i : t -> int array
+
+val apply_redop_f : Ast.redop -> float -> float -> float
+val apply_redop_i : Ast.redop -> int -> int -> int
+val redop_identity_f : Ast.redop -> float
+val redop_identity_i : Ast.redop -> int

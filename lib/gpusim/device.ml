@@ -1,0 +1,17 @@
+type t = { id : int; spec : Spec.gpu; memory : Memory.t; compute : Mgacc_sim.Timeline.t }
+
+let create ~id spec =
+  {
+    id;
+    spec;
+    memory = Memory.create ~device_id:id ~capacity:spec.Spec.mem_capacity;
+    compute = Mgacc_sim.Timeline.create (Printf.sprintf "gpu%d" id);
+  }
+
+let launch t ~ready ~threads cost =
+  let duration = Kernel_cost.duration t.spec ~threads cost in
+  Mgacc_sim.Timeline.reserve t.compute ~ready ~duration
+
+let reset t =
+  Mgacc_sim.Timeline.reset t.compute;
+  Memory.reset_peaks t.memory

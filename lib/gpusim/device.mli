@@ -1,0 +1,22 @@
+(** One simulated GPU: identity, memory, and a serial compute engine.
+
+    Kernels submitted to the same device serialize on its compute timeline
+    (one kernel at a time, as on the paper's Fermi GPUs); different devices
+    run concurrently. *)
+
+type t = private {
+  id : int;
+  spec : Spec.gpu;
+  memory : Memory.t;
+  compute : Mgacc_sim.Timeline.t;
+}
+
+val create : id:int -> Spec.gpu -> t
+
+val launch :
+  t -> ready:float -> threads:int -> Cost.t -> float * float
+(** Reserve the compute engine for a kernel whose duration comes from
+    {!Kernel_cost.duration}; returns [(start, finish)]. *)
+
+val reset : t -> unit
+(** Clear the compute timeline and memory peaks (not allocations). *)

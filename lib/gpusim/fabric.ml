@@ -1,0 +1,209 @@
+type topology = {
+  gpus_per_node : int;
+  internode_bandwidth : float;
+  internode_latency : float;
+}
+
+type resource = Down of int | Up of int | Host_aggregate of int | Net_up of int | Net_down of int
+
+type direction = H2d of int | D2h of int | P2p of int * int
+
+type request = { direction : direction; bytes : int; ready : float; tag : string }
+
+type completion = { req : request; start : float; finish : float }
+
+type t = { link : Spec.link; num_gpus : int; topology : topology option }
+
+let create ?topology link ~num_gpus =
+  if num_gpus <= 0 then invalid_arg "Fabric.create: num_gpus <= 0";
+  (match topology with
+  | Some t when t.gpus_per_node <= 0 || t.internode_bandwidth <= 0.0 ->
+      invalid_arg "Fabric.create: bad topology"
+  | _ -> ());
+  { link; num_gpus; topology }
+
+let node_of t g =
+  match t.topology with None -> 0 | Some topo -> g / topo.gpus_per_node
+
+let check_dev t i =
+  if i < 0 || i >= t.num_gpus then invalid_arg (Printf.sprintf "Fabric: device %d out of range" i)
+
+let resources_of t = function
+  | H2d i ->
+      check_dev t i;
+      [ Down i; Host_aggregate (node_of t i) ]
+  | D2h i ->
+      check_dev t i;
+      [ Up i; Host_aggregate (node_of t i) ]
+  | P2p (i, j) ->
+      check_dev t i;
+      check_dev t j;
+      if i = j then invalid_arg "Fabric: P2p with src = dst";
+      let ni = node_of t i and nj = node_of t j in
+      if ni = nj then [ Up i; Down j; Host_aggregate ni ]
+      else
+        (* Cross-node peer traffic stages through both hosts and the
+           network: D2H on the source node, the wire, H2D on the
+           destination node. *)
+        [ Up i; Net_up ni; Net_down nj; Down j; Host_aggregate ni; Host_aggregate nj ]
+
+let capacity t = function
+  | Down _ -> t.link.Spec.h2d_bandwidth
+  | Up _ -> t.link.Spec.d2h_bandwidth
+  | Host_aggregate _ -> t.link.Spec.host_aggregate_bandwidth
+  | Net_up _ | Net_down _ -> (
+      match t.topology with
+      | Some topo -> topo.internode_bandwidth
+      | None -> infinity)
+
+let same_node t i j = node_of t i = node_of t j
+
+let own_cap t = function
+  | H2d _ -> t.link.Spec.h2d_bandwidth
+  | D2h _ -> t.link.Spec.d2h_bandwidth
+  | P2p (i, j) -> (
+      if same_node t i j then t.link.Spec.p2p_bandwidth
+      else
+        match t.topology with
+        | Some topo -> Float.min t.link.Spec.p2p_bandwidth topo.internode_bandwidth
+        | None -> t.link.Spec.p2p_bandwidth)
+
+let latency_of t = function
+  | P2p (i, j) when not (same_node t i j) -> (
+      match t.topology with
+      | Some topo -> t.link.Spec.link_latency +. topo.internode_latency
+      | None -> t.link.Spec.link_latency)
+  | H2d _ | D2h _ | P2p _ -> t.link.Spec.link_latency
+
+let standalone_bandwidth t dir =
+  List.fold_left (fun acc r -> Float.min acc (capacity t r)) (own_cap t dir) (resources_of t dir)
+
+let transfer_time_alone t dir ~bytes =
+  if bytes <= 0 then 0.0
+  else latency_of t dir +. (float_of_int bytes /. standalone_bandwidth t dir)
+
+(* One in-flight transfer of the fluid simulation. *)
+type flow = {
+  idx : int;
+  res : resource list;
+  cap : float;
+  arrive : float;  (* ready + latency: when bytes start flowing *)
+  mutable remaining : float;
+  mutable rate : float;
+  mutable fixed : bool;
+  mutable start_time : float;
+  mutable finish_time : float;
+}
+
+(* Max-min fair allocation by water filling over the active flows. *)
+let assign_rates t active =
+  List.iter
+    (fun f ->
+      f.fixed <- false;
+      f.rate <- 0.0)
+    active;
+  let remcap = Hashtbl.create 8 in
+  let count = Hashtbl.create 8 in
+  let touch r =
+    if not (Hashtbl.mem remcap r) then Hashtbl.replace remcap r (capacity t r);
+    Hashtbl.replace count r (1 + Option.value ~default:0 (Hashtbl.find_opt count r))
+  in
+  List.iter (fun f -> List.iter touch f.res) active;
+  let unfixed = ref (List.length active) in
+  while !unfixed > 0 do
+    let bound f =
+      List.fold_left
+        (fun acc r ->
+          let share = Hashtbl.find remcap r /. float_of_int (Hashtbl.find count r) in
+          Float.min acc share)
+        f.cap f.res
+    in
+    let lambda =
+      List.fold_left (fun acc f -> if f.fixed then acc else Float.min acc (bound f)) infinity active
+    in
+    let eps = lambda *. 1e-9 in
+    List.iter
+      (fun f ->
+        if (not f.fixed) && bound f <= lambda +. eps then begin
+          f.fixed <- true;
+          f.rate <- Float.max lambda 1.0 (* avoid zero rates from degenerate caps *);
+          decr unfixed;
+          List.iter
+            (fun r ->
+              Hashtbl.replace remcap r (Float.max 0.0 (Hashtbl.find remcap r -. f.rate));
+              Hashtbl.replace count r (Hashtbl.find count r - 1))
+            f.res
+        end)
+      active
+  done
+
+let run_batch t reqs =
+  let reqs_arr = Array.of_list reqs in
+  let n = Array.length reqs_arr in
+  let completions = Array.make n None in
+  let flows = ref [] in
+  Array.iteri
+    (fun idx req ->
+      if req.bytes < 0 then invalid_arg "Fabric.run_batch: negative bytes";
+      if req.bytes = 0 then
+        completions.(idx) <- Some { req; start = req.ready; finish = req.ready }
+      else
+        flows :=
+          {
+            idx;
+            res = resources_of t req.direction;
+            cap = own_cap t req.direction;
+            arrive = req.ready +. latency_of t req.direction;
+            remaining = float_of_int req.bytes;
+            rate = 0.0;
+            fixed = false;
+            start_time = req.ready;
+            finish_time = nan;
+          }
+          :: !flows)
+    reqs_arr;
+  let pending = ref (List.sort (fun a b -> compare a.arrive b.arrive) (List.rev !flows)) in
+  let active = ref [] in
+  let now = ref 0.0 in
+  (match !pending with [] -> () | f :: _ -> now := f.arrive);
+  while !pending <> [] || !active <> [] do
+    (* Admit arrivals. *)
+    let arrived, rest = List.partition (fun f -> f.arrive <= !now +. 1e-15) !pending in
+    pending := rest;
+    active := !active @ arrived;
+    if !active = [] then begin
+      match !pending with
+      | f :: _ -> now := f.arrive
+      | [] -> ()
+    end
+    else begin
+      assign_rates t !active;
+      (* Next event: earliest completion among active, or next arrival. *)
+      let next_completion =
+        List.fold_left (fun acc f -> Float.min acc (!now +. (f.remaining /. f.rate))) infinity !active
+      in
+      let next_arrival = match !pending with [] -> infinity | f :: _ -> f.arrive in
+      let t_next = Float.min next_completion next_arrival in
+      let dt = t_next -. !now in
+      List.iter (fun f -> f.remaining <- f.remaining -. (f.rate *. dt)) !active;
+      now := t_next;
+      let done_, still = List.partition (fun f -> f.remaining <= 1e-6) !active in
+      List.iter
+        (fun f ->
+          f.finish_time <- !now;
+          completions.(f.idx) <-
+            Some { req = reqs_arr.(f.idx); start = f.start_time; finish = f.finish_time })
+        done_;
+      active := still
+    end
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun idx c ->
+         match c with
+         | Some c -> c
+         | None ->
+             (* Unreachable: every flow either completed or was zero-byte. *)
+             let req = reqs_arr.(idx) in
+             { req; start = req.ready; finish = req.ready })
+       completions)

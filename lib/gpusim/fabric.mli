@@ -1,0 +1,60 @@
+(** PCIe interconnect model with max-min fair bandwidth sharing.
+
+    Concurrent transfers share link capacity: each transfer occupies the
+    per-device link direction(s) it crosses plus the host root-complex
+    aggregate, and a fluid-flow simulation (progressive filling between
+    arrival/completion events) assigns max-min fair rates. This captures the
+    effect the paper observes in Fig. 8: loading N GPUs concurrently does not
+    divide CPU-GPU time by N, because the host side saturates. *)
+
+type topology = {
+  gpus_per_node : int;
+  internode_bandwidth : float;  (** network rate between nodes, bytes/s *)
+  internode_latency : float;  (** per-transfer setup across the network *)
+}
+(** Multi-node clusters (the paper's §VI second future-work item): GPUs
+    [g] live on node [g / gpus_per_node]; peer transfers between nodes
+    stage through both hosts and the network, with the network's own
+    bandwidth and latency. The runtime is unchanged — everything routes
+    through the fabric. *)
+
+type resource =
+  | Down of int  (** host -> device link of GPU [i] *)
+  | Up of int  (** device [i] -> host link *)
+  | Host_aggregate of int  (** root complex / QPI shared capacity of a node *)
+  | Net_up of int  (** node [n] -> network *)
+  | Net_down of int  (** network -> node [n] *)
+
+type direction =
+  | H2d of int  (** host to device [i] *)
+  | D2h of int
+  | P2p of int * int  (** device [src] to device [dst] *)
+
+type request = {
+  direction : direction;
+  bytes : int;
+  ready : float;  (** earliest start time (data dependency) *)
+  tag : string;  (** label recorded in the trace *)
+}
+
+type completion = { req : request; start : float; finish : float }
+
+type t
+
+val create : ?topology:topology -> Spec.link -> num_gpus:int -> t
+(** Without [topology], all GPUs share one node (the paper's setting). *)
+
+val node_of : t -> int -> int
+(** The node hosting a GPU. *)
+
+val standalone_bandwidth : t -> direction -> float
+(** Peak rate of a transfer running alone (min of its caps). *)
+
+val transfer_time_alone : t -> direction -> bytes:int -> float
+(** Latency + bytes / standalone rate; the uncontended duration. *)
+
+val run_batch : t -> request list -> completion list
+(** Simulate the batch under fair sharing. Completions are returned in the
+    order of the requests. The fabric is stateless across batches (the BSP
+    runtime separates batches with barriers). Zero-byte requests complete
+    instantly at their ready time, with no latency charge. *)

@@ -1,0 +1,22 @@
+(** Roofline timing model for simulated GPU kernels.
+
+    A launch's duration is the maximum of its arithmetic time and its memory
+    time (they overlap on real hardware), divided by an occupancy factor
+    when there are too few threads to hide latency, plus a fixed launch
+    overhead. Random accesses are charged one full memory transaction each
+    (32 B on Fermi), which is how uncoalesced gathers behave. *)
+
+val occupancy : Spec.gpu -> threads:int -> float
+(** In (0, 1\]: fraction of peak throughput achievable with [threads]
+    resident threads. Reaches 1 at [latency_hiding_factor * cores]
+    threads. *)
+
+val compute_time : Spec.gpu -> Cost.t -> float
+(** Arithmetic pipeline time at full occupancy, seconds. *)
+
+val memory_time : Spec.gpu -> Cost.t -> float
+(** Device-memory time at full occupancy, seconds. *)
+
+val duration : Spec.gpu -> threads:int -> Cost.t -> float
+(** Full launch duration including launch overhead. [threads] is the number
+    of logical iterations mapped to the device. *)

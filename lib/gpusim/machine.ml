@@ -1,0 +1,131 @@
+open Mgacc_sim
+
+type t = {
+  name : string;
+  cpu : Spec.cpu;
+  link : Spec.link;
+  devices : Device.t array;
+  fabric : Fabric.t;
+  trace : Trace.t;
+  default_omp_threads : int;
+}
+
+let custom ?topology ~name ~cpu ~gpu ~link ~num_gpus ~omp_threads () =
+  if num_gpus <= 0 then invalid_arg "Machine.custom: num_gpus <= 0";
+  {
+    name;
+    cpu;
+    link;
+    devices = Array.init num_gpus (fun id -> Device.create ~id gpu);
+    fabric = Fabric.create ?topology link ~num_gpus;
+    trace = Trace.create ();
+    default_omp_threads = omp_threads;
+  }
+
+let desktop ?(num_gpus = 2) () =
+  if num_gpus < 1 || num_gpus > 2 then invalid_arg "Machine.desktop: 1 or 2 GPUs";
+  custom ~name:"Desktop Machine" ~cpu:Spec.core_i7_970 ~gpu:Spec.tesla_c2075
+    ~link:Spec.pcie_gen2_desktop ~num_gpus ~omp_threads:12 ()
+
+let supernode ?(num_gpus = 3) () =
+  if num_gpus < 1 || num_gpus > 3 then invalid_arg "Machine.supernode: 1 to 3 GPUs";
+  custom ~name:"Supercomputer Node" ~cpu:Spec.dual_xeon_x5670 ~gpu:Spec.tesla_m2050
+    ~link:Spec.pcie_gen2_supernode ~num_gpus ~omp_threads:24 ()
+
+let cluster ?(nodes = 2) ?(gpus_per_node = 2) () =
+  if nodes < 1 || gpus_per_node < 1 then invalid_arg "Machine.cluster";
+  let topology =
+    {
+      Fabric.gpus_per_node;
+      internode_bandwidth = 3.2 *. 1024.0 *. 1024.0 *. 1024.0;
+      internode_latency = 25e-6;
+    }
+  in
+  custom ~topology
+    ~name:(Printf.sprintf "GPU Cluster (%d nodes x %d C2075)" nodes gpus_per_node)
+    ~cpu:Spec.core_i7_970 ~gpu:Spec.tesla_c2075 ~link:Spec.pcie_gen2_desktop
+    ~num_gpus:(nodes * gpus_per_node) ~omp_threads:12 ()
+
+let num_gpus t = Array.length t.devices
+
+let device t i =
+  if i < 0 || i >= num_gpus t then invalid_arg (Printf.sprintf "Machine.device: %d" i);
+  t.devices.(i)
+
+let launch_kernel t ~dev ~ready ~threads ~label cost =
+  let d = device t dev in
+  let start, finish = Device.launch d ~ready ~threads cost in
+  Trace.add t.trace
+    {
+      Trace.resource = Printf.sprintf "gpu%d" dev;
+      category = Trace.Kernel;
+      label;
+      start;
+      finish;
+      bytes = 0;
+    };
+  (start, finish)
+
+let host_compute t ~ready ~threads ~label cost =
+  let duration = Cpu_model.duration t.cpu ~threads cost in
+  let start = ready and finish = ready +. duration in
+  Trace.add t.trace
+    { Trace.resource = "cpu"; category = Trace.Host_compute; label; start; finish; bytes = 0 };
+  (start, finish)
+
+let category_of_direction = function
+  | Fabric.H2d _ -> Trace.Host_to_device
+  | Fabric.D2h _ -> Trace.Device_to_host
+  | Fabric.P2p _ -> Trace.Peer
+
+let resource_of_direction = function
+  | Fabric.H2d i -> Printf.sprintf "pcie:h2d%d" i
+  | Fabric.D2h i -> Printf.sprintf "pcie:d2h%d" i
+  | Fabric.P2p (i, j) -> Printf.sprintf "pcie:p2p%d-%d" i j
+
+let run_transfers t ~label reqs =
+  let completions = Fabric.run_batch t.fabric reqs in
+  List.iter
+    (fun (c : Fabric.completion) ->
+      if c.req.bytes > 0 then
+        Trace.add t.trace
+          {
+            Trace.resource = resource_of_direction c.req.direction;
+            category = category_of_direction c.req.direction;
+            label = Printf.sprintf "%s:%s" label c.req.tag;
+            start = c.start;
+            finish = c.finish;
+            bytes = c.req.bytes;
+          })
+    completions;
+  completions
+
+let transfer_sync t ~ready direction ~bytes ~label =
+  if bytes = 0 then ready
+  else begin
+    let duration = Fabric.transfer_time_alone t.fabric direction ~bytes in
+    let finish = ready +. duration in
+    Trace.add t.trace
+      {
+        Trace.resource = resource_of_direction direction;
+        category = category_of_direction direction;
+        label;
+        start = ready;
+        finish;
+        bytes;
+      };
+    finish
+  end
+
+let overhead t ~ready ~seconds ~label =
+  if seconds <= 0.0 then ready
+  else begin
+    let finish = ready +. seconds in
+    Trace.add t.trace
+      { Trace.resource = "cpu"; category = Trace.Overhead; label; start = ready; finish; bytes = 0 };
+    finish
+  end
+
+let reset t =
+  Trace.clear t.trace;
+  Array.iter Device.reset t.devices

@@ -1,0 +1,57 @@
+(** A simulated compute node: CPU, GPUs, interconnect, and a trace.
+
+    The two presets replicate the paper's Table I platforms. All timed
+    operations go through this module so that every span lands in the
+    machine's trace with the right category for the Fig. 8 breakdown. *)
+
+type t = {
+  name : string;
+  cpu : Spec.cpu;
+  link : Spec.link;
+  devices : Device.t array;
+  fabric : Fabric.t;
+  trace : Mgacc_sim.Trace.t;
+  default_omp_threads : int;
+}
+
+val desktop : ?num_gpus:int -> unit -> t
+(** 1x Core i7 + up to 2x Tesla C2075 (default 2), 12 OpenMP threads. *)
+
+val supernode : ?num_gpus:int -> unit -> t
+(** 2x Xeon X5670 + up to 3x Tesla M2050 (default 3), 24 OpenMP threads. *)
+
+val custom :
+  ?topology:Fabric.topology ->
+  name:string -> cpu:Spec.cpu -> gpu:Spec.gpu -> link:Spec.link -> num_gpus:int ->
+  omp_threads:int -> unit -> t
+
+val cluster : ?nodes:int -> ?gpus_per_node:int -> unit -> t
+(** A GPU cluster (paper §VI, second future-work item): [nodes] desktop-class
+    nodes (default 2) of [gpus_per_node] C2075 each (default 2), connected by
+    a QDR-InfiniBand-class network (3.2 GB/s, 25 us). Peer transfers between
+    nodes stage through both hosts and the wire; the OpenACC runtime needs no
+    changes — only the fabric knows. *)
+
+val num_gpus : t -> int
+val device : t -> int -> Device.t
+
+val launch_kernel : t -> dev:int -> ready:float -> threads:int -> label:string -> Cost.t -> float * float
+(** Run a kernel on device [dev]; records a [Kernel] span; returns
+    [(start, finish)]. *)
+
+val host_compute : t -> ready:float -> threads:int -> label:string -> Cost.t -> float * float
+(** Run a parallel loop on the host CPU model; records a [Host_compute]
+    span. *)
+
+val run_transfers : t -> label:string -> Fabric.request list -> Fabric.completion list
+(** Run a batch of transfers under fair bandwidth sharing; records one span
+    per non-empty transfer with the right category. *)
+
+val transfer_sync : t -> ready:float -> Fabric.direction -> bytes:int -> label:string -> float
+(** One uncontended transfer; records its span; returns the finish time. *)
+
+val overhead : t -> ready:float -> seconds:float -> label:string -> float
+(** Charge fixed runtime bookkeeping time on the host; returns finish. *)
+
+val reset : t -> unit
+(** Clear the trace and all device timelines/memory peaks. *)

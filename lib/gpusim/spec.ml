@@ -1,0 +1,129 @@
+type gpu = {
+  gpu_name : string;
+  sm_count : int;
+  cores : int;
+  clock_ghz : float;
+  dp_gflops : float;
+  mem_bandwidth : float;
+  mem_capacity : int;
+  compute_efficiency : float;
+  bandwidth_efficiency : float;
+  kernel_launch_overhead : float;
+  transaction_bytes : int;
+  l2_hit_ratio : float;
+}
+
+type cpu = {
+  cpu_name : string;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;
+  cpu_clock_ghz : float;
+  cpu_dp_gflops : float;
+  cpu_mem_bandwidth : float;
+  cpu_compute_efficiency : float;
+  parallel_efficiency : float;
+  cacheline_bytes : int;
+}
+
+type link = {
+  h2d_bandwidth : float;
+  d2h_bandwidth : float;
+  p2p_bandwidth : float;
+  link_latency : float;
+  host_aggregate_bandwidth : float;
+}
+
+let gb = 1024.0 *. 1024.0 *. 1024.0
+
+let tesla_c2075 =
+  {
+    gpu_name = "Nvidia Tesla C2075";
+    sm_count = 14;
+    cores = 448;
+    clock_ghz = 1.15;
+    dp_gflops = 515.0;
+    mem_bandwidth = 144.0 *. gb;
+    mem_capacity = 6 * 1024 * 1024 * 1024;
+    compute_efficiency = 0.60;
+    bandwidth_efficiency = 0.75;
+    kernel_launch_overhead = 10e-6;
+    transaction_bytes = 32;
+    l2_hit_ratio = 0.55;
+  }
+
+let tesla_m2050 =
+  {
+    gpu_name = "Nvidia Tesla M2050";
+    sm_count = 14;
+    cores = 448;
+    clock_ghz = 1.15;
+    dp_gflops = 515.0;
+    mem_bandwidth = 148.0 *. gb;
+    mem_capacity = 3 * 1024 * 1024 * 1024;
+    compute_efficiency = 0.55;
+    bandwidth_efficiency = 0.70;
+    kernel_launch_overhead = 12e-6;
+    transaction_bytes = 32;
+    l2_hit_ratio = 0.55;
+  }
+
+let core_i7_970 =
+  {
+    cpu_name = "Intel Core i7 (6 cores, HT)";
+    sockets = 1;
+    cores_per_socket = 6;
+    threads_per_core = 2;
+    cpu_clock_ghz = 3.2;
+    cpu_dp_gflops = 76.8 (* 6 cores x 3.2 GHz x 4 DP FLOP/cycle (SSE) *);
+    cpu_mem_bandwidth = 21.0 *. gb;
+    cpu_compute_efficiency = 0.55;
+    parallel_efficiency = 0.80;
+    cacheline_bytes = 64;
+  }
+
+let dual_xeon_x5670 =
+  {
+    cpu_name = "Intel Xeon X5670 x 2 (12 cores, HT)";
+    sockets = 2;
+    cores_per_socket = 6;
+    threads_per_core = 2;
+    cpu_clock_ghz = 2.93;
+    cpu_dp_gflops = 140.6 (* 12 cores x 2.93 GHz x 4 DP FLOP/cycle *);
+    cpu_mem_bandwidth = 42.0 *. gb;
+    cpu_compute_efficiency = 0.55;
+    parallel_efficiency = 0.75;
+    cacheline_bytes = 64;
+  }
+
+let pcie_gen2_desktop =
+  {
+    h2d_bandwidth = 5.8 *. gb;
+    d2h_bandwidth = 5.4 *. gb;
+    p2p_bandwidth = 5.0 *. gb;
+    link_latency = 15e-6;
+    host_aggregate_bandwidth = 9.0 *. gb (* X58 root complex saturates below 2 x 5.8 *);
+  }
+
+let pcie_gen2_supernode =
+  {
+    h2d_bandwidth = 5.6 *. gb;
+    d2h_bandwidth = 5.2 *. gb;
+    p2p_bandwidth = 4.0 *. gb (* cross-IOH peer traffic on the TSUBAME2.0 thin node *);
+    link_latency = 18e-6;
+    host_aggregate_bandwidth = 12.0 *. gb;
+  }
+
+let cpu_total_cores c = c.sockets * c.cores_per_socket
+let cpu_total_threads c = cpu_total_cores c * c.threads_per_core
+
+let pp_gpu ppf g =
+  Format.fprintf ppf "%s: %d SMs, %d cores @@ %.2fGHz, %.0f DP GFLOP/s, %.0fGB/s, %s"
+    g.gpu_name g.sm_count g.cores g.clock_ghz g.dp_gflops
+    (g.mem_bandwidth /. gb)
+    (Mgacc_util.Bytesize.to_string g.mem_capacity)
+
+let pp_cpu ppf c =
+  Format.fprintf ppf "%s: %d cores (%d threads) @@ %.2fGHz, %.0f DP GFLOP/s, %.0fGB/s"
+    c.cpu_name (cpu_total_cores c) (cpu_total_threads c) c.cpu_clock_ghz c.cpu_dp_gflops
+    (c.cpu_mem_bandwidth /. gb)

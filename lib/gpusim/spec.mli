@@ -1,0 +1,61 @@
+(** Hardware specifications for the simulated platforms.
+
+    The presets mirror the paper's Table I: a desktop with one Core i7 and
+    two Tesla C2075 cards, and a TSUBAME2.0 thin node with two Xeon X5670
+    and three Tesla M2050 cards. Numbers are public datasheet values;
+    [*_efficiency] factors derate peak figures to realistic sustained ones. *)
+
+type gpu = {
+  gpu_name : string;
+  sm_count : int;  (** streaming multiprocessors *)
+  cores : int;  (** CUDA cores total *)
+  clock_ghz : float;
+  dp_gflops : float;  (** peak double-precision GFLOP/s *)
+  mem_bandwidth : float;  (** device memory bandwidth, bytes/s *)
+  mem_capacity : int;  (** device memory size, bytes *)
+  compute_efficiency : float;  (** sustained / peak for arithmetic *)
+  bandwidth_efficiency : float;  (** sustained / peak for memory *)
+  kernel_launch_overhead : float;  (** seconds per kernel launch *)
+  transaction_bytes : int;  (** memory transaction granularity *)
+  l2_hit_ratio : float;
+      (** fraction of data-dependent (gather/scatter) accesses served by the
+          on-chip L2 — GPU-friendly irregular codes (sorted neighbor lists,
+          frontier-local graphs) have substantial locality *)
+}
+
+type cpu = {
+  cpu_name : string;
+  sockets : int;
+  cores_per_socket : int;
+  threads_per_core : int;  (** hyper-threading factor *)
+  cpu_clock_ghz : float;
+  cpu_dp_gflops : float;  (** peak double-precision GFLOP/s, whole node *)
+  cpu_mem_bandwidth : float;  (** sustained memory bandwidth, bytes/s, whole node *)
+  cpu_compute_efficiency : float;
+  parallel_efficiency : float;  (** OpenMP scaling efficiency at full threads *)
+  cacheline_bytes : int;
+}
+
+type link = {
+  h2d_bandwidth : float;  (** host-to-device, bytes/s, per GPU link *)
+  d2h_bandwidth : float;
+  p2p_bandwidth : float;  (** GPU peer-to-peer, bytes/s *)
+  link_latency : float;  (** per-transfer setup latency, seconds *)
+  host_aggregate_bandwidth : float;
+      (** cap on the sum of concurrent host-side transfer rates (root-complex
+          / QPI bottleneck) *)
+}
+
+val tesla_c2075 : gpu
+val tesla_m2050 : gpu
+val core_i7_970 : cpu
+val dual_xeon_x5670 : cpu
+
+val pcie_gen2_desktop : link
+val pcie_gen2_supernode : link
+
+val cpu_total_cores : cpu -> int
+val cpu_total_threads : cpu -> int
+
+val pp_gpu : Format.formatter -> gpu -> unit
+val pp_cpu : Format.formatter -> cpu -> unit

@@ -1,0 +1,47 @@
+type t = { name : string; arity : int; result : Ast.typ; int_args : bool; flops : int }
+
+let d name arity flops = { name; arity; result = Ast.Tdouble; int_args = false; flops }
+let i name arity flops = { name; arity; result = Ast.Tint; int_args = true; flops }
+
+let all =
+  [
+    d "sqrt" 1 4;
+    d "fabs" 1 1;
+    d "exp" 1 8;
+    d "log" 1 8;
+    d "pow" 2 12;
+    d "sin" 1 8;
+    d "cos" 1 8;
+    d "floor" 1 1;
+    d "ceil" 1 1;
+    d "fmin" 2 1;
+    d "fmax" 2 1;
+    i "abs" 1 1;
+    i "min" 2 1;
+    i "max" 2 1;
+  ]
+
+let find name = List.find_opt (fun b -> b.name = name) all
+let is_builtin name = find name <> None
+
+let apply_double name args =
+  match (name, args) with
+  | "sqrt", [ x ] -> sqrt x
+  | "fabs", [ x ] -> Float.abs x
+  | "exp", [ x ] -> exp x
+  | "log", [ x ] -> log x
+  | "pow", [ x; y ] -> Float.pow x y
+  | "sin", [ x ] -> sin x
+  | "cos", [ x ] -> cos x
+  | "floor", [ x ] -> floor x
+  | "ceil", [ x ] -> ceil x
+  | "fmin", [ x; y ] -> Float.min x y
+  | "fmax", [ x; y ] -> Float.max x y
+  | _ -> invalid_arg (Printf.sprintf "Builtins.apply_double: %s/%d" name (List.length args))
+
+let apply_int name args =
+  match (name, args) with
+  | "abs", [ x ] -> abs x
+  | "min", [ x; y ] -> min x y
+  | "max", [ x; y ] -> max x y
+  | _ -> invalid_arg (Printf.sprintf "Builtins.apply_int: %s/%d" name (List.length args))

@@ -1,0 +1,177 @@
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  allow_pragma : bool;
+}
+
+let loc st = Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st = if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = loc st in
+      advance st;
+      advance st;
+      let rec find () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            find ()
+        | None, _ -> Loc.error start "unterminated comment"
+      in
+      find ();
+      skip_ws_and_comments st
+  | _ -> ()
+
+let lex_number st =
+  let start_loc = loc st in
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float = ref false in
+  (match (peek st, peek2 st) with
+  | Some '.', Some c when is_digit c ->
+      is_float := true;
+      advance st;
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | Some '.', _ ->
+      is_float := true;
+      advance st
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      advance st;
+      (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+      if not (match peek st with Some c -> is_digit c | None -> false) then
+        Loc.error start_loc "malformed exponent";
+      while (match peek st with Some c -> is_digit c | None -> false) do
+        advance st
+      done
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Token.Tfloat_lit f
+    | None -> Loc.error start_loc "malformed float literal %S" text
+  else
+    match int_of_string_opt text with
+    | Some n -> Token.Tint_lit n
+    | None -> Loc.error start_loc "malformed int literal %S" text
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if List.mem text Token.keywords then Token.Tkw text else Token.Tident text
+
+(* Multi-character punctuation, longest first. *)
+let puncts3 = [ "<<="; ">>=" ]
+let puncts2 =
+  [ "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/="; "%="; "++"; "--" ]
+let puncts1 =
+  [ "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "~"; "&"; "|"; "^"; "?"; ":"; ";"; ","; "("; ")";
+    "["; "]"; "{"; "}"; "." ]
+
+let lex_punct st =
+  let rest = String.length st.src - st.pos in
+  let try_list n candidates =
+    if rest >= n then begin
+      let s = String.sub st.src st.pos n in
+      if List.mem s candidates then begin
+        for _ = 1 to n do
+          advance st
+        done;
+        Some (Token.Tpunct s)
+      end
+      else None
+    end
+    else None
+  in
+  match try_list 3 puncts3 with
+  | Some t -> t
+  | None -> (
+      match try_list 2 puncts2 with
+      | Some t -> t
+      | None -> (
+          match try_list 1 puncts1 with
+          | Some t -> t
+          | None -> Loc.error (loc st) "unexpected character %C" st.src.[st.pos]))
+
+let lex_pragma_line st =
+  (* At '#'. Consume to end of line; strip the leading "pragma". *)
+  let start_loc = loc st in
+  advance st;
+  let start = st.pos in
+  while peek st <> None && peek st <> Some '\n' do
+    advance st
+  done;
+  let line = String.trim (String.sub st.src start (st.pos - start)) in
+  let prefix = "pragma" in
+  if String.length line >= String.length prefix && String.sub line 0 (String.length prefix) = prefix
+  then Token.Tpragma (String.trim (String.sub line 6 (String.length line - 6)))
+  else Loc.error start_loc "only #pragma preprocessor lines are supported"
+
+let run st =
+  let tokens = ref [] in
+  let rec go () =
+    skip_ws_and_comments st;
+    let l = loc st in
+    match peek st with
+    | None -> tokens := (Token.Teof, l) :: !tokens
+    | Some '#' when st.allow_pragma ->
+        tokens := (lex_pragma_line st, l) :: !tokens;
+        go ()
+    | Some c when is_digit c ->
+        tokens := (lex_number st, l) :: !tokens;
+        go ()
+    | Some c when is_ident_start c ->
+        tokens := (lex_ident st, l) :: !tokens;
+        go ()
+    | Some '.' when (match peek2 st with Some c -> is_digit c | None -> false) ->
+        tokens := (lex_number st, l) :: !tokens;
+        go ()
+    | Some _ ->
+        tokens := (lex_punct st, l) :: !tokens;
+        go ()
+  in
+  go ();
+  List.rev !tokens
+
+let tokenize ~file src = run { src; file; pos = 0; line = 1; bol = 0; allow_pragma = true }
+
+let tokenize_fragment ~file ~line src =
+  run { src; file; pos = 0; line; bol = 0; allow_pragma = false }

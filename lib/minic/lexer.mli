@@ -1,0 +1,13 @@
+(** Hand-written lexer for the mini-C subset.
+
+    [#pragma] lines are captured whole as {!Token.Tpragma} tokens; the
+    pragma parser re-lexes their payload with {!tokenize_fragment}. Both
+    [//] and [/* */] comments are skipped. *)
+
+val tokenize : file:string -> string -> (Token.t * Loc.t) list
+(** Lex a whole translation unit. The result ends with [Teof]. Raises
+    {!Loc.Error} on malformed input (unterminated comment, bad character,
+    malformed number). *)
+
+val tokenize_fragment : file:string -> line:int -> string -> (Token.t * Loc.t) list
+(** Lex a one-line fragment (a pragma payload); [#] is not special here. *)

@@ -1,0 +1,16 @@
+(** Source locations for diagnostics. *)
+
+type t = { file : string; line : int; col : int }
+
+val dummy : t
+val make : file:string -> line:int -> col:int -> t
+val pp : Format.formatter -> t -> unit
+(** "file:line:col". *)
+
+val to_string : t -> string
+
+exception Error of t * string
+(** The frontend's diagnostic exception: location plus message. *)
+
+val error : t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error loc fmt ...] raises {!Error} with a formatted message. *)

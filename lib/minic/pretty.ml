@@ -1,0 +1,148 @@
+open Ast
+
+let unop_str = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Bit_not -> "~"
+  | Cast_int -> "(int)"
+  | Cast_double -> "(double)"
+
+let rec expr_to_string e =
+  (* Fully parenthesized: simple and unambiguous for round-tripping. *)
+  match e.edesc with
+  | Int_lit n -> string_of_int n
+  | Float_lit f ->
+      let s = Printf.sprintf "%.17g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+      else s ^ ".0"
+  | Var v -> v
+  | Index (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+  | Unop (op, x) -> Printf.sprintf "(%s%s)" (unop_str op) (expr_to_string x)
+  | Binop (op, x, y) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string x) (binop_to_string op) (expr_to_string y)
+  | Ternary (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a) (expr_to_string b)
+  | Call (f, args) -> Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | Length a -> Printf.sprintf "__length(%s)" a
+
+let subarray_to_string (s : subarray) =
+  match (s.sub_start, s.sub_len) with
+  | Some a, Some b -> Printf.sprintf "%s[%s:%s]" s.sub_array (expr_to_string a) (expr_to_string b)
+  | _ -> s.sub_array
+
+let la_spec_to_string (s : localaccess_spec) =
+  Printf.sprintf "%s: stride(%s, %s, %s)" s.la_array (expr_to_string s.la_stride)
+    (expr_to_string s.la_left) (expr_to_string s.la_right)
+
+let data_kind_str = function
+  | Copy -> "copy"
+  | Copyin -> "copyin"
+  | Copyout -> "copyout"
+  | Create -> "create"
+  | Present -> "present"
+
+let clause_to_string = function
+  | Cdata (k, subs) ->
+      Printf.sprintf "%s(%s)" (data_kind_str k) (String.concat ", " (List.map subarray_to_string subs))
+  | Creduction (op, vars) ->
+      Printf.sprintf "reduction(%s: %s)" (redop_to_string op) (String.concat ", " vars)
+  | Cgang None -> "gang"
+  | Cgang (Some n) -> Printf.sprintf "gang(%d)" n
+  | Cworker None -> "worker"
+  | Cworker (Some n) -> Printf.sprintf "worker(%d)" n
+  | Cvector None -> "vector"
+  | Cvector (Some n) -> Printf.sprintf "vector(%d)" n
+  | Cindependent -> "independent"
+  | Clocalaccess specs ->
+      Printf.sprintf "localaccess(%s)" (String.concat ", " (List.map la_spec_to_string specs))
+  | Cif cond -> Printf.sprintf "if(%s)" (expr_to_string cond)
+
+let directive_to_string = function
+  | Dparallel_loop cs ->
+      String.concat " " ("acc parallel loop" :: List.map clause_to_string cs)
+  | Ddata cs -> String.concat " " ("acc data" :: List.map clause_to_string cs)
+  | Denter_data cs -> String.concat " " ("acc enter data" :: List.map clause_to_string cs)
+  | Dexit_data cs -> String.concat " " ("acc exit data" :: List.map clause_to_string cs)
+  | Dupdate_host subs ->
+      Printf.sprintf "acc update host(%s)" (String.concat ", " (List.map subarray_to_string subs))
+  | Dupdate_device subs ->
+      Printf.sprintf "acc update device(%s)" (String.concat ", " (List.map subarray_to_string subs))
+  | Dlocalaccess specs ->
+      Printf.sprintf "acc localaccess(%s)" (String.concat ", " (List.map la_spec_to_string specs))
+  | Dreduction_to_array { rta_op; rta_array } ->
+      Printf.sprintf "acc reductiontoarray(%s: %s)" (redop_to_string rta_op) rta_array
+
+let assign_op_str = function
+  | Set -> "="
+  | Add_set -> "+="
+  | Sub_set -> "-="
+  | Mul_set -> "*="
+  | Div_set -> "/="
+
+let lvalue_to_string = function
+  | Lvar v -> v
+  | Lindex (a, i) -> Printf.sprintf "%s[%s]" a (expr_to_string i)
+
+(* A control-flow body parsed from "{ ... }" is a one-element [Sblock]
+   list; print its contents directly so printing reaches a fixpoint. *)
+let flatten_body = function [ { sdesc = Sblock inner; _ } ] -> inner | body -> body
+
+let rec stmt_to_string ?(indent = 0) s =
+  let pad = String.make indent ' ' in
+  let block body = stmts_to_string ~indent:(indent + 2) (flatten_body body) in
+  match s.sdesc with
+  | Sdecl (t, name, None) -> Printf.sprintf "%s%s %s;" pad (typ_to_string t) name
+  | Sdecl (t, name, Some e) ->
+      Printf.sprintf "%s%s %s = %s;" pad (typ_to_string t) name (expr_to_string e)
+  | Sarray_decl (elem, name, len) ->
+      let ty = match elem with Eint -> "int" | Edouble -> "double" in
+      Printf.sprintf "%s%s %s[%s];" pad ty name (expr_to_string len)
+  | Sassign (lv, op, e) ->
+      Printf.sprintf "%s%s %s %s;" pad (lvalue_to_string lv) (assign_op_str op) (expr_to_string e)
+  | Sincr (lv, 1) -> Printf.sprintf "%s%s++;" pad (lvalue_to_string lv)
+  | Sincr (lv, _) -> Printf.sprintf "%s%s--;" pad (lvalue_to_string lv)
+  | Sexpr e -> Printf.sprintf "%s%s;" pad (expr_to_string e)
+  | Sif (c, then_, []) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr_to_string c) (block then_) pad
+  | Sif (c, then_, else_) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr_to_string c) (block then_)
+        pad (block else_) pad
+  | Swhile (c, body) ->
+      Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (expr_to_string c) (block body) pad
+  | Sfor (hdr, body) ->
+      let part = function
+        | None -> ""
+        | Some s ->
+            let str = stmt_to_string ~indent:0 s in
+            (* Strip the trailing ';' of the rendered sub-statement. *)
+            if String.length str > 0 && str.[String.length str - 1] = ';' then
+              String.sub str 0 (String.length str - 1)
+            else str
+      in
+      Printf.sprintf "%sfor (%s; %s; %s) {\n%s\n%s}" pad (part hdr.for_init)
+        (match hdr.for_cond with None -> "" | Some e -> expr_to_string e)
+        (part hdr.for_update) (block body) pad
+  | Sreturn None -> pad ^ "return;"
+  | Sreturn (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr_to_string e)
+  | Sbreak -> pad ^ "break;"
+  | Scontinue -> pad ^ "continue;"
+  | Sblock body -> Printf.sprintf "%s{\n%s\n%s}" pad (block body) pad
+  | Spragma (d, inner) ->
+      Printf.sprintf "%s#pragma %s\n%s" pad (directive_to_string d) (stmt_to_string ~indent inner)
+
+and stmts_to_string ~indent body =
+  String.concat "\n" (List.map (stmt_to_string ~indent) body)
+
+let func_to_string (f : func) =
+  let param (p : param) =
+    match p.param_ty with
+    | Tarray Eint -> Printf.sprintf "int %s[]" p.param_name
+    | Tarray Edouble -> Printf.sprintf "double %s[]" p.param_name
+    | t -> Printf.sprintf "%s %s" (typ_to_string t) p.param_name
+  in
+  Printf.sprintf "%s %s(%s) {\n%s\n}" (typ_to_string f.fret) f.fname
+    (String.concat ", " (List.map param f.fparams))
+    (stmts_to_string ~indent:2 f.fbody)
+
+let program_to_string (p : program) =
+  String.concat "\n\n" (List.map func_to_string p.funcs) ^ "\n"

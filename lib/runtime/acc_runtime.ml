@@ -1,0 +1,359 @@
+open Mgacc_minic
+module Machine = Mgacc_gpusim.Machine
+module Fabric = Mgacc_gpusim.Fabric
+module Host_interp = Mgacc_exec.Host_interp
+module View = Mgacc_exec.View
+module Kernel_plan = Mgacc_translator.Kernel_plan
+module Program_plan = Mgacc_translator.Program_plan
+module Loop_info = Mgacc_analysis.Loop_info
+
+let log_src = Logs.Src.create "mgacc.runtime" ~doc:"multi-GPU OpenACC runtime"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  cfg : Rt_config.t;
+  plans : Program_plan.t;
+  profiler : Profiler.t;
+  darrays : (string, Darray.t) Hashtbl.t;
+  compiled : (Loc.t, Launch.compiled) Hashtbl.t;
+  mutable clock : float;
+}
+
+let create cfg plans =
+  {
+    cfg;
+    plans;
+    profiler = Profiler.create ();
+    darrays = Hashtbl.create 16;
+    compiled = Hashtbl.create 16;
+    clock = 0.0;
+  }
+
+let profiler t = t.profiler
+let now t = t.clock
+
+(* ---------------- transfer charging ---------------- *)
+
+type batch_kind = Cpu_gpu | Gpu_gpu
+
+let charge_xfers t ~label ~kind ~ready (xfers : Darray.xfer list) =
+  if xfers = [] then ready
+  else begin
+    let reqs =
+      List.map
+        (fun (x : Darray.xfer) ->
+          { Fabric.direction = x.Darray.dir; bytes = x.Darray.bytes; ready; tag = x.Darray.tag })
+        xfers
+    in
+    let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label reqs in
+    let finish =
+      List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) ready
+        completions
+    in
+    let bytes = List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 xfers in
+    (match kind with
+    | Cpu_gpu -> Profiler.add_cpu_gpu t.profiler ~seconds:(finish -. ready) ~bytes
+    | Gpu_gpu -> Profiler.add_gpu_gpu t.profiler ~seconds:(finish -. ready) ~bytes);
+    finish
+  end
+
+(* ---------------- present table ---------------- *)
+
+let get_darray t env name =
+  let host = Host_interp.find_array env name in
+  match Hashtbl.find_opt t.darrays name with
+  | Some da when da.Darray.host == host -> da
+  | Some da ->
+      (* The host array was re-declared (new scope/iteration): the old
+         device copy belongs to a dead array. Drop it and start fresh. *)
+      let xfers = Darray.release t.cfg da in
+      t.clock <- charge_xfers t ~label:(name ^ ":stale-release") ~kind:Cpu_gpu ~ready:t.clock xfers;
+      let da = Darray.create t.cfg ~name ~host in
+      Hashtbl.replace t.darrays name da;
+      da
+  | None ->
+      let da = Darray.create t.cfg ~name ~host in
+      Hashtbl.replace t.darrays name da;
+      da
+
+(* ---------------- data regions ---------------- *)
+
+let subarrays_of_clauses clauses =
+  List.concat_map
+    (function
+      | Ast.Cdata (kind, subs) -> List.map (fun s -> (kind, s)) subs
+      | Ast.Creduction _ | Ast.Cgang _ | Ast.Cworker _ | Ast.Cvector _ | Ast.Cindependent
+      | Ast.Clocalaccess _ | Ast.Cif _ ->
+          [])
+    clauses
+
+let on_data_enter t env clauses =
+  List.iter
+    (fun ((kind : Ast.data_kind), (sub : Ast.subarray)) ->
+      let da = get_darray t env sub.Ast.sub_array in
+      da.Darray.region_depth <- da.Darray.region_depth + 1;
+      match kind with
+      | Ast.Copy | Ast.Copyout -> da.Darray.needs_copyout <- true
+      | Ast.Copyin | Ast.Create -> ()
+      | Ast.Present ->
+          if da.Darray.state = Darray.Unallocated && da.Darray.region_depth <= 1 then
+            Loc.error Loc.dummy "present(%s): array is not on the device" sub.Ast.sub_array)
+    (subarrays_of_clauses clauses)
+
+let on_data_exit t env clauses =
+  List.iter
+    (fun ((kind : Ast.data_kind), (sub : Ast.subarray)) ->
+      let da = get_darray t env sub.Ast.sub_array in
+      (* "exit data copyout(a)" requests the copy at the exit point even if
+         the matching enter only did copyin. *)
+      (match kind with
+      | Ast.Copy | Ast.Copyout -> da.Darray.needs_copyout <- true
+      | Ast.Copyin | Ast.Create | Ast.Present -> ());
+      da.Darray.region_depth <- da.Darray.region_depth - 1;
+      if da.Darray.region_depth <= 0 then begin
+        let xfers = Darray.release t.cfg da in
+        t.clock <-
+          charge_xfers t ~label:(sub.Ast.sub_array ^ ":copyout") ~kind:Cpu_gpu ~ready:t.clock xfers;
+        Hashtbl.remove t.darrays sub.Ast.sub_array
+      end)
+    (subarrays_of_clauses clauses)
+
+let on_update_host t env subs =
+  List.iter
+    (fun (sub : Ast.subarray) ->
+      let da = get_darray t env sub.Ast.sub_array in
+      let xfers = Darray.flush_to_host t.cfg da in
+      t.clock <-
+        charge_xfers t ~label:(sub.Ast.sub_array ^ ":update-host") ~kind:Cpu_gpu ~ready:t.clock
+          xfers)
+    subs
+
+let on_update_device t env subs =
+  List.iter
+    (fun (sub : Ast.subarray) ->
+      let da = get_darray t env sub.Ast.sub_array in
+      let xfers = Darray.load_from_host t.cfg da in
+      t.clock <-
+        charge_xfers t ~label:(sub.Ast.sub_array ^ ":update-device") ~kind:Cpu_gpu ~ready:t.clock
+          xfers)
+    subs
+
+(* ---------------- parallel loops ---------------- *)
+
+let param_types_of env plan =
+  List.map
+    (fun name ->
+      match Host_interp.find_array_opt env name with
+      | Some view -> (name, Ast.Tarray view.View.elem)
+      | None -> (
+          match Host_interp.get_scalar env name with
+          | Host_interp.Vint _ -> (name, Ast.Tint)
+          | Host_interp.Vfloat _ -> (name, Ast.Tdouble)))
+    plan.Kernel_plan.free_vars
+
+let compiled_for t env plan =
+  let loc = plan.Kernel_plan.loop.Loop_info.loop_loc in
+  match Hashtbl.find_opt t.compiled loc with
+  | Some c -> c
+  | None ->
+      let c = Launch.compile_kernel plan ~param_types:(param_types_of env plan) in
+      Hashtbl.replace t.compiled loc c;
+      c
+
+(* An [if(cond)] clause that evaluates to zero sends the loop to the host:
+   device-fresh data used by the loop flushes out first and the host's
+   results push back afterwards, both charged as CPU-GPU traffic — the
+   textbook cost of bouncing between memories. *)
+let run_on_host t env (loop : Loop_info.t) plan =
+  Log.debug (fun m -> m "loop %d: if-clause false, executing on the host" loop.Loop_info.loop_id);
+  let arrays =
+    List.filter
+      (fun name -> Host_interp.find_array_opt env name <> None)
+      plan.Kernel_plan.free_vars
+  in
+  List.iter
+    (fun name ->
+      let da = get_darray t env name in
+      let xfers = Darray.flush_to_host t.cfg da in
+      t.clock <- charge_xfers t ~label:(name ^ ":if-flush") ~kind:Cpu_gpu ~ready:t.clock xfers)
+    arrays;
+  Host_interp.run_loop_sequentially env loop;
+  List.iter
+    (fun name ->
+      let da = get_darray t env name in
+      let xfers = Darray.load_from_host t.cfg da in
+      t.clock <- charge_xfers t ~label:(name ^ ":if-reload") ~kind:Cpu_gpu ~ready:t.clock xfers)
+    arrays
+
+let offload_condition env clauses =
+  List.for_all
+    (function Ast.Cif cond -> Host_interp.eval_float env cond <> 0.0 | _ -> true)
+    clauses
+
+let rec on_parallel_loop t env loop =
+  Profiler.incr_loops t.profiler;
+  let plan = Program_plan.plan_for t.plans loop in
+  if not (offload_condition env loop.Loop_info.clauses) then run_on_host t env loop plan
+  else on_parallel_loop_gpu t env loop plan
+
+and on_parallel_loop_gpu t env loop plan =
+  let lo = Host_interp.eval_int env loop.Loop_info.lower in
+  let hi = Host_interp.eval_int env loop.Loop_info.upper in
+  let num_gpus = t.cfg.Rt_config.num_gpus in
+  Log.debug (fun m ->
+      m "loop %d at %s: %d iterations on %d GPU(s)" loop.Loop_info.loop_id
+        (Loc.to_string loop.Loop_info.loop_loc) (max 0 (hi - lo)) num_gpus);
+  let ranges = Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:num_gpus in
+  let t0 = t.clock in
+  (* Phase 1: the data loader makes device copies valid (CPU-GPU). *)
+  let arrays =
+    List.filter
+      (fun name -> Host_interp.find_array_opt env name <> None)
+      plan.Kernel_plan.free_vars
+  in
+  let load_xfers, reductions =
+    Data_loader.prepare t.cfg plan ~ranges ~eval_int:(Host_interp.eval_int env)
+      ~get_darray:(get_darray t env) ~arrays
+  in
+  Log.debug (fun m ->
+      m "loop %d: loader moved %d bytes in %d transfer(s)" loop.Loop_info.loop_id
+        (List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 load_xfers)
+        (List.length load_xfers));
+  let t1 = charge_xfers t ~label:"load" ~kind:Cpu_gpu ~ready:t0 load_xfers in
+  (* Phase 2: kernels on all GPUs concurrently (KERNELS). *)
+  let compiled = compiled_for t env plan in
+  let runs, scalar_partials =
+    Launch.run_on_gpus t.cfg plan compiled ~ranges
+      ~get_scalar:(Host_interp.get_scalar env)
+      ~get_darray:(get_darray t env)
+      ~get_reduction:(fun name -> List.assoc_opt name reductions)
+  in
+  let thread_multiplier = Kernel_plan.thread_multiplier plan in
+  let t2 =
+    List.fold_left
+      (fun acc (run : Launch.gpu_run) ->
+        Profiler.incr_kernel_launches t.profiler;
+        let _, finish =
+          Machine.launch_kernel t.cfg.Rt_config.machine ~dev:run.Launch.gpu ~ready:t1
+            ~threads:(run.Launch.iterations * thread_multiplier)
+            ~label:(Printf.sprintf "loop%d" loop.Loop_info.loop_id)
+            run.Launch.cost
+        in
+        Float.max acc finish)
+      t1 runs
+  in
+  Profiler.add_kernel t.profiler ~seconds:(t2 -. t1);
+  (* Phase 3: inter-GPU reconciliation (GPU-GPU). *)
+  let wrote _ = hi > lo in
+  let rec_result =
+    Comm_manager.reconcile t.cfg plan ~get_darray:(get_darray t env) ~reductions ~wrote
+  in
+  let t2' =
+    Machine.overhead t.cfg.Rt_config.machine ~ready:t2 ~seconds:rec_result.Comm_manager.scan_seconds
+      ~label:"dirty-scan"
+  in
+  Profiler.add_overhead t.profiler ~seconds:(t2' -. t2);
+  Log.debug (fun m ->
+      m "loop %d: reconciliation ships %d bytes in %d transfer(s)" loop.Loop_info.loop_id
+        (List.fold_left
+           (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes)
+           0 rec_result.Comm_manager.xfers)
+        (List.length rec_result.Comm_manager.xfers));
+  let t3 = charge_xfers t ~label:"comm" ~kind:Gpu_gpu ~ready:t2' rec_result.Comm_manager.xfers in
+  let t4 =
+    List.fold_left
+      (fun acc (gpu, cost, label) ->
+        let _, finish =
+          Machine.launch_kernel t.cfg.Rt_config.machine ~dev:gpu ~ready:t3 ~threads:1024 ~label cost
+        in
+        Float.max acc finish)
+      t3 rec_result.Comm_manager.gpu_kernel_costs
+  in
+  Profiler.add_gpu_gpu t.profiler ~seconds:(t4 -. t3) ~bytes:0;
+  (* Phase 4: fold scalar-reduction partials into the host scalars. *)
+  let t5 =
+    if scalar_partials = [] then t4
+    else begin
+      let reqs =
+        List.concat_map
+          (fun (run : Launch.gpu_run) ->
+            List.map
+              (fun (name, _, _) ->
+                {
+                  Fabric.direction = Fabric.D2h run.Launch.gpu;
+                  bytes = 8;
+                  ready = t4;
+                  tag = name ^ ":scalar-red";
+                })
+              scalar_partials)
+          runs
+      in
+      let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label:"scalar-red" reqs in
+      let finish =
+        List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) t4
+          completions
+      in
+      Profiler.add_cpu_gpu t.profiler ~seconds:(finish -. t4) ~bytes:(8 * List.length reqs);
+      List.iter
+        (fun (name, op, partials) ->
+          let current = Host_interp.get_scalar env name in
+          let result =
+            List.fold_left
+              (fun acc v ->
+                match (acc, v) with
+                | Host_interp.Vfloat a, Host_interp.Vfloat b ->
+                    Host_interp.Vfloat (View.apply_redop_f op a b)
+                | Host_interp.Vint a, Host_interp.Vint b ->
+                    Host_interp.Vint (View.apply_redop_i op a b)
+                | Host_interp.Vfloat a, Host_interp.Vint b ->
+                    Host_interp.Vfloat (View.apply_redop_f op a (float_of_int b))
+                | Host_interp.Vint a, Host_interp.Vfloat b ->
+                    Host_interp.Vfloat (View.apply_redop_f op (float_of_int a) b))
+              current partials
+          in
+          Host_interp.set_scalar env name result)
+        scalar_partials;
+      finish
+    end
+  in
+  t.clock <- t5;
+  Profiler.record_memory_peaks t.profiler t.cfg.Rt_config.machine ~num_gpus
+
+(* ---------------- wiring ---------------- *)
+
+let hooks t =
+  {
+    Host_interp.on_parallel_loop = (fun env loop -> on_parallel_loop t env loop);
+    on_data_enter = (fun env clauses -> on_data_enter t env clauses);
+    on_data_exit = (fun env clauses -> on_data_exit t env clauses);
+    on_update_host = (fun env subs -> on_update_host t env subs);
+    on_update_device = (fun env subs -> on_update_device t env subs);
+  }
+
+let finish t =
+  Hashtbl.iter
+    (fun name da ->
+      (* Arrays that never sat in a data region flush their results back so
+         host code can read them after the program. *)
+      da.Darray.needs_copyout <- da.Darray.needs_copyout || da.Darray.device_fresh;
+      let xfers = Darray.release t.cfg da in
+      t.clock <- charge_xfers t ~label:(name ^ ":final") ~kind:Cpu_gpu ~ready:t.clock xfers)
+    t.darrays;
+  Hashtbl.reset t.darrays;
+  Profiler.record_memory_peaks t.profiler t.cfg.Rt_config.machine ~num_gpus:t.cfg.Rt_config.num_gpus
+
+let run ?config ?variant ~machine program =
+  let cfg = match config with Some c -> c | None -> Rt_config.make machine in
+  let plans = Program_plan.build ~options:cfg.Rt_config.translator program in
+  let t = create cfg plans in
+  let env = Host_interp.run_program ~hooks:(hooks t) program in
+  finish t;
+  let variant =
+    match variant with
+    | Some v -> v
+    | None -> Printf.sprintf "proposal(%d)" cfg.Rt_config.num_gpus
+  in
+  ( env,
+    Report.of_profiler t.profiler ~machine:machine.Machine.name ~variant
+      ~num_gpus:cfg.Rt_config.num_gpus )

@@ -1,0 +1,36 @@
+(** The multi-GPU OpenACC runtime: the system of paper §IV-A.
+
+    Wires the data loader, the kernel launcher and the inter-GPU
+    communication manager into the host interpreter's hooks. Each parallel
+    loop executes as one BSP step — load, compute, reconcile — with every
+    movement charged to the simulated machine and accumulated in the
+    profiler under the Fig. 8 categories.
+
+    Arrays not covered by any [data] region stay resident on the devices
+    until {!finish}, which flushes written data back to the host (real
+    OpenACC would copy such arrays around every parallel region; keeping
+    them resident matches how the paper's tuned benchmarks behave, and the
+    benchmarks here always use explicit [data] regions anyway). *)
+
+val run :
+  ?config:Rt_config.t ->
+  ?variant:string ->
+  machine:Mgacc_gpusim.Machine.t ->
+  Mgacc_minic.Ast.program ->
+  Mgacc_exec.Host_interp.env * Report.t
+(** Compile (plan) and execute a program on the simulated machine with the
+    OpenACC multi-GPU runtime; returns the final host environment (for
+    result inspection) and the run report. [config] defaults to all GPUs
+    with the paper's settings; [variant] labels the report. *)
+
+type t
+(** An open runtime instance, for callers that need to drive the host
+    interpreter themselves. *)
+
+val create : Rt_config.t -> Mgacc_translator.Program_plan.t -> t
+val hooks : t -> Mgacc_exec.Host_interp.hooks
+val finish : t -> unit
+(** Flush and free every remaining device array; charge the transfers. *)
+
+val profiler : t -> Profiler.t
+val now : t -> float

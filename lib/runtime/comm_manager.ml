@@ -1,0 +1,271 @@
+module Kernel_plan = Mgacc_translator.Kernel_plan
+module Array_config = Mgacc_analysis.Array_config
+module Memory = Mgacc_gpusim.Memory
+module Fabric = Mgacc_gpusim.Fabric
+module Cost = Mgacc_gpusim.Cost
+module Interval = Mgacc_util.Interval
+open Mgacc_minic
+
+type result = {
+  xfers : Darray.xfer list;
+  gpu_kernel_costs : (int * Cost.t * string) list;
+  scan_seconds : float;
+}
+
+(* Host-side cost of inspecting one array's second-level bits. *)
+let scan_base_seconds = 2e-6
+let scan_per_chunk_seconds = 20e-9
+
+(* Element-wise merge of GPU [src]'s dirty runs into every other replica.
+   The exchanged chunks stage through system buffers on both ends (paper
+   §IV-D: the receiver needs the chunk payload plus its bits to merge), so
+   the staging shows up in the Fig. 9 "System" accounting. *)
+let merge_replicated cfg (da : Darray.t) =
+  let r = Darray.replica_of da in
+  let num_gpus = cfg.Rt_config.num_gpus in
+  let mem g = (Mgacc_gpusim.Machine.device cfg.Rt_config.machine g).Mgacc_gpusim.Device.memory in
+  let xfers = ref [] in
+  let scan = ref 0.0 in
+  let staging = ref [] in
+  (* One send buffer per writing GPU and one receive buffer per GPU (sized
+     for the largest incoming batch): the chunks stream through these. *)
+  let send_bytes = Array.make num_gpus 0 in
+  for src = 0 to num_gpus - 1 do
+    match r.Darray.dirty.(src) with
+    | None -> ()
+    | Some d -> if Dirty.any_dirty d then send_bytes.(src) <- Dirty.transfer_bytes d
+  done;
+  for g = 0 to num_gpus - 1 do
+    if send_bytes.(g) > 0 then staging := (g, Memory.alloc_raw (mem g) `System send_bytes.(g)) :: !staging;
+    let incoming =
+      Array.fold_left max 0 (Array.mapi (fun src b -> if src = g then 0 else b) send_bytes)
+    in
+    if incoming > 0 then staging := (g, Memory.alloc_raw (mem g) `System incoming) :: !staging
+  done;
+  for src = 0 to num_gpus - 1 do
+    match r.Darray.dirty.(src) with
+    | None -> ()
+    | Some d ->
+        scan := !scan +. scan_base_seconds +. (float_of_int (Dirty.total_chunks d) *. scan_per_chunk_seconds);
+        if Dirty.any_dirty d then begin
+          let bytes = Dirty.transfer_bytes d in
+          let runs = Dirty.dirty_runs d in
+          for dst = 0 to num_gpus - 1 do
+            if dst <> src then begin
+              xfers :=
+                { Darray.dir = Fabric.P2p (src, dst); bytes; tag = da.Darray.name ^ ":dirty" }
+                :: !xfers;
+              (* Functional merge of exactly the dirty elements. *)
+              (match da.Darray.elem with
+              | Ast.Edouble ->
+                  let s = Memory.float_data r.Darray.bufs.(src) in
+                  let t = Memory.float_data r.Darray.bufs.(dst) in
+                  List.iter
+                    (fun (iv : Interval.t) ->
+                      Array.blit s iv.Interval.lo t iv.Interval.lo (Interval.length iv))
+                    (Interval.Set.to_list runs)
+              | Ast.Eint ->
+                  let s = Memory.int_data r.Darray.bufs.(src) in
+                  let t = Memory.int_data r.Darray.bufs.(dst) in
+                  List.iter
+                    (fun (iv : Interval.t) ->
+                      Array.blit s iv.Interval.lo t iv.Interval.lo (Interval.length iv))
+                    (Interval.Set.to_list runs))
+            end
+          done
+        end
+  done;
+  (* All replicas agree again; staging buffers are released (their peak
+     remains in the memory accounting). *)
+  List.iter (fun (g, buf) -> Memory.free (mem g) buf) !staging;
+  Array.iter (function Some d -> Dirty.clear d | None -> ()) r.Darray.dirty;
+  (!xfers, !scan)
+
+(* Ship miss records to their owners and replay them there. *)
+let drain_misses cfg (da : Darray.t) =
+  match da.Darray.state with
+  | Darray.Distributed dist ->
+      let num_gpus = cfg.Rt_config.num_gpus in
+      let xfers = ref [] in
+      let replay_counts = Array.make num_gpus 0 in
+      for src = 0 to num_gpus - 1 do
+        let part = dist.Darray.parts.(src) in
+        if not (Miss_buffer.is_empty part.Darray.miss) then begin
+          (* Group records by owner, preserving order. *)
+          let per_owner = Array.make num_gpus [] in
+          List.iter
+            (fun (idx, v) ->
+              let owner = Darray.owner_of dist idx in
+              per_owner.(owner) <- (idx, v) :: per_owner.(owner))
+            (Miss_buffer.entries part.Darray.miss);
+          let record_bytes = 4 + Darray.elem_bytes da in
+          Array.iteri
+            (fun owner entries_rev ->
+              let entries = List.rev entries_rev in
+              if entries <> [] && owner <> src then begin
+                let payload = List.length entries * record_bytes in
+                xfers :=
+                  { Darray.dir = Fabric.P2p (src, owner); bytes = payload; tag = da.Darray.name ^ ":miss" }
+                  :: !xfers;
+                (* The records stage in a system buffer on the owner until
+                   the replay kernel consumes them. *)
+                let mem =
+                  (Mgacc_gpusim.Machine.device cfg.Rt_config.machine owner)
+                    .Mgacc_gpusim.Device.memory
+                in
+                Memory.free mem (Memory.alloc_raw mem `System payload);
+                replay_counts.(owner) <- replay_counts.(owner) + List.length entries;
+                (* Functional replay into the owner's partition. *)
+                let opart = dist.Darray.parts.(owner) in
+                let lo = opart.Darray.window.Interval.lo in
+                (match da.Darray.elem with
+                | Ast.Edouble ->
+                    let d = Memory.float_data opart.Darray.buf in
+                    List.iter
+                      (fun (idx, v) ->
+                        match v with
+                        | Miss_buffer.Vf f -> d.(idx - lo) <- f
+                        | Miss_buffer.Vi _ -> assert false)
+                      entries
+                | Ast.Eint ->
+                    let d = Memory.int_data opart.Darray.buf in
+                    List.iter
+                      (fun (idx, v) ->
+                        match v with
+                        | Miss_buffer.Vi n -> d.(idx - lo) <- n
+                        | Miss_buffer.Vf _ -> assert false)
+                      entries)
+              end
+              else if entries <> [] && owner = src then begin
+                (* A "miss" that is actually owned locally (conservative
+                   check): apply in place, no traffic. *)
+                let opart = dist.Darray.parts.(owner) in
+                let lo = opart.Darray.window.Interval.lo in
+                match da.Darray.elem with
+                | Ast.Edouble ->
+                    let d = Memory.float_data opart.Darray.buf in
+                    List.iter
+                      (fun (idx, v) ->
+                        match v with
+                        | Miss_buffer.Vf f -> d.(idx - lo) <- f
+                        | Miss_buffer.Vi _ -> assert false)
+                      entries
+                | Ast.Eint ->
+                    let d = Memory.int_data opart.Darray.buf in
+                    List.iter
+                      (fun (idx, v) ->
+                        match v with
+                        | Miss_buffer.Vi n -> d.(idx - lo) <- n
+                        | Miss_buffer.Vf _ -> assert false)
+                      entries
+              end)
+            per_owner;
+          Miss_buffer.drain part.Darray.miss
+        end
+      done;
+      let replays =
+        Array.to_list replay_counts
+        |> List.mapi (fun gpu n ->
+               if n = 0 then None
+               else begin
+                 let cost = Cost.zero () in
+                 cost.Cost.random_accesses <- n;
+                 cost.Cost.random_bytes <- n * Darray.elem_bytes da;
+                 cost.Cost.int_ops <- 2 * n;
+                 Some (gpu, cost, da.Darray.name ^ ":replay")
+               end)
+        |> List.filter_map Fun.id
+      in
+      (!xfers, replays)
+  | Darray.Unallocated | Darray.Replicated _ -> ([], [])
+
+(* Refresh halo copies from their owners after the partitions changed. *)
+let halo_exchange cfg (da : Darray.t) =
+  match da.Darray.state with
+  | Darray.Distributed dist ->
+      let num_gpus = cfg.Rt_config.num_gpus in
+      let xfers = ref [] in
+      for dst = 0 to num_gpus - 1 do
+        let part = dist.Darray.parts.(dst) in
+        let halo =
+          Interval.Set.diff
+            (Interval.Set.of_interval part.Darray.window)
+            (Interval.Set.of_interval part.Darray.own)
+        in
+        List.iter
+          (fun (iv : Interval.t) ->
+            (* A halo interval may span several owners. *)
+            let cursor = ref iv.Interval.lo in
+            while !cursor < iv.Interval.hi do
+              let owner = Darray.owner_of dist !cursor in
+              let oown = dist.Darray.parts.(owner).Darray.own in
+              let seg_hi = min iv.Interval.hi oown.Interval.hi in
+              let seg = Interval.make !cursor seg_hi in
+              if owner <> dst && not (Interval.is_empty seg) then begin
+                xfers :=
+                  {
+                    Darray.dir = Fabric.P2p (owner, dst);
+                    bytes = Interval.length seg * Darray.elem_bytes da;
+                    tag = da.Darray.name ^ ":halo";
+                  }
+                  :: !xfers;
+                (* Functional copy owner -> dst. *)
+                let src_part = dist.Darray.parts.(owner) in
+                let slo = src_part.Darray.window.Interval.lo in
+                let dlo = part.Darray.window.Interval.lo in
+                match da.Darray.elem with
+                | Ast.Edouble ->
+                    let s = Memory.float_data src_part.Darray.buf in
+                    let d = Memory.float_data part.Darray.buf in
+                    for i = seg.Interval.lo to seg.Interval.hi - 1 do
+                      d.(i - dlo) <- s.(i - slo)
+                    done
+                | Ast.Eint ->
+                    let s = Memory.int_data src_part.Darray.buf in
+                    let d = Memory.int_data part.Darray.buf in
+                    for i = seg.Interval.lo to seg.Interval.hi - 1 do
+                      d.(i - dlo) <- s.(i - slo)
+                    done
+              end;
+              cursor := max seg_hi (!cursor + 1)
+            done)
+          (Interval.Set.to_list halo)
+      done;
+      Darray.mark_halo_synced da;
+      !xfers
+  | Darray.Unallocated | Darray.Replicated _ -> []
+
+let reconcile cfg plan ~get_darray ~reductions ~wrote =
+  let xfers = ref [] in
+  let kernels = ref [] in
+  let scan = ref 0.0 in
+  List.iter
+    (fun (c : Array_config.t) ->
+      let name = c.Array_config.array in
+      if c.Array_config.written && wrote name then begin
+        let da = get_darray name in
+        Darray.mark_device_written da;
+        match Kernel_plan.placement_of plan name with
+        | Array_config.Replicated ->
+            if cfg.Rt_config.num_gpus > 1 then begin
+              let x, s = merge_replicated cfg da in
+              xfers := !xfers @ x;
+              scan := !scan +. s
+            end
+        | Array_config.Distributed ->
+            let x_miss, replays = drain_misses cfg da in
+            let x_halo = if da.Darray.written_since_halo_sync then halo_exchange cfg da else [] in
+            xfers := !xfers @ x_miss @ x_halo;
+            kernels := !kernels @ replays
+      end)
+    plan.Kernel_plan.configs;
+  (* Array reductions. *)
+  List.iter
+    (fun (name, red) ->
+      let da = get_darray name in
+      let m = Reduction.merge cfg red da in
+      xfers := !xfers @ m.Reduction.xfers;
+      if not (Cost.is_zero m.Reduction.combine_cost) then
+        kernels := !kernels @ [ (0, m.Reduction.combine_cost, name ^ ":combine") ])
+    reductions;
+  { xfers = !xfers; gpu_kernel_costs = !kernels; scan_seconds = !scan }

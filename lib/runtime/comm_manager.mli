@@ -1,0 +1,34 @@
+(** The inter-GPU communication manager (paper §IV-D).
+
+    Called right after the kernels of a parallel loop complete. Three jobs:
+
+    - {b Replicated arrays}: scan the second-level dirty bits, ship each
+      dirty chunk (payload + its slice of first-level bits) from the
+      writing GPU to every other replica, merge element-wise, clear the
+      bits. Under single-level dirty bits the whole array ships instead.
+    - {b Distributed arrays}: drain the write-miss buffers — ship the
+      (index, value) records to the owning GPUs and replay them there with
+      a small kernel — then refresh stale halo copies from their owners.
+    - {b Reduction arrays}: fold the per-GPU partials (gather to GPU 0,
+      combine, broadcast), via {!Reduction.merge}.
+
+    All movement is returned as transfer descriptors plus per-GPU kernel
+    costs (replay and combine kernels) and a host-side scan overhead; the
+    caller charges them to the fabric and devices. *)
+
+type result = {
+  xfers : Darray.xfer list;
+  gpu_kernel_costs : (int * Mgacc_gpusim.Cost.t * string) list;
+      (** (gpu, cost, label) for replay/merge kernels *)
+  scan_seconds : float;  (** dirty-bit scanning bookkeeping on the host *)
+}
+
+val reconcile :
+  Rt_config.t ->
+  Mgacc_translator.Kernel_plan.t ->
+  get_darray:(string -> Darray.t) ->
+  reductions:(string * Reduction.t) list ->
+  wrote:(string -> bool) ->
+  result
+(** [wrote name] says whether any GPU actually executed writes to the array
+    in this launch (empty iteration ranges write nothing). *)

@@ -1,0 +1,299 @@
+open Mgacc_minic
+module Interval = Mgacc_util.Interval
+module Memory = Mgacc_gpusim.Memory
+module Fabric = Mgacc_gpusim.Fabric
+module Machine = Mgacc_gpusim.Machine
+module Device = Mgacc_gpusim.Device
+module View = Mgacc_exec.View
+
+let log_src = Logs.Src.create "mgacc.darray" ~doc:"device-array placement"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type xfer = { dir : Fabric.direction; bytes : int; tag : string }
+
+type part = {
+  window : Interval.t;
+  own : Interval.t;
+  buf : Memory.buf;
+  miss : Miss_buffer.t;
+}
+
+type dist_spec = { stride : int; left : int; right : int }
+
+type dist = { parts : part array; spec : dist_spec; ranges : Task_map.range array }
+
+type replica = { bufs : Memory.buf array; mutable dirty : Dirty.t option array }
+
+type state = Unallocated | Replicated of replica | Distributed of dist
+
+type t = {
+  name : string;
+  elem : Ast.elem_ty;
+  length : int;
+  host : View.t;
+  mutable state : state;
+  mutable device_fresh : bool;
+  mutable region_depth : int;
+  mutable needs_copyout : bool;
+  mutable written_since_halo_sync : bool;
+}
+
+let create (_cfg : Rt_config.t) ~name ~(host : View.t) =
+  {
+    name;
+    elem = host.View.elem;
+    length = host.View.length;
+    host;
+    state = Unallocated;
+    device_fresh = false;
+    region_depth = 0;
+    needs_copyout = false;
+    written_since_halo_sync = false;
+  }
+
+let elem_bytes t = Ast.elem_ty_size t.elem
+
+let state_name t =
+  match t.state with
+  | Unallocated -> "unallocated"
+  | Replicated _ -> "replicated"
+  | Distributed _ -> "distributed"
+
+let mem_of cfg g = (Machine.device cfg.Rt_config.machine g).Device.memory
+
+(* ---------------- functional copies host <-> device ---------------- *)
+
+let copy_host_to_buf t buf ~win_lo (iv : Interval.t) =
+  if not (Interval.is_empty iv) then
+    match t.elem with
+    | Ast.Edouble ->
+        let d = Memory.float_data buf in
+        for i = iv.Interval.lo to iv.Interval.hi - 1 do
+          d.(i - win_lo) <- t.host.View.get_f i
+        done
+    | Ast.Eint ->
+        let d = Memory.int_data buf in
+        for i = iv.Interval.lo to iv.Interval.hi - 1 do
+          d.(i - win_lo) <- t.host.View.get_i i
+        done
+
+let copy_buf_to_host t buf ~win_lo (iv : Interval.t) =
+  if not (Interval.is_empty iv) then
+    match t.elem with
+    | Ast.Edouble ->
+        let d = Memory.float_data buf in
+        for i = iv.Interval.lo to iv.Interval.hi - 1 do
+          t.host.View.set_f i d.(i - win_lo)
+        done
+    | Ast.Eint ->
+        let d = Memory.int_data buf in
+        for i = iv.Interval.lo to iv.Interval.hi - 1 do
+          t.host.View.set_i i d.(i - win_lo)
+        done
+
+let alloc_buf cfg g t n =
+  match t.elem with
+  | Ast.Edouble -> Memory.alloc_float (mem_of cfg g) `User n
+  | Ast.Eint -> Memory.alloc_int (mem_of cfg g) `User n
+
+(* ---------------- state teardown ---------------- *)
+
+let free_state cfg t =
+  (match t.state with
+  | Unallocated -> ()
+  | Replicated r ->
+      Array.iteri
+        (fun g buf ->
+          Memory.free (mem_of cfg g) buf;
+          match r.dirty.(g) with Some d -> Dirty.free (mem_of cfg g) d | None -> ())
+        r.bufs
+  | Distributed d ->
+      Array.iteri
+        (fun g p ->
+          Memory.free (mem_of cfg g) p.buf;
+          Miss_buffer.release p.miss)
+        d.parts);
+  t.state <- Unallocated
+
+(* ---------------- flush / load ---------------- *)
+
+let flush_to_host (_cfg : Rt_config.t) t =
+  if not t.device_fresh then []
+  else begin
+    let xfers =
+      match t.state with
+      | Unallocated -> assert false
+      | Replicated r ->
+          (* Replicas are consistent between kernels; any copy serves. *)
+          let full = Interval.make 0 t.length in
+          copy_buf_to_host t r.bufs.(0) ~win_lo:0 full;
+          [ { dir = Fabric.D2h 0; bytes = t.length * elem_bytes t; tag = t.name ^ ":flush" } ]
+      | Distributed d ->
+          Array.to_list
+            (Array.mapi
+               (fun g p ->
+                 copy_buf_to_host t p.buf ~win_lo:p.window.Interval.lo p.own;
+                 {
+                   dir = Fabric.D2h g;
+                   bytes = Interval.length p.own * elem_bytes t;
+                   tag = t.name ^ ":flush";
+                 })
+               d.parts)
+          |> List.filter (fun x -> x.bytes > 0)
+    in
+    t.device_fresh <- false;
+    xfers
+  end
+
+let load_from_host _cfg t =
+  match t.state with
+  | Unallocated -> []
+  | Replicated r ->
+      let full = Interval.make 0 t.length in
+      Array.iter (fun buf -> copy_host_to_buf t buf ~win_lo:0 full) r.bufs;
+      Array.iter (function Some d -> Dirty.clear d | None -> ()) r.dirty;
+      t.device_fresh <- false;
+      Array.to_list
+        (Array.mapi
+           (fun g _ ->
+             { dir = Fabric.H2d g; bytes = t.length * elem_bytes t; tag = t.name ^ ":load" })
+           r.bufs)
+  | Distributed d ->
+      t.device_fresh <- false;
+      Array.to_list
+        (Array.mapi
+           (fun g p ->
+             copy_host_to_buf t p.buf ~win_lo:p.window.Interval.lo p.window;
+             {
+               dir = Fabric.H2d g;
+               bytes = Interval.length p.window * elem_bytes t;
+               tag = t.name ^ ":load";
+             })
+           d.parts)
+      |> List.filter (fun x -> x.bytes > 0)
+
+(* ---------------- placement ---------------- *)
+
+let ensure_replicated cfg t ~dirty_tracking =
+  let num_gpus = cfg.Rt_config.num_gpus in
+  let add_dirty r =
+    if dirty_tracking then
+      Array.iteri
+        (fun g d ->
+          if d = None then
+            r.dirty.(g) <-
+              Some
+                (Dirty.create (mem_of cfg g) ~elem_bytes:(elem_bytes t) ~length:t.length
+                   ~chunk_bytes:cfg.Rt_config.chunk_bytes ~two_level:cfg.Rt_config.two_level_dirty))
+        r.dirty
+  in
+  match t.state with
+  | Replicated r ->
+      add_dirty r;
+      []
+  | Unallocated | Distributed _ ->
+      Log.debug (fun m -> m "%s: %s -> replicated on %d GPU(s)" t.name (state_name t) num_gpus);
+      let flush = flush_to_host cfg t in
+      free_state cfg t;
+      let bufs = Array.init num_gpus (fun g -> alloc_buf cfg g t t.length) in
+      let r = { bufs; dirty = Array.make num_gpus None } in
+      add_dirty r;
+      t.state <- Replicated r;
+      t.written_since_halo_sync <- false;
+      flush @ load_from_host cfg t
+
+let window_of_range spec range ~length ~g ~num_gpus =
+  let own_lo = if g = 0 then 0 else spec.stride * range.Task_map.start_ in
+  let own_hi = if g = num_gpus - 1 then length else spec.stride * range.Task_map.stop_ in
+  let own = Interval.clamp (Interval.make own_lo own_hi) ~lo:0 ~hi:length in
+  let read =
+    Task_map.window range ~stride:spec.stride ~left:spec.left ~right:spec.right ~max_len:length
+  in
+  let window = Interval.hull read own in
+  (window, own)
+
+(* The existing distribution serves the request when the split is the
+   same, ownership is identical, and every resident window covers the
+   requested one. Wider resident halos are fine: the communication manager
+   refreshes them after writes, so alternating stencil loops with
+   different halo widths keep reusing one allocation instead of
+   reshaping through the host. *)
+let covers t d spec ranges ~num_gpus =
+  Array.length d.ranges = Array.length ranges
+  && d.spec.stride = spec.stride
+  && Array.for_all2 (fun a b -> a = b) d.ranges ranges
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun g p ->
+      let window, own = window_of_range spec ranges.(g) ~length:t.length ~g ~num_gpus in
+      if not (Interval.equal own p.own && Interval.equal (Interval.hull window p.window) p.window)
+      then ok := false)
+    d.parts;
+  !ok
+
+let ensure_distributed cfg t ~spec ~ranges =
+  let num_gpus = cfg.Rt_config.num_gpus in
+  if Array.length ranges <> num_gpus then invalid_arg "Darray.ensure_distributed: ranges size";
+  match t.state with
+  | Distributed d when covers t d spec ranges ~num_gpus -> []
+  | _ ->
+      Log.debug (fun m ->
+          m "%s: %s -> distributed (stride %d, halo %d/%d)" t.name (state_name t) spec.stride
+            spec.left spec.right);
+      let flush = flush_to_host cfg t in
+      free_state cfg t;
+      let parts =
+        Array.init num_gpus (fun g ->
+            let window, own = window_of_range spec ranges.(g) ~length:t.length ~g ~num_gpus in
+            {
+              window;
+              own;
+              buf = alloc_buf cfg g t (Interval.length window);
+              miss = Miss_buffer.create (mem_of cfg g) ~name:t.name ~elem_bytes:(elem_bytes t);
+            })
+      in
+      t.state <- Distributed { parts; spec; ranges = Array.copy ranges };
+      t.written_since_halo_sync <- false;
+      flush @ load_from_host cfg t
+
+let release cfg t =
+  let xfers = if t.needs_copyout then flush_to_host cfg t else [] in
+  free_state cfg t;
+  t.device_fresh <- false;
+  xfers
+
+let mark_device_written t =
+  t.device_fresh <- true;
+  t.written_since_halo_sync <- true
+
+let mark_halo_synced t = t.written_since_halo_sync <- false
+
+let buf_for t ~gpu =
+  match t.state with
+  | Unallocated -> invalid_arg (Printf.sprintf "Darray.buf_for: %s unallocated" t.name)
+  | Replicated r -> r.bufs.(gpu)
+  | Distributed d -> d.parts.(gpu).buf
+
+let part_for t ~gpu =
+  match t.state with
+  | Distributed d -> d.parts.(gpu)
+  | Unallocated | Replicated _ ->
+      invalid_arg (Printf.sprintf "Darray.part_for: %s not distributed" t.name)
+
+let replica_of t =
+  match t.state with
+  | Replicated r -> r
+  | Unallocated | Distributed _ ->
+      invalid_arg (Printf.sprintf "Darray.replica_of: %s not replicated" t.name)
+
+let owner_of d idx =
+  let n = Array.length d.parts in
+  let rec go g =
+    if g >= n then
+      invalid_arg (Printf.sprintf "Darray.owner_of: index %d owned by no GPU" idx)
+    else if Interval.contains d.parts.(g).own idx then g
+    else go (g + 1)
+  in
+  go 0

@@ -1,0 +1,93 @@
+(** Device-side state of one host array: the present-table entry.
+
+    A [Darray.t] tracks where the array currently lives (unallocated,
+    replicated on every GPU, or block-distributed with halos), keeps the
+    actual device storage, and performs the *functional* side of every
+    movement immediately while returning transfer descriptors the caller
+    charges to the simulated interconnect. Placement transitions flush
+    through the host copy; reloads are skipped when the placement and
+    windows are unchanged (the data loader's reuse optimization for
+    iterative applications). *)
+
+open Mgacc_minic
+module Interval = Mgacc_util.Interval
+
+type xfer = { dir : Mgacc_gpusim.Fabric.direction; bytes : int; tag : string }
+
+type part = {
+  window : Interval.t;  (** elements resident on this GPU (owned + halo) *)
+  own : Interval.t;  (** exclusively owned block *)
+  buf : Mgacc_gpusim.Memory.buf;
+  miss : Miss_buffer.t;
+}
+
+type dist_spec = { stride : int; left : int; right : int }
+
+type dist = {
+  parts : part array;
+  spec : dist_spec;
+  ranges : Task_map.range array;  (** the iteration split that shaped it *)
+}
+
+type replica = {
+  bufs : Mgacc_gpusim.Memory.buf array;
+  mutable dirty : Dirty.t option array;  (** present only under tracking *)
+}
+
+type state = Unallocated | Replicated of replica | Distributed of dist
+
+type t = {
+  name : string;
+  elem : Ast.elem_ty;
+  length : int;
+  host : Mgacc_exec.View.t;
+  mutable state : state;
+  mutable device_fresh : bool;  (** device holds data newer than the host copy *)
+  mutable region_depth : int;
+  mutable needs_copyout : bool;
+  mutable written_since_halo_sync : bool;
+}
+
+val create : Rt_config.t -> name:string -> host:Mgacc_exec.View.t -> t
+
+val elem_bytes : t -> int
+val state_name : t -> string
+
+val ensure_replicated : Rt_config.t -> t -> dirty_tracking:bool -> xfer list
+(** Make the array fully replicated and valid on every GPU, allocating and
+    loading as needed (including a flush through the host on a placement
+    change). Adds dirty structures when [dirty_tracking]. *)
+
+val ensure_distributed :
+  Rt_config.t -> t -> spec:dist_spec -> ranges:Task_map.range array -> xfer list
+(** Make the array block-distributed for the given iteration split,
+    reusing the current distribution when the windows are identical. *)
+
+val flush_to_host : Rt_config.t -> t -> xfer list
+(** Bring the host copy up to date (no-op if it already is). Device
+    state stays allocated and remains valid. *)
+
+val load_from_host : Rt_config.t -> t -> xfer list
+(** Push the host copy into whatever device state exists (used by
+    [update device]). No-op when unallocated. *)
+
+val release : Rt_config.t -> t -> xfer list
+(** Flush (if needed and [needs_copyout]) and free all device storage. *)
+
+val mark_device_written : t -> unit
+(** Called after a kernel that wrote the array on any GPU. *)
+
+val mark_halo_synced : t -> unit
+(** Called after a halo exchange has refreshed all halo copies. *)
+
+val buf_for : t -> gpu:int -> Mgacc_gpusim.Memory.buf
+(** The device buffer backing GPU [gpu] (replica copy or partition). *)
+
+val part_for : t -> gpu:int -> part
+(** Raises [Invalid_argument] if not distributed. *)
+
+val replica_of : t -> replica
+(** Raises [Invalid_argument] if not replicated. *)
+
+val owner_of : dist -> int -> int
+(** The GPU owning a logical element index. *)

@@ -1,0 +1,47 @@
+open Mgacc_minic
+module Kernel_plan = Mgacc_translator.Kernel_plan
+module Array_config = Mgacc_analysis.Array_config
+
+let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
+  let xfers = ref [] in
+  let reductions = ref [] in
+  List.iter
+    (fun (c : Array_config.t) ->
+      let name = c.Array_config.array in
+      let da = get_darray name in
+      match c.Array_config.reduction with
+      | Some op ->
+          (* Reduction destinations stay replicated; partials are private. *)
+          xfers := !xfers @ Darray.ensure_replicated cfg da ~dirty_tracking:false;
+          reductions := (name, Reduction.allocate cfg da op) :: !reductions
+      | None -> (
+          match Kernel_plan.placement_of plan name with
+          | Array_config.Replicated ->
+              let dirty_tracking =
+                Kernel_plan.needs_dirty_tracking plan ~num_gpus:cfg.Rt_config.num_gpus name
+              in
+              xfers := !xfers @ Darray.ensure_replicated cfg da ~dirty_tracking
+          | Array_config.Distributed ->
+              let spec =
+                match c.Array_config.localaccess with
+                | Some la ->
+                    let stride = eval_int la.Ast.la_stride in
+                    if stride <= 0 then
+                      Loc.error la.Ast.la_stride.Ast.eloc
+                        "localaccess stride for %s must be positive (got %d)" name stride;
+                    let left = max 0 (eval_int la.Ast.la_left) in
+                    let right = max 0 (eval_int la.Ast.la_right) in
+                    { Darray.stride; left; right }
+                | None -> assert false (* Distributed implies a localaccess spec *)
+              in
+              xfers := !xfers @ Darray.ensure_distributed cfg da ~spec ~ranges))
+    plan.Kernel_plan.configs;
+  (* Arrays referenced only through __length never appear in the access
+     summaries, so they have no config; they still need device presence
+     because a view is bound for every array parameter. *)
+  List.iter
+    (fun name ->
+      if Kernel_plan.config_for plan name = None then
+        xfers := !xfers @ Darray.ensure_replicated cfg (get_darray name) ~dirty_tracking:false)
+    arrays;
+  (!xfers, List.rev !reductions)

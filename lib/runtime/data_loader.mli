@@ -1,0 +1,27 @@
+(** The data loader (paper §IV-C).
+
+    Called before every kernel launch: decides each array's placement from
+    the array configuration information (replica-based by default,
+    distribution-based for [localaccess] arrays), makes the device copies
+    valid — skipping reloads when the placement and windows match the
+    previous launch, the reuse that iterative applications live on — and
+    allocates reduction partials for [reductiontoarray] destinations.
+
+    Returns the transfer descriptors to charge (a mix of D2H flushes from
+    placement transitions and H2D loads). *)
+
+open Mgacc_minic
+
+val prepare :
+  Rt_config.t ->
+  Mgacc_translator.Kernel_plan.t ->
+  ranges:Task_map.range array ->
+  eval_int:(Ast.expr -> int) ->
+  get_darray:(string -> Darray.t) ->
+  arrays:string list ->
+  Darray.xfer list * (string * Reduction.t) list
+(** [eval_int] evaluates [localaccess] window parameters in the host
+    environment; [arrays] lists every array parameter of the kernel (a view
+    is bound for each, so each needs device presence even if only its
+    length is read). Raises {!Mgacc_minic.Loc.Error} when a declared stride
+    is non-positive. *)

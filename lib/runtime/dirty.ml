@@ -1,0 +1,75 @@
+module Memory = Mgacc_gpusim.Memory
+module Bitset = Mgacc_util.Bitset
+
+type t = {
+  elem_bytes : int;
+  length : int;
+  chunk_elems : int;
+  two_level : bool;
+  first : Bitset.t;
+  second : Bitset.t;  (* one bit per chunk *)
+  first_buf : Memory.buf;
+  second_buf : Memory.buf;
+  mutable dirty_elems : int;
+}
+
+let create mem ~elem_bytes ~length ~chunk_bytes ~two_level =
+  if elem_bytes <= 0 || length < 0 || chunk_bytes < elem_bytes then
+    invalid_arg "Dirty.create: bad geometry";
+  let chunk_elems = max 1 (chunk_bytes / elem_bytes) in
+  let nchunks = (length + chunk_elems - 1) / chunk_elems in
+  let first_bytes = (length + 7) / 8 in
+  let second_bytes = (nchunks + 7) / 8 in
+  {
+    elem_bytes;
+    length;
+    chunk_elems;
+    two_level;
+    first = Bitset.create length;
+    second = Bitset.create (max nchunks 1);
+    first_buf = Memory.alloc_raw mem `System first_bytes;
+    second_buf = Memory.alloc_raw mem `System (if two_level then second_bytes else 0);
+    dirty_elems = 0;
+  }
+
+let mark t i =
+  if not (Bitset.get t.first i) then begin
+    Bitset.set t.first i;
+    t.dirty_elems <- t.dirty_elems + 1;
+    let chunk = i / t.chunk_elems in
+    if not (Bitset.get t.second chunk) then Bitset.set t.second chunk
+  end
+
+let any_dirty t = t.dirty_elems > 0
+let dirty_element_count t = t.dirty_elems
+let dirty_chunk_count t = Bitset.count t.second
+let total_chunks t = (t.length + t.chunk_elems - 1) / t.chunk_elems
+let dirty_runs t = Bitset.runs t.first
+
+let transfer_bytes t =
+  if t.dirty_elems = 0 then 0
+  else if t.two_level then begin
+    let bytes = ref 0 in
+    let nchunks = total_chunks t in
+    for chunk = 0 to nchunks - 1 do
+      if Bitset.get t.second chunk then begin
+        let lo = chunk * t.chunk_elems in
+        let hi = min t.length (lo + t.chunk_elems) in
+        let elems = hi - lo in
+        bytes := !bytes + (elems * t.elem_bytes) + ((elems + 7) / 8)
+      end
+    done;
+    !bytes
+  end
+  else (t.length * t.elem_bytes) + ((t.length + 7) / 8)
+
+let clear t =
+  Bitset.clear_all t.first;
+  Bitset.clear_all t.second;
+  t.dirty_elems <- 0
+
+let footprint_bytes t = t.first_buf.Memory.size_bytes + t.second_buf.Memory.size_bytes
+
+let free mem t =
+  Memory.free mem t.first_buf;
+  Memory.free mem t.second_buf

@@ -1,0 +1,310 @@
+open Mgacc_minic
+module Cost = Mgacc_gpusim.Cost
+module Memory = Mgacc_gpusim.Memory
+module View = Mgacc_exec.View
+module Frame = Mgacc_exec.Frame
+module Kernel_compile = Mgacc_exec.Kernel_compile
+module Host_interp = Mgacc_exec.Host_interp
+module Kernel_plan = Mgacc_translator.Kernel_plan
+module Interval = Mgacc_util.Interval
+
+type compiled = { kc : Kernel_compile.t; param_types : (string * Ast.typ) list }
+
+let compile_kernel plan ~param_types =
+  let kc =
+    Kernel_compile.compile ~loop:plan.Kernel_plan.loop ~params:param_types
+      ~classify:(Kernel_plan.classifier plan)
+  in
+  { kc; param_types }
+
+exception Window_violation of { array : string; index : int; gpu : int; what : string }
+
+type gpu_run = { gpu : int; iterations : int; cost : Cost.t }
+
+let snapshot (c : Cost.t) =
+  { Cost.flops = c.Cost.flops;
+    int_ops = c.Cost.int_ops;
+    coalesced_bytes = c.Cost.coalesced_bytes;
+    broadcast_bytes = c.Cost.broadcast_bytes;
+    random_accesses = c.Cost.random_accesses;
+    random_bytes = c.Cost.random_bytes;
+  }
+
+let delta ~(before : Cost.t) ~(after : Cost.t) =
+  {
+    Cost.flops = after.Cost.flops - before.Cost.flops;
+    int_ops = after.Cost.int_ops - before.Cost.int_ops;
+    coalesced_bytes = after.Cost.coalesced_bytes - before.Cost.coalesced_bytes;
+    broadcast_bytes = after.Cost.broadcast_bytes - before.Cost.broadcast_bytes;
+    random_accesses = after.Cost.random_accesses - before.Cost.random_accesses;
+    random_bytes = after.Cost.random_bytes - before.Cost.random_bytes;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Views implementing the translator's instrumentation.                *)
+(* ------------------------------------------------------------------ *)
+
+let no_reduce_f name : Ast.redop -> int -> float -> unit =
+ fun _ _ _ -> invalid_arg (Printf.sprintf "array %s is not a reduction destination" name)
+
+let no_reduce_i name : Ast.redop -> int -> int -> unit =
+ fun _ _ _ -> invalid_arg (Printf.sprintf "array %s is not a reduction destination" name)
+
+(* Replicated array on one GPU: direct access, dirty marking on writes. The
+   dirty-bit instrumentation the translator inserts costs a couple of
+   integer ops per write, charged to the kernel's cost record. *)
+let replicated_view (da : Darray.t) ~gpu ~(dirty : Dirty.t option) ~(cost : Cost.t) =
+  let buf = Darray.buf_for da ~gpu in
+  let name = da.Darray.name and length = da.Darray.length in
+  let mark =
+    match dirty with
+    | Some d ->
+        fun i ->
+          cost.Cost.int_ops <- cost.Cost.int_ops + 2;
+          Dirty.mark d i
+    | None -> fun _ -> ()
+  in
+  match da.Darray.elem with
+  | Ast.Edouble ->
+      let data = Memory.float_data buf in
+      {
+        View.name;
+        elem = Ast.Edouble;
+        length;
+        get_f = (fun i -> data.(i));
+        set_f =
+          (fun i v ->
+            data.(i) <- v;
+            mark i);
+        get_i = (fun _ -> invalid_arg (name ^ ": int access on double array"));
+        set_i = (fun _ _ -> invalid_arg (name ^ ": int access on double array"));
+        reduce_f = no_reduce_f name;
+        reduce_i = no_reduce_i name;
+      }
+  | Ast.Eint ->
+      let data = Memory.int_data buf in
+      {
+        View.name;
+        elem = Ast.Eint;
+        length;
+        get_i = (fun i -> data.(i));
+        set_i =
+          (fun i v ->
+            data.(i) <- v;
+            mark i);
+        get_f = (fun _ -> invalid_arg (name ^ ": double access on int array"));
+        set_f = (fun _ _ -> invalid_arg (name ^ ": double access on int array"));
+        reduce_f = no_reduce_f name;
+        reduce_i = no_reduce_i name;
+      }
+
+(* Replicated array that is a reduction destination: reads see the
+   pre-loop values; reduction updates go to the GPU's partial. *)
+let reduction_view (da : Darray.t) ~gpu (red : Reduction.t) =
+  let buf = Darray.buf_for da ~gpu in
+  let name = da.Darray.name and length = da.Darray.length in
+  let declared = Reduction.op red in
+  let check op =
+    if op <> declared then
+      invalid_arg
+        (Printf.sprintf "array %s: reduction operator mismatch (%s declared)" name
+           (Ast.redop_to_string declared))
+  in
+  match da.Darray.elem with
+  | Ast.Edouble ->
+      let data = Memory.float_data buf in
+      {
+        View.name;
+        elem = Ast.Edouble;
+        length;
+        get_f = (fun i -> data.(i));
+        set_f = (fun _ _ -> invalid_arg (name ^ ": plain write to a reduction destination"));
+        get_i = (fun _ -> invalid_arg (name ^ ": int access on double array"));
+        set_i = (fun _ _ -> invalid_arg (name ^ ": int access on double array"));
+        reduce_f =
+          (fun op i v ->
+            check op;
+            Reduction.reduce_f red ~gpu i v);
+        reduce_i = no_reduce_i name;
+      }
+  | Ast.Eint ->
+      let data = Memory.int_data buf in
+      {
+        View.name;
+        elem = Ast.Eint;
+        length;
+        get_i = (fun i -> data.(i));
+        set_i = (fun _ _ -> invalid_arg (name ^ ": plain write to a reduction destination"));
+        get_f = (fun _ -> invalid_arg (name ^ ": double access on int array"));
+        set_f = (fun _ _ -> invalid_arg (name ^ ": double access on int array"));
+        reduce_f = no_reduce_f name;
+        reduce_i =
+          (fun op i v ->
+            check op;
+            Reduction.reduce_i red ~gpu i v);
+      }
+
+(* Distributed array: logical indices translate into the partition; reads
+   must stay in the declared window; writes are ownership-checked. When the
+   check is eliminated, an out-of-block write is a directive violation. *)
+let distributed_view (da : Darray.t) ~gpu ~miss_check ~(cost : Cost.t) =
+  let part = Darray.part_for da ~gpu in
+  let name = da.Darray.name and length = da.Darray.length in
+  let win = part.Darray.window and own = part.Darray.own in
+  let lo = win.Interval.lo in
+  let check_read i =
+    if not (Interval.contains win i) then
+      raise (Window_violation { array = name; index = i; gpu; what = "read outside window" })
+  in
+  match da.Darray.elem with
+  | Ast.Edouble ->
+      let data = Memory.float_data part.Darray.buf in
+      let set_f i v =
+        if miss_check then begin
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          if Interval.contains own i then data.(i - lo) <- v
+          else begin
+            cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+            cost.Cost.random_bytes <- cost.Cost.random_bytes + 12;
+            Miss_buffer.record part.Darray.miss i (Miss_buffer.Vf v)
+          end
+        end
+        else if Interval.contains own i then data.(i - lo) <- v
+        else raise (Window_violation { array = name; index = i; gpu; what = "write outside owned block (miss checks eliminated)" })
+      in
+      {
+        View.name;
+        elem = Ast.Edouble;
+        length;
+        get_f =
+          (fun i ->
+            check_read i;
+            data.(i - lo));
+        set_f;
+        get_i = (fun _ -> invalid_arg (name ^ ": int access on double array"));
+        set_i = (fun _ _ -> invalid_arg (name ^ ": int access on double array"));
+        reduce_f = no_reduce_f name;
+        reduce_i = no_reduce_i name;
+      }
+  | Ast.Eint ->
+      let data = Memory.int_data part.Darray.buf in
+      let set_i i v =
+        if miss_check then begin
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          if Interval.contains own i then data.(i - lo) <- v
+          else begin
+            cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+            cost.Cost.random_bytes <- cost.Cost.random_bytes + 8;
+            Miss_buffer.record part.Darray.miss i (Miss_buffer.Vi v)
+          end
+        end
+        else if Interval.contains own i then data.(i - lo) <- v
+        else raise (Window_violation { array = name; index = i; gpu; what = "write outside owned block (miss checks eliminated)" })
+      in
+      {
+        View.name;
+        elem = Ast.Eint;
+        length;
+        get_i =
+          (fun i ->
+            check_read i;
+            data.(i - lo));
+        set_i;
+        get_f = (fun _ -> invalid_arg (name ^ ": double access on int array"));
+        set_f = (fun _ _ -> invalid_arg (name ^ ": double access on int array"));
+        reduce_f = no_reduce_f name;
+        reduce_i = no_reduce_i name;
+      }
+
+let view_for cfg plan ~gpu ~cost ~get_darray ~get_reduction name =
+  let da = get_darray name in
+  match get_reduction name with
+  | Some red -> reduction_view da ~gpu red
+  | None -> (
+      match Kernel_plan.placement_of plan name with
+      | Mgacc_analysis.Array_config.Replicated ->
+          let dirty =
+            match da.Darray.state with
+            | Darray.Replicated r -> r.Darray.dirty.(gpu)
+            | _ -> None
+          in
+          ignore cfg;
+          replicated_view da ~gpu ~dirty ~cost
+      | Mgacc_analysis.Array_config.Distributed ->
+          distributed_view da ~gpu ~miss_check:(Kernel_plan.needs_miss_check plan name) ~cost)
+
+(* ------------------------------------------------------------------ *)
+(* Execution.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_on_gpus cfg plan compiled ~ranges ~get_scalar ~get_darray ~get_reduction =
+  let loop = plan.Kernel_plan.loop in
+  let scalar_reductions = loop.Mgacc_analysis.Loop_info.scalar_reductions in
+  let runs = ref [] in
+  let partial_frames = ref [] in
+  Array.iteri
+    (fun gpu range ->
+      let iterations = Task_map.length range in
+      if iterations > 0 || Array.length ranges = 1 then begin
+        let frame = compiled.kc.Kernel_compile.make_frame () in
+        (* Bind parameters. *)
+        List.iter
+          (fun (name, slot, ty) ->
+            match ty with
+            | Ast.Tarray _ ->
+                Frame.set_view frame slot
+                  (view_for cfg plan ~gpu ~cost:compiled.kc.Kernel_compile.cost ~get_darray
+                     ~get_reduction name)
+            | Ast.Tint | Ast.Tdouble -> (
+                let red_op =
+                  List.find_map
+                    (fun (op, v) -> if v = name then Some op else None)
+                    scalar_reductions
+                in
+                match (red_op, ty) with
+                | Some op, Ast.Tdouble -> Frame.set_float frame slot (View.redop_identity_f op)
+                | Some op, Ast.Tint -> Frame.set_int frame slot (View.redop_identity_i op)
+                | None, Ast.Tdouble -> (
+                    match get_scalar name with
+                    | Host_interp.Vfloat f -> Frame.set_float frame slot f
+                    | Host_interp.Vint n -> Frame.set_float frame slot (float_of_int n))
+                | None, Ast.Tint -> (
+                    match get_scalar name with
+                    | Host_interp.Vint n -> Frame.set_int frame slot n
+                    | Host_interp.Vfloat f -> Frame.set_int frame slot (int_of_float f))
+                | _, (Ast.Tvoid | Ast.Tarray _) -> assert false)
+            | Ast.Tvoid -> assert false)
+          compiled.kc.Kernel_compile.params;
+        let before = snapshot compiled.kc.Kernel_compile.cost in
+        for i = range.Task_map.start_ to range.Task_map.stop_ - 1 do
+          compiled.kc.Kernel_compile.run_iter frame i
+        done;
+        let after = snapshot compiled.kc.Kernel_compile.cost in
+        runs := { gpu; iterations; cost = delta ~before ~after } :: !runs;
+        partial_frames := (gpu, frame) :: !partial_frames
+      end)
+    ranges;
+  let scalar_partials =
+    List.map
+      (fun (op, name) ->
+        let slot_ty =
+          List.find_map
+            (fun (n, slot, ty) -> if n = name then Some (slot, ty) else None)
+            compiled.kc.Kernel_compile.params
+        in
+        match slot_ty with
+        | None -> (name, op, [])
+        | Some (slot, ty) ->
+            let values =
+              List.rev_map
+                (fun (_, frame) ->
+                  match ty with
+                  | Ast.Tdouble -> Host_interp.Vfloat (Frame.get_float frame slot)
+                  | Ast.Tint -> Host_interp.Vint (Frame.get_int frame slot)
+                  | _ -> assert false)
+                !partial_frames
+            in
+            (name, op, values))
+      scalar_reductions
+  in
+  (List.rev !runs, scalar_partials)

@@ -1,0 +1,46 @@
+(** Kernel launching: view construction, functional execution, cost capture.
+
+    For each GPU, the compiled loop body runs over that GPU's iteration
+    range against views that implement the translator's instrumentation:
+    replicated writes mark dirty bits, distributed writes are ownership-
+    checked and missed writes buffered, reduction updates go to the GPU's
+    partial. The dynamic cost delta per GPU feeds the roofline model. *)
+
+open Mgacc_minic
+
+type compiled = {
+  kc : Mgacc_exec.Kernel_compile.t;
+  param_types : (string * Ast.typ) list;
+}
+
+val compile_kernel :
+  Mgacc_translator.Kernel_plan.t ->
+  param_types:(string * Ast.typ) list ->
+  compiled
+(** Compile the loop body with the plan's coalescing classifier. *)
+
+exception Window_violation of { array : string; index : int; gpu : int; what : string }
+(** A kernel accessed an element outside what the [localaccess] directive
+    declared — the directive is wrong (runtime validation of the paper's
+    §III-C contract that iteration [i] stays inside its window). *)
+
+type gpu_run = {
+  gpu : int;
+  iterations : int;
+  cost : Mgacc_gpusim.Cost.t;  (** this GPU's dynamic cost delta *)
+}
+
+val run_on_gpus :
+  Rt_config.t ->
+  Mgacc_translator.Kernel_plan.t ->
+  compiled ->
+  ranges:Task_map.range array ->
+  get_scalar:(string -> Mgacc_exec.Host_interp.value) ->
+  get_darray:(string -> Darray.t) ->
+  get_reduction:(string -> Reduction.t option) ->
+  gpu_run list * (string * Ast.redop * Mgacc_exec.Host_interp.value list) list
+(** Execute every GPU's share functionally. Returns per-GPU costs and, per
+    scalar-reduction variable, the per-GPU partial values (in GPU order)
+    for the caller to fold into the host scalar. Scalar reduction
+    variables are bound to the operator identity inside the kernel; other
+    scalars are firstprivate copies of the host values. *)

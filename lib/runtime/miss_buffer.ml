@@ -1,0 +1,54 @@
+module Memory = Mgacc_gpusim.Memory
+
+type value = Vf of float | Vi of int
+
+type t = {
+  mem : Memory.t;
+  name : string;
+  record_bytes : int;  (* 4-byte index + element payload *)
+  mutable entries_rev : (int * value) list;
+  mutable count : int;
+  mutable buf : Memory.buf option;  (* current accounted allocation *)
+  mutable peak : int;
+}
+
+(* Device-side buffering is accounted in pages so the simulated allocator
+   is not hit on every record. *)
+let page_bytes = 64 * 1024
+
+let create mem ~name ~elem_bytes =
+  { mem; name; record_bytes = 4 + elem_bytes; entries_rev = []; count = 0; buf = None; peak = 0 }
+
+let accounted t = match t.buf with Some b -> b.Memory.size_bytes | None -> 0
+
+let ensure_capacity t =
+  let needed = t.count * t.record_bytes in
+  if needed > accounted t then begin
+    (match t.buf with Some b -> Memory.free t.mem b | None -> ());
+    let pages = (needed + page_bytes - 1) / page_bytes in
+    t.buf <- Some (Memory.alloc_raw t.mem `System (pages * page_bytes))
+  end
+
+let record t idx v =
+  t.entries_rev <- (idx, v) :: t.entries_rev;
+  t.count <- t.count + 1;
+  ensure_capacity t;
+  t.peak <- max t.peak (t.count * t.record_bytes)
+
+let count t = t.count
+let is_empty t = t.count = 0
+let entries t = List.rev t.entries_rev
+let payload_bytes t = t.count * t.record_bytes
+
+let drain t =
+  t.entries_rev <- [];
+  t.count <- 0;
+  match t.buf with
+  | Some b ->
+      Memory.free t.mem b;
+      t.buf <- None
+  | None -> ()
+
+let peak_bytes t = t.peak
+
+let release t = drain t

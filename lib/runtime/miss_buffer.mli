@@ -1,0 +1,29 @@
+(** Write-miss buffers for distributed arrays (paper §IV-D-2).
+
+    When a kernel writes an element outside its GPU's owned block, the
+    translator-inserted check routes the (index, value) pair here instead.
+    After the kernel, the communication manager ships the records to the
+    owning GPUs and replays them there. The buffer lives in the writing
+    GPU's [`System] memory; its peak size is what Fig. 9 charges. *)
+
+type value = Vf of float | Vi of int
+
+type t
+
+val create : Mgacc_gpusim.Memory.t -> name:string -> elem_bytes:int -> t
+val record : t -> int -> value -> unit
+val count : t -> int
+val is_empty : t -> bool
+
+val entries : t -> (int * value) list
+(** In recording order (replay must preserve program order per GPU). *)
+
+val payload_bytes : t -> int
+(** Bytes to ship: one (index, value) record per entry. *)
+
+val drain : t -> unit
+(** Clear after replay; releases the accounted memory. *)
+
+val peak_bytes : t -> int
+val release : t -> unit
+(** Free all accounted memory (end of array lifetime). *)

@@ -1,0 +1,19 @@
+(** The OpenMP baseline: the same annotated program executed on the host
+    CPU model.
+
+    Parallel loops run functionally (in iteration order, which matches the
+    sequential-equivalence OpenMP guarantees for race-free loops) against
+    the host arrays while dynamic cost is counted; the CPU roofline model
+    converts each loop's cost into an OpenMP wall-clock estimate at the
+    requested thread count. Everything outside parallel loops executes
+    without charge, mirroring the paper's measurement of time spent in
+    parallel regions only. Data and update directives are no-ops on a
+    shared-memory machine. *)
+
+val run :
+  ?threads:int ->
+  machine:Mgacc_gpusim.Machine.t ->
+  Mgacc_minic.Ast.program ->
+  Mgacc_exec.Host_interp.env * Report.t
+(** [threads] defaults to the machine's OpenMP default (12 on the desktop,
+    24 on the supercomputer node). *)

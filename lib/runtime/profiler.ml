@@ -1,0 +1,71 @@
+type memory_report = { user_bytes : int; system_bytes : int }
+
+type t = {
+  mutable cpu_gpu : float;
+  mutable gpu_gpu : float;
+  mutable kernel : float;
+  mutable overhead : float;
+  mutable cpu_gpu_bytes : int;
+  mutable gpu_gpu_bytes : int;
+  mutable launches : int;
+  mutable loops : int;
+  mutable mem : memory_report;
+}
+
+let create () =
+  {
+    cpu_gpu = 0.0;
+    gpu_gpu = 0.0;
+    kernel = 0.0;
+    overhead = 0.0;
+    cpu_gpu_bytes = 0;
+    gpu_gpu_bytes = 0;
+    launches = 0;
+    loops = 0;
+    mem = { user_bytes = 0; system_bytes = 0 };
+  }
+
+let add_cpu_gpu t ~seconds ~bytes =
+  t.cpu_gpu <- t.cpu_gpu +. seconds;
+  t.cpu_gpu_bytes <- t.cpu_gpu_bytes + bytes
+
+let add_gpu_gpu t ~seconds ~bytes =
+  t.gpu_gpu <- t.gpu_gpu +. seconds;
+  t.gpu_gpu_bytes <- t.gpu_gpu_bytes + bytes
+
+let add_kernel t ~seconds = t.kernel <- t.kernel +. seconds
+let add_overhead t ~seconds = t.overhead <- t.overhead +. seconds
+let incr_kernel_launches t = t.launches <- t.launches + 1
+let incr_loops t = t.loops <- t.loops + 1
+
+let cpu_gpu_time t = t.cpu_gpu
+let gpu_gpu_time t = t.gpu_gpu
+let kernel_time t = t.kernel
+let overhead_time t = t.overhead
+let total_time t = t.cpu_gpu +. t.gpu_gpu +. t.kernel +. t.overhead
+let cpu_gpu_bytes t = t.cpu_gpu_bytes
+let gpu_gpu_bytes t = t.gpu_gpu_bytes
+let kernel_launches t = t.launches
+let loops_executed t = t.loops
+
+let record_memory_peaks t machine ~num_gpus =
+  let user = ref 0 and system = ref 0 in
+  for g = 0 to num_gpus - 1 do
+    let mem = (Mgacc_gpusim.Machine.device machine g).Mgacc_gpusim.Device.memory in
+    user := !user + Mgacc_gpusim.Memory.peak_class mem `User;
+    system := !system + Mgacc_gpusim.Memory.peak_class mem `System
+  done;
+  t.mem <- { user_bytes = max t.mem.user_bytes !user; system_bytes = max t.mem.system_bytes !system }
+
+let memory t = t.mem
+
+let pp ppf t =
+  Format.fprintf ppf
+    "time: total=%.6fs kernels=%.6fs cpu-gpu=%.6fs gpu-gpu=%.6fs overhead=%.6fs; bytes: h<->d=%s \
+     p2p=%s; launches=%d loops=%d; mem user=%s system=%s"
+    (total_time t) t.kernel t.cpu_gpu t.gpu_gpu t.overhead
+    (Mgacc_util.Bytesize.to_string t.cpu_gpu_bytes)
+    (Mgacc_util.Bytesize.to_string t.gpu_gpu_bytes)
+    t.launches t.loops
+    (Mgacc_util.Bytesize.to_string t.mem.user_bytes)
+    (Mgacc_util.Bytesize.to_string t.mem.system_bytes)

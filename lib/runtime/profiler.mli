@@ -1,0 +1,40 @@
+(** Accounting of simulated time and device memory for the evaluation.
+
+    Time is accumulated per category exactly as the paper's Fig. 8 reports
+    it: wall-clock of the load phases (CPU-GPU), of the kernel phases
+    (KERNELS), and of the inter-GPU reconciliation phases (GPU-GPU).
+    Byte counters and event counts feed the analysis tables, and the
+    memory report splits device usage into User and System (Fig. 9). *)
+
+type t
+
+val create : unit -> t
+
+val add_cpu_gpu : t -> seconds:float -> bytes:int -> unit
+val add_gpu_gpu : t -> seconds:float -> bytes:int -> unit
+val add_kernel : t -> seconds:float -> unit
+val add_overhead : t -> seconds:float -> unit
+val incr_kernel_launches : t -> unit
+val incr_loops : t -> unit
+
+val cpu_gpu_time : t -> float
+val gpu_gpu_time : t -> float
+val kernel_time : t -> float
+val overhead_time : t -> float
+val total_time : t -> float
+(** Sum of all categories: the parallel-region execution time. *)
+
+val cpu_gpu_bytes : t -> int
+val gpu_gpu_bytes : t -> int
+val kernel_launches : t -> int
+val loops_executed : t -> int
+
+type memory_report = { user_bytes : int; system_bytes : int }
+
+val record_memory_peaks : t -> Mgacc_gpusim.Machine.t -> num_gpus:int -> unit
+(** Capture the current per-class peak usage summed over the first
+    [num_gpus] devices. *)
+
+val memory : t -> memory_report
+
+val pp : Format.formatter -> t -> unit

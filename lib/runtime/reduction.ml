@@ -1,0 +1,120 @@
+open Mgacc_minic
+module Memory = Mgacc_gpusim.Memory
+module Machine = Mgacc_gpusim.Machine
+module Device = Mgacc_gpusim.Device
+module Fabric = Mgacc_gpusim.Fabric
+module Cost = Mgacc_gpusim.Cost
+module View = Mgacc_exec.View
+
+type partial = Pf of float array | Pi of int array
+
+type t = {
+  name : string;
+  op : Ast.redop;
+  elem : Ast.elem_ty;
+  length : int;
+  partials : partial array;  (* per GPU *)
+  bufs : Memory.buf array;  (* accounted system storage *)
+  mutable touched : bool array;  (* GPU contributed at least once *)
+}
+
+let allocate (cfg : Rt_config.t) (da : Darray.t) op =
+  ignore (Darray.replica_of da);
+  let g_count = cfg.Rt_config.num_gpus in
+  let elem = da.Darray.elem and length = da.Darray.length in
+  let mem g = (Machine.device cfg.Rt_config.machine g).Device.memory in
+  let partials =
+    Array.init g_count (fun _ ->
+        match elem with
+        | Ast.Edouble -> Pf (Array.make length (View.redop_identity_f op))
+        | Ast.Eint -> Pi (Array.make length (View.redop_identity_i op)))
+  in
+  let bufs =
+    Array.init g_count (fun g ->
+        Memory.alloc_raw (mem g) `System (length * Ast.elem_ty_size elem))
+  in
+  {
+    name = da.Darray.name;
+    op;
+    elem;
+    length;
+    partials;
+    bufs;
+    touched = Array.make g_count false;
+  }
+
+let array_name t = t.name
+let op t = t.op
+
+let reduce_f t ~gpu i v =
+  match t.partials.(gpu) with
+  | Pf a ->
+      a.(i) <- View.apply_redop_f t.op a.(i) v;
+      t.touched.(gpu) <- true
+  | Pi _ -> invalid_arg "Reduction.reduce_f: int reduction array"
+
+let reduce_i t ~gpu i v =
+  match t.partials.(gpu) with
+  | Pi a ->
+      a.(i) <- View.apply_redop_i t.op a.(i) v;
+      t.touched.(gpu) <- true
+  | Pf _ -> invalid_arg "Reduction.reduce_i: double reduction array"
+
+type merge_result = { xfers : Darray.xfer list; combine_cost : Cost.t }
+
+let merge (cfg : Rt_config.t) t (da : Darray.t) =
+  let r = Darray.replica_of da in
+  let g_count = cfg.Rt_config.num_gpus in
+  let width = Ast.elem_ty_size t.elem in
+  let bytes = t.length * width in
+  (* Functional fold into every replica copy (they stay consistent). *)
+  (match t.elem with
+  | Ast.Edouble ->
+      let idf = View.redop_identity_f t.op in
+      Array.iter
+        (fun buf ->
+          let d = Memory.float_data buf in
+          Array.iter
+            (function
+              | Pf p ->
+                  for i = 0 to t.length - 1 do
+                    if p.(i) <> idf then d.(i) <- View.apply_redop_f t.op d.(i) p.(i)
+                  done
+              | Pi _ -> assert false)
+            t.partials)
+        r.Darray.bufs
+  | Ast.Eint ->
+      let idi = View.redop_identity_i t.op in
+      Array.iter
+        (fun buf ->
+          let d = Memory.int_data buf in
+          Array.iter
+            (function
+              | Pi p ->
+                  for i = 0 to t.length - 1 do
+                    if p.(i) <> idi then d.(i) <- View.apply_redop_i t.op d.(i) p.(i)
+                  done
+              | Pf _ -> assert false)
+            t.partials)
+        r.Darray.bufs);
+  (* Traffic: gather each contributing partial to GPU 0, broadcast result. *)
+  let xfers = ref [] in
+  for g = 1 to g_count - 1 do
+    if t.touched.(g) then
+      xfers :=
+        { Darray.dir = Fabric.P2p (g, 0); bytes; tag = t.name ^ ":red-gather" } :: !xfers
+  done;
+  for g = 1 to g_count - 1 do
+    xfers := { Darray.dir = Fabric.P2p (0, g); bytes; tag = t.name ^ ":red-bcast" } :: !xfers
+  done;
+  (* Merge kernel on GPU 0: one combine + one load/store pair per element
+     per contributing partial. *)
+  let contributors = Array.fold_left (fun n x -> if x then n + 1 else n) 1 t.touched in
+  let combine_cost = Cost.zero () in
+  combine_cost.Cost.flops <- t.length * contributors;
+  combine_cost.Cost.coalesced_bytes <- t.length * width * (contributors + 1);
+  (* Release the partials. *)
+  let mem g = (Machine.device cfg.Rt_config.machine g).Device.memory in
+  Array.iteri (fun g buf -> Memory.free (mem g) buf) t.bufs;
+  Darray.mark_device_written da;
+  { xfers = List.rev !xfers; combine_cost }

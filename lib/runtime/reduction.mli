@@ -1,0 +1,35 @@
+(** Hierarchical array reductions (the [reductiontoarray] extension).
+
+    Each GPU accumulates its contributions into a private partial buffer
+    (identity-initialized, [`System] memory). After the kernels, the
+    partials are shipped to GPU 0, combined there with the base values, and
+    the result is broadcast back to every replica — the top level of the
+    paper's three-level reduction (shared memory and intra-GPU levels are
+    already folded into the kernel cost model).
+
+    With a single GPU the partial is still used (the kernel must not see
+    its own partial results through the replica), but no transfers occur. *)
+
+open Mgacc_minic
+
+type t
+
+val allocate : Rt_config.t -> Darray.t -> Ast.redop -> t
+(** The destination array must currently be replicated. *)
+
+val array_name : t -> string
+val op : t -> Ast.redop
+
+val reduce_f : t -> gpu:int -> int -> float -> unit
+(** Accumulate a double contribution on the given GPU's partial. *)
+
+val reduce_i : t -> gpu:int -> int -> int -> unit
+
+type merge_result = {
+  xfers : Darray.xfer list;  (** gather to GPU 0 + broadcast to replicas *)
+  combine_cost : Mgacc_gpusim.Cost.t;  (** the merge kernel on GPU 0 *)
+}
+
+val merge : Rt_config.t -> t -> Darray.t -> merge_result
+(** Fold all partials into every replica buffer (functionally) and return
+    the traffic and merge-kernel cost to charge. Frees the partials. *)

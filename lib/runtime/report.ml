@@ -1,0 +1,62 @@
+type t = {
+  machine : string;
+  variant : string;
+  num_gpus : int;
+  total_time : float;
+  kernel_time : float;
+  cpu_gpu_time : float;
+  gpu_gpu_time : float;
+  overhead_time : float;
+  cpu_gpu_bytes : int;
+  gpu_gpu_bytes : int;
+  loops : int;
+  launches : int;
+  mem_user_bytes : int;
+  mem_system_bytes : int;
+}
+
+let of_profiler p ~machine ~variant ~num_gpus =
+  let mem = Profiler.memory p in
+  {
+    machine;
+    variant;
+    num_gpus;
+    total_time = Profiler.total_time p;
+    kernel_time = Profiler.kernel_time p;
+    cpu_gpu_time = Profiler.cpu_gpu_time p;
+    gpu_gpu_time = Profiler.gpu_gpu_time p;
+    overhead_time = Profiler.overhead_time p;
+    cpu_gpu_bytes = Profiler.cpu_gpu_bytes p;
+    gpu_gpu_bytes = Profiler.gpu_gpu_bytes p;
+    loops = Profiler.loops_executed p;
+    launches = Profiler.kernel_launches p;
+    mem_user_bytes = mem.Profiler.user_bytes;
+    mem_system_bytes = mem.Profiler.system_bytes;
+  }
+
+let host_only ~machine ~variant ~seconds =
+  {
+    machine;
+    variant;
+    num_gpus = 0;
+    total_time = seconds;
+    kernel_time = seconds;
+    cpu_gpu_time = 0.0;
+    gpu_gpu_time = 0.0;
+    overhead_time = 0.0;
+    cpu_gpu_bytes = 0;
+    gpu_gpu_bytes = 0;
+    loops = 0;
+    launches = 0;
+    mem_user_bytes = 0;
+    mem_system_bytes = 0;
+  }
+
+let speedup_vs t ~baseline = baseline.total_time /. t.total_time
+
+let pp ppf t =
+  Format.fprintf ppf
+    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f) mem user=%s sys=%s"
+    t.machine t.variant t.total_time t.kernel_time t.cpu_gpu_time t.gpu_gpu_time t.overhead_time
+    (Mgacc_util.Bytesize.to_string t.mem_user_bytes)
+    (Mgacc_util.Bytesize.to_string t.mem_system_bytes)

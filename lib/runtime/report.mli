@@ -1,0 +1,29 @@
+(** Result of one simulated application run: the numbers the paper's
+    evaluation plots. *)
+
+type t = {
+  machine : string;
+  variant : string;  (** e.g. "openmp(12)", "cuda(1)", "proposal(2)" *)
+  num_gpus : int;
+  total_time : float;  (** parallel-region execution time, seconds *)
+  kernel_time : float;
+  cpu_gpu_time : float;
+  gpu_gpu_time : float;
+  overhead_time : float;
+  cpu_gpu_bytes : int;
+  gpu_gpu_bytes : int;
+  loops : int;
+  launches : int;
+  mem_user_bytes : int;  (** peak user data across used GPUs *)
+  mem_system_bytes : int;  (** peak runtime-system data across used GPUs *)
+}
+
+val of_profiler : Profiler.t -> machine:string -> variant:string -> num_gpus:int -> t
+
+val host_only : machine:string -> variant:string -> seconds:float -> t
+(** A CPU-baseline report: all time in [total_time]/[kernel_time]. *)
+
+val speedup_vs : t -> baseline:t -> float
+(** [baseline.total /. t.total]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Runtime configuration: the machine, the GPU count, and the knobs the
+    evaluation ablates. *)
+
+type t = {
+  machine : Mgacc_gpusim.Machine.t;
+  num_gpus : int;  (** devices actually used (<= machine's) *)
+  chunk_bytes : int;  (** second-level dirty-bit chunk payload size *)
+  two_level_dirty : bool;  (** ablation B: false = single-level dirty bits *)
+  translator : Mgacc_translator.Kernel_plan.options;
+}
+
+val make :
+  ?num_gpus:int ->
+  ?chunk_bytes:int ->
+  ?two_level_dirty:bool ->
+  ?translator:Mgacc_translator.Kernel_plan.options ->
+  Mgacc_gpusim.Machine.t ->
+  t
+(** Defaults: all of the machine's GPUs, 1 MB chunks (the paper's choice),
+    two-level dirty bits, all translator optimizations on. *)

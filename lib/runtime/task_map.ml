@@ -1,0 +1,24 @@
+type range = { start_ : int; stop_ : int }
+
+let length r = max 0 (r.stop_ - r.start_)
+
+let split ~lower ~upper ~parts =
+  if parts <= 0 then invalid_arg "Task_map.split: parts <= 0";
+  if upper < lower then invalid_arg "Task_map.split: upper < lower";
+  let n = upper - lower in
+  let base = n / parts and rem = n mod parts in
+  let ranges = Array.make parts { start_ = lower; stop_ = lower } in
+  let cursor = ref lower in
+  for g = 0 to parts - 1 do
+    let size = base + if g < rem then 1 else 0 in
+    ranges.(g) <- { start_ = !cursor; stop_ = !cursor + size };
+    cursor := !cursor + size
+  done;
+  ranges
+
+let window r ~stride ~left ~right ~max_len =
+  if length r = 0 then Mgacc_util.Interval.empty
+  else
+    Mgacc_util.Interval.clamp
+      (Mgacc_util.Interval.make ((stride * r.start_) - left) ((stride * r.stop_) + right))
+      ~lo:0 ~hi:max_len

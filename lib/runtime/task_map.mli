@@ -1,0 +1,22 @@
+(** Task mapping: splitting a parallel iteration space over GPUs.
+
+    The paper's prototype divides the iterations equally (§IV-B-2); the
+    remainder is spread one extra iteration at a time over the leading
+    GPUs, so sizes differ by at most one. *)
+
+type range = { start_ : int; stop_ : int }
+(** Half-open iteration range [\[start_, stop_)]. *)
+
+val length : range -> int
+
+val split : lower:int -> upper:int -> parts:int -> range array
+(** [split ~lower ~upper ~parts] covers [\[lower, upper)] with [parts]
+    contiguous ranges (possibly empty when there are more parts than
+    iterations). Raises [Invalid_argument] when [parts <= 0] or
+    [upper < lower]. *)
+
+val window :
+  range -> stride:int -> left:int -> right:int -> max_len:int -> Mgacc_util.Interval.t
+(** The element window a GPU needs for a [localaccess] array given its
+    iteration range: [\[stride*start - left, stride*stop + right)] clamped
+    to [\[0, max_len)]. Empty iteration ranges give empty windows. *)

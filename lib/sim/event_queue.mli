@@ -1,0 +1,21 @@
+(** Binary min-heap priority queue keyed by simulated time.
+
+    Ties are broken by insertion order, so the simulation is deterministic:
+    two events scheduled for the same instant fire in the order they were
+    scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an element with the given key. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the element with the smallest key (FIFO among equal
+    keys), or [None] if empty. *)
+
+val peek_time : 'a t -> float option
+(** The smallest key without removing it. *)

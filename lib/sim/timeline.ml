@@ -1,0 +1,20 @@
+type t = { name : string; mutable avail : float; mutable busy : float }
+
+let create name = { name; avail = 0.0; busy = 0.0 }
+let name t = t.name
+let available_at t = t.avail
+
+let reserve t ~ready ~duration =
+  if duration < 0.0 then invalid_arg "Timeline.reserve: negative duration";
+  if ready < 0.0 then invalid_arg "Timeline.reserve: negative ready time";
+  let start = Float.max ready t.avail in
+  let finish = start +. duration in
+  t.avail <- finish;
+  t.busy <- t.busy +. duration;
+  (start, finish)
+
+let busy_time t = t.busy
+
+let reset t =
+  t.avail <- 0.0;
+  t.busy <- 0.0

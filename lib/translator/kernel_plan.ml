@@ -1,0 +1,77 @@
+open Mgacc_analysis
+
+type options = {
+  enable_distribution : bool;
+  enable_layout_transform : bool;
+  enable_miss_check_elim : bool;
+}
+
+let default_options =
+  { enable_distribution = true; enable_layout_transform = true; enable_miss_check_elim = true }
+
+type t = {
+  loop : Loop_info.t;
+  accesses : Access.array_access list;
+  configs : Array_config.t list;
+  free_vars : string list;
+  options : options;
+  inner_parallel : (Loop_info.t * int) option;
+}
+
+let of_loop ?(options = default_options) loop =
+  let accesses = Access.analyze loop in
+  let inner_parallel = Loop_info.find_inner_parallel loop in
+  (* With an inner vector loop, adjacent threads differ in the *inner*
+     index: coalescing is judged against it. *)
+  let classify =
+    match inner_parallel with
+    | Some (inner, _) -> Coalesce.make inner
+    | None -> Coalesce.make loop
+  in
+  let configs = Array_config.build ~classify loop accesses in
+  { loop; accesses; configs; free_vars = Loop_info.free_vars loop; options; inner_parallel }
+
+let thread_multiplier t = match t.inner_parallel with Some (_, width) -> width | None -> 1
+
+let config_for t name = Array_config.find t.configs name
+
+let placement_of t name =
+  if not t.options.enable_distribution then Array_config.Replicated
+  else
+    match config_for t name with
+    | Some c -> c.Array_config.placement
+    | None -> Array_config.Replicated
+
+let layout_transformed t name =
+  t.options.enable_layout_transform
+  && match config_for t name with Some c -> c.Array_config.layout_transform | None -> false
+
+let needs_miss_check t name =
+  match placement_of t name with
+  | Array_config.Replicated -> false
+  | Array_config.Distributed -> (
+      match config_for t name with
+      | None -> false
+      | Some c ->
+          c.Array_config.written
+          && not (t.options.enable_miss_check_elim && c.Array_config.writes_in_window))
+
+let needs_dirty_tracking t ~num_gpus name =
+  num_gpus > 1
+  && placement_of t name = Array_config.Replicated
+  && match config_for t name with Some c -> c.Array_config.written | None -> false
+
+let classifier t =
+  let base =
+    match t.inner_parallel with
+    | Some (inner, _) -> Coalesce.make inner
+    | None -> Coalesce.make t.loop
+  in
+  fun array idx ->
+    let mode = base idx in
+    if layout_transformed t array then Coalesce.apply_layout_transform mode else mode
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>loop %d (var %s):@," t.loop.Loop_info.loop_id t.loop.Loop_info.loop_var;
+  List.iter (fun c -> Format.fprintf ppf "  %a@," Array_config.pp c) t.configs;
+  Format.fprintf ppf "@]"

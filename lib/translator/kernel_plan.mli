@@ -1,0 +1,63 @@
+(** Per-loop compilation plan: what the paper's translator emits.
+
+    A plan bundles the normalized loop, its access summaries, the array
+    configuration information, and the instrumentation/optimization
+    decisions (layout transformation targets, which arrays need write-miss
+    checks, which need dirty tracking). The runtime consumes plans: the
+    data loader reads placements, the launcher compiles the body with the
+    plan's coalescing classifier, and the communication manager reads the
+    reconciliation needs. *)
+
+open Mgacc_minic
+
+type options = {
+  enable_distribution : bool;
+      (** honour [localaccess] for placement (off = everything replicated) *)
+  enable_layout_transform : bool;
+  enable_miss_check_elim : bool;
+      (** drop write-miss checks when writes are provably in-window *)
+}
+
+val default_options : options
+
+type t = {
+  loop : Mgacc_analysis.Loop_info.t;
+  accesses : Mgacc_analysis.Access.array_access list;
+  configs : Mgacc_analysis.Array_config.t list;
+  free_vars : string list;
+  options : options;
+  inner_parallel : (Mgacc_analysis.Loop_info.t * int) option;
+      (** nested [#pragma acc loop] and its vector width, if present *)
+}
+
+val of_loop : ?options:options -> Mgacc_analysis.Loop_info.t -> t
+
+val thread_multiplier : t -> int
+(** Occupancy multiplier from nested parallelism: the inner loop's vector
+    width, or 1 when the kernel is flat. *)
+
+val config_for : t -> string -> Mgacc_analysis.Array_config.t option
+
+val placement_of : t -> string -> Mgacc_analysis.Array_config.placement
+(** Effective placement after applying [options] (distribution disabled
+    collapses everything to replicated). Defaults to replicated for arrays
+    without a config. *)
+
+val layout_transformed : t -> string -> bool
+(** Whether the coalescing layout transformation applies to the array under
+    the plan's options. *)
+
+val needs_miss_check : t -> string -> bool
+(** True for distributed arrays with plain writes that are not provably
+    in-window (or when elimination is disabled): the kernel carries a
+    bounds check per write and misses are buffered. *)
+
+val needs_dirty_tracking : t -> num_gpus:int -> string -> bool
+(** Replicated arrays with plain writes need dirty tracking — but only when
+    more than one GPU participates. *)
+
+val classifier : t -> string -> Ast.expr -> Mgacc_analysis.Coalesce.mode
+(** The coalescing classifier for kernel compilation, with the layout
+    transformation applied to qualifying arrays. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+open Mgacc_minic
+
+type t = {
+  program : Ast.program;
+  options : Kernel_plan.options;
+  plans : (Loc.t, Kernel_plan.t) Hashtbl.t;
+  order : Kernel_plan.t list;
+}
+
+let build ?(options = Kernel_plan.default_options) program =
+  Typecheck.check_program program;
+  let plans = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun loop ->
+          let plan = Kernel_plan.of_loop ~options loop in
+          Hashtbl.replace plans loop.Mgacc_analysis.Loop_info.loop_loc plan;
+          order := plan :: !order)
+        (Mgacc_analysis.Loop_info.extract f))
+    program.Ast.funcs;
+  { program; options; plans; order = List.rev !order }
+
+let program t = t.program
+let options t = t.options
+
+let plan_for t (loop : Mgacc_analysis.Loop_info.t) =
+  match Hashtbl.find_opt t.plans loop.Mgacc_analysis.Loop_info.loop_loc with
+  | Some plan -> plan
+  | None ->
+      let plan = Kernel_plan.of_loop ~options:t.options loop in
+      Hashtbl.replace t.plans loop.Mgacc_analysis.Loop_info.loop_loc plan;
+      plan
+
+let all_plans t = t.order
+let loop_count t = List.length t.order

@@ -1,0 +1,27 @@
+(** Whole-program translation: typecheck once, plan every parallel loop.
+
+    Plans are indexed by the source location of the annotated loop, which
+    is how the runtime recognizes a loop when the host interpreter reaches
+    it (and how kernel compilations are cached across repeated
+    executions of the same loop — the reuse that iterative applications
+    depend on). *)
+
+open Mgacc_minic
+
+type t
+
+val build : ?options:Kernel_plan.options -> Ast.program -> t
+(** Typechecks the program (raising {!Loc.Error} on failure) and builds a
+    plan for every parallel loop in every function. *)
+
+val program : t -> Ast.program
+val options : t -> Kernel_plan.options
+
+val plan_for : t -> Mgacc_analysis.Loop_info.t -> Kernel_plan.t
+(** Look up by loop location; falls back to planning on the fly for loops
+    constructed outside [build] (e.g. in tests). *)
+
+val all_plans : t -> Kernel_plan.t list
+(** Every planned loop, in source order across functions. *)
+
+val loop_count : t -> int

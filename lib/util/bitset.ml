@@ -1,0 +1,133 @@
+type t = { bits : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.n)
+
+let set t i =
+  check t i;
+  let b = Bytes.get_uint8 t.bits (i lsr 3) in
+  Bytes.set_uint8 t.bits (i lsr 3) (b lor (1 lsl (i land 7)))
+
+let clear t i =
+  check t i;
+  let b = Bytes.get_uint8 t.bits (i lsr 3) in
+  Bytes.set_uint8 t.bits (i lsr 3) (b land lnot (1 lsl (i land 7)))
+
+let get t i =
+  check t i;
+  Bytes.get_uint8 t.bits (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let set_range t ~lo ~hi =
+  let lo = max 0 lo and hi = min t.n hi in
+  (* Whole bytes in the middle are filled at once. *)
+  let i = ref lo in
+  while !i < hi && !i land 7 <> 0 do
+    set t !i;
+    incr i
+  done;
+  while hi - !i >= 8 do
+    Bytes.set_uint8 t.bits (!i lsr 3) 0xFF;
+    i := !i + 8
+  done;
+  while !i < hi do
+    set t !i;
+    incr i
+  done
+
+let any_in_range t ~lo ~hi =
+  let lo = max 0 lo and hi = min t.n hi in
+  let result = ref false in
+  let i = ref lo in
+  while (not !result) && !i < hi do
+    if !i land 7 = 0 && hi - !i >= 8 then begin
+      if Bytes.get_uint8 t.bits (!i lsr 3) <> 0 then result := true;
+      i := !i + 8
+    end
+    else begin
+      if get t !i then result := true;
+      incr i
+    end
+  done;
+  !result
+
+let popcount8 =
+  let tbl = Array.make 256 0 in
+  for i = 1 to 255 do
+    tbl.(i) <- tbl.(i lsr 1) + (i land 1)
+  done;
+  fun b -> tbl.(b)
+
+let count t =
+  let total = ref 0 in
+  for b = 0 to Bytes.length t.bits - 1 do
+    total := !total + popcount8 (Bytes.get_uint8 t.bits b)
+  done;
+  !total
+
+let count_in_range t ~lo ~hi =
+  let lo = max 0 lo and hi = min t.n hi in
+  let total = ref 0 in
+  let i = ref lo in
+  while !i < hi do
+    if !i land 7 = 0 && hi - !i >= 8 then begin
+      total := !total + popcount8 (Bytes.get_uint8 t.bits (!i lsr 3));
+      i := !i + 8
+    end
+    else begin
+      if get t !i then incr total;
+      incr i
+    end
+  done;
+  !total
+
+let iter_set t f =
+  for b = 0 to Bytes.length t.bits - 1 do
+    let byte = Bytes.get_uint8 t.bits b in
+    if byte <> 0 then
+      for k = 0 to 7 do
+        let i = (b lsl 3) + k in
+        if i < t.n && byte land (1 lsl k) <> 0 then f i
+      done
+  done
+
+let runs_in_range t ~lo ~hi =
+  let lo = max 0 lo and hi = min t.n hi in
+  let acc = ref [] in
+  let run_start = ref (-1) in
+  let i = ref lo in
+  while !i < hi do
+    (* Skip whole clear bytes between runs. *)
+    if !run_start < 0 && !i land 7 = 0 && hi - !i >= 8 && Bytes.get_uint8 t.bits (!i lsr 3) = 0
+    then i := !i + 8
+    else begin
+      (if get t !i then begin
+         if !run_start < 0 then run_start := !i
+       end
+       else if !run_start >= 0 then begin
+         acc := Interval.make !run_start !i :: !acc;
+         run_start := -1
+       end);
+      incr i
+    end
+  done;
+  if !run_start >= 0 then acc := Interval.make !run_start hi :: !acc;
+  (* The scan emits sorted, disjoint, non-adjacent runs by construction. *)
+  Interval.Set.of_sorted_disjoint (List.rev !acc)
+
+let runs t = runs_in_range t ~lo:0 ~hi:t.n
+
+let union_into ~dst ~src =
+  if dst.n <> src.n then invalid_arg "Bitset.union_into: length mismatch";
+  for b = 0 to Bytes.length dst.bits - 1 do
+    Bytes.set_uint8 dst.bits b (Bytes.get_uint8 dst.bits b lor Bytes.get_uint8 src.bits b)
+  done
+
+let bytes_footprint t = Bytes.length t.bits

@@ -1,0 +1,15 @@
+(** Byte-size constants and human-readable formatting. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val pp : Format.formatter -> int -> unit
+(** Render a byte count like "444.9MB" (decimal point, binary units),
+    matching the style of the paper's Table II. *)
+
+val to_string : int -> string
+
+val of_mib : float -> int
+val to_mib : int -> float
+val to_gib : int -> float

@@ -1,0 +1,102 @@
+type t = { lo : int; hi : int }
+
+let empty = { lo = 0; hi = 0 }
+let make lo hi = if hi <= lo then empty else { lo; hi }
+let is_empty t = t.hi <= t.lo
+let length t = if is_empty t then 0 else t.hi - t.lo
+let contains t i = i >= t.lo && i < t.hi
+let overlaps a b = (not (is_empty a)) && (not (is_empty b)) && a.lo < b.hi && b.lo < a.hi
+let intersect a b = make (max a.lo b.lo) (min a.hi b.hi)
+
+let hull a b =
+  if is_empty a then b
+  else if is_empty b then a
+  else make (min a.lo b.lo) (max a.hi b.hi)
+
+let shift t d = if is_empty t then empty else make (t.lo + d) (t.hi + d)
+let clamp t ~lo ~hi = intersect t (make lo hi)
+let equal a b = (is_empty a && is_empty b) || (a.lo = b.lo && a.hi = b.hi)
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "[)"
+  else Format.fprintf ppf "[%d,%d)" t.lo t.hi
+
+module Set = struct
+  type interval = t
+  type nonrec t = t list
+  (* Invariant: sorted by [lo], pairwise disjoint and non-adjacent,
+     every element non-empty. *)
+
+  (* The outer interval operations, captured before Set shadows the names. *)
+  let ivl_is_empty = is_empty
+  let ivl_length = length
+  let ivl_contains = contains
+
+  let empty = []
+  let is_empty t = t = []
+  let of_interval i = if ivl_is_empty i then [] else [ i ]
+  let to_list t = t
+
+  let add t i =
+    if ivl_length i = 0 then t
+    else
+      (* Merge [i] with every interval it touches (overlap or adjacency). *)
+      let rec insert acc = function
+        | [] -> List.rev (i :: acc) |> fun l -> merge_from l
+        | x :: rest ->
+            if x.hi < i.lo then insert (x :: acc) rest
+            else if i.hi < x.lo then List.rev_append acc (i :: x :: rest) |> merge_from
+            else
+              let merged = { lo = min x.lo i.lo; hi = max x.hi i.hi } in
+              List.rev_append acc (merged :: rest) |> merge_from
+      and merge_from = function
+        | x :: y :: rest when y.lo <= x.hi -> merge_from ({ lo = x.lo; hi = max x.hi y.hi } :: rest)
+        | x :: rest -> x :: merge_from rest
+        | [] -> []
+      in
+      insert [] t
+
+  let of_list l = List.fold_left add empty l
+
+  let of_sorted_disjoint l =
+    let rec validate = function
+      | a :: (b :: _ as rest) ->
+          if ivl_is_empty a then invalid_arg "Interval.Set.of_sorted_disjoint: empty interval";
+          if a.hi >= b.lo then invalid_arg "Interval.Set.of_sorted_disjoint: not normalized";
+          validate rest
+      | [ a ] -> if ivl_is_empty a then invalid_arg "Interval.Set.of_sorted_disjoint: empty interval"
+      | [] -> ()
+    in
+    validate l;
+    l
+  let union a b = List.fold_left add a b
+
+  let inter a b =
+    let rec go a b acc =
+      match (a, b) with
+      | [], _ | _, [] -> List.rev acc
+      | x :: xs, y :: ys ->
+          let i = intersect x y in
+          let acc = if ivl_is_empty i then acc else i :: acc in
+          if x.hi <= y.hi then go xs b acc else go a ys acc
+    in
+    go a b []
+
+  let diff a b =
+    let subtract_one x cut =
+      (* x minus cut, as 0..2 intervals. *)
+      if not (overlaps x cut) then [ x ]
+      else
+        let left = make x.lo cut.lo and right = make cut.hi x.hi in
+        List.filter (fun i -> not (ivl_is_empty i)) [ left; right ]
+    in
+    List.fold_left (fun acc cut -> List.concat_map (fun x -> subtract_one x cut) acc) a b
+
+  let total_length t = List.fold_left (fun n i -> n + ivl_length i) 0 t
+  let mem t i = List.exists (fun x -> ivl_contains x i) t
+  let subset a b = is_empty (diff a b)
+  let equal a b = a = b
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp) t
+end

@@ -1,0 +1,35 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    sqrt (ss /. float_of_int (n - 1))
+
+let minimum a = Array.fold_left min infinity a
+let maximum a = Array.fold_left max neg_infinity a
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  let frac = rank -. floor rank in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry") a;
+    exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 a /. float_of_int n)
+  end
+
+let speedup ~baseline t = baseline /. t

@@ -1,0 +1,20 @@
+(** Small descriptive-statistics helpers for benchmark reporting. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. Raises [Invalid_argument] on an empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean; requires strictly positive entries. *)
+
+val speedup : baseline:float -> float -> float
+(** [speedup ~baseline t] is [baseline /. t]: >1 means faster than baseline. *)

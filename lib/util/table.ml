@@ -1,0 +1,58 @@
+type align = Left | Right
+type row = Cells of string list | Separator
+type t = { headers : string list; ncols : int; mutable rows : row list }
+
+let create ~headers = { headers; ncols = List.length headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells, expected %d" (List.length cells) t.ncols);
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render ?aligns t =
+  let rows = List.rev t.rows in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = t.ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Table.render: aligns length mismatch"
+    | None -> Array.init t.ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let fit = function
+    | Cells cells -> List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+    | Separator -> ()
+  in
+  List.iter fit rows;
+  let buf = Buffer.create 1024 in
+  let pad i s =
+    let w = widths.(i) in
+    let gap = w - String.length s in
+    match aligns.(i) with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let emit_cells cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " (List.mapi pad cells));
+    Buffer.add_string buf " |\n"
+  in
+  let emit_rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_rule ();
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Cells c -> emit_cells c | Separator -> emit_rule ()) rows;
+  emit_rule ();
+  Buffer.contents buf
+
+let print ?aligns t = print_string (render ?aligns t)

@@ -1,0 +1,24 @@
+(** ASCII table rendering for the benchmark harness.
+
+    The bench executable prints the same rows and series as the paper's
+    tables and figures; this module renders them with aligned columns. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers. Column count is fixed from here. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] on column-count mismatch. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between the surrounding rows. *)
+
+val render : ?aligns:align list -> t -> string
+(** Render with a header rule. [aligns] defaults to left for the first
+    column and right for the rest. *)
+
+val print : ?aligns:align list -> t -> unit
+(** [render] to stdout followed by a newline. *)

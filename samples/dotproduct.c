@@ -1,0 +1,22 @@
+/* Dot product: scalar reduction across GPUs. Each device reduces its block
+   privately; the runtime folds the partials into the host scalar.
+
+   Try: dune exec bin/accc.exe -- run samples/dotproduct.c --gpus 2 --verbose */
+void main() {
+  int n = 400000;
+  double x[n];
+  double y[n];
+  double dot = 0.0;
+  int i;
+  for (i = 0; i < n; i++) {
+    x[i] = 0.0001 * i;
+    y[i] = 1.0 - 0.0001 * i;
+  }
+  #pragma acc data copyin(x[0:n], y[0:n])
+  {
+    #pragma acc parallel loop reduction(+: dot) localaccess(x: stride(1), y: stride(1))
+    for (i = 0; i < n; i++) {
+      dot += x[i] * y[i];
+    }
+  }
+}

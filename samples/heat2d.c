@@ -1,0 +1,44 @@
+/* 2-D heat diffusion with nested parallelism (the paper's §VI future work,
+   both halves): rows distribute across GPUs with halo rows (the 2-D
+   localaccess window), and the inner column loop maps to vector lanes.
+
+   Try: dune exec bin/accc.exe -- run samples/heat2d.c --gpus 2 --trace */
+void main() {
+  int rows = 256;
+  int cols = 256;
+  int sweeps = 4;
+  double u[rows][cols];
+  double v[rows][cols];
+  int r;
+  int c;
+  int it;
+  for (r = 0; r < rows; r++) {
+    for (c = 0; c < cols; c++) {
+      u[r][c] = 1.0 * ((r + c) % 37);
+      v[r][c] = 0.0;
+    }
+  }
+  #pragma acc data copy(u[0:rows*cols]) copy(v[0:rows*cols])
+  {
+    for (it = 0; it < sweeps; it++) {
+      #pragma acc parallel loop localaccess(u: stride(cols, cols, cols), v: stride(cols))
+      for (r = 0; r < rows; r++) {
+        if (r > 0 && r < rows - 1) {
+          #pragma acc loop vector(128)
+          for (c = 1; c < cols - 1; c++) {
+            v[r][c] = 0.25 * (u[r-1][c] + u[r+1][c] + u[r][c-1] + u[r][c+1]);
+          }
+        }
+      }
+      #pragma acc parallel loop localaccess(v: stride(cols, cols, cols), u: stride(cols))
+      for (r = 0; r < rows; r++) {
+        if (r > 0 && r < rows - 1) {
+          #pragma acc loop vector(128)
+          for (c = 1; c < cols - 1; c++) {
+            u[r][c] = 0.25 * (v[r-1][c] + v[r+1][c] + v[r][c-1] + v[r][c+1]);
+          }
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,29 @@
+/* Histogram: the reductiontoarray extension. The destination bin of every
+   increment is data-dependent, which standard OpenACC cannot reduce inside
+   a parallel loop; the directive tells the compiler to give each GPU a
+   private partial histogram and merge hierarchically.
+
+   Try: dune exec bin/accc.exe -- run samples/histogram.c --gpus 2 --dump hist */
+void main() {
+  int n = 150000;
+  int bins = 64;
+  double data[n];
+  double hist[bins];
+  int i;
+  int seed = 7;
+  for (i = 0; i < n; i++) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    data[i] = (seed % 10000) / 10000.0;
+  }
+  for (i = 0; i < bins; i++) { hist[i] = 0.0; }
+  #pragma acc data copyin(data[0:n]) copy(hist[0:bins])
+  {
+    #pragma acc parallel loop localaccess(data: stride(1))
+    for (i = 0; i < n; i++) {
+      int b = (int)(data[i] * 64.0);
+      int b2 = min(b, bins - 1);
+      #pragma acc reductiontoarray(+: hist)
+      hist[b2] += 1.0;
+    }
+  }
+}

@@ -1,0 +1,22 @@
+/* SAXPY: the hello-world of OpenACC. Both vectors carry unit-stride
+   localaccess windows, so they block-distribute across the GPUs.
+
+   Try: dune exec bin/accc.exe -- run samples/saxpy.c --gpus 2 --dump y */
+void main() {
+  int n = 200000;
+  double x[n];
+  double y[n];
+  double a = 2.5;
+  int i;
+  for (i = 0; i < n; i++) {
+    x[i] = 0.001 * i;
+    y[i] = 1.0;
+  }
+  #pragma acc data copyin(x[0:n]) copy(y[0:n])
+  {
+    #pragma acc parallel loop localaccess(x: stride(1), y: stride(1))
+    for (i = 0; i < n; i++) {
+      y[i] = y[i] + a * x[i];
+    }
+  }
+}

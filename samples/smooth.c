@@ -1,0 +1,33 @@
+/* 1-D smoothing with halo windows and an adaptive if-clause: tiny inputs
+   stay on the host (offload would be all latency), large ones offload.
+
+   Try: dune exec bin/accc.exe -- run samples/smooth.c --gpus 2 */
+void main() {
+  int n = 120000;
+  int sweeps = 3;
+  double a[n];
+  double b[n];
+  int i;
+  int it;
+  for (i = 0; i < n; i++) {
+    a[i] = 1.0 * (i % 101);
+    b[i] = 0.0;
+  }
+  #pragma acc data copy(a[0:n]) copy(b[0:n])
+  {
+    for (it = 0; it < sweeps; it++) {
+      #pragma acc parallel loop if(n > 4096) localaccess(a: stride(1, 2, 2), b: stride(1))
+      for (i = 0; i < n; i++) {
+        if (i > 1 && i < n - 2) {
+          b[i] = 0.2 * (a[i-2] + a[i-1] + a[i] + a[i+1] + a[i+2]);
+        }
+      }
+      #pragma acc parallel loop if(n > 4096) localaccess(b: stride(1, 2, 2), a: stride(1))
+      for (i = 0; i < n; i++) {
+        if (i > 1 && i < n - 2) {
+          a[i] = 0.2 * (b[i-2] + b[i-1] + b[i] + b[i+1] + b[i+2]);
+        }
+      }
+    }
+  }
+}

@@ -1,0 +1,197 @@
+(* Unit tests for the communication manager, reductions and launch-level
+   behaviour that the end-to-end tests only exercise indirectly. *)
+
+module Interval = Mgacc_util.Interval
+module Memory = Mgacc_gpusim.Memory
+module Machine = Mgacc_gpusim.Machine
+module Cost = Mgacc_gpusim.Cost
+open Mgacc_runtime
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let mk_cfg ?(num_gpus = 2) () = Rt_config.make ~num_gpus (Machine.desktop ())
+
+let mk_da cfg name data =
+  Darray.create cfg ~name ~host:(Mgacc_exec.View.of_float_array ~name data)
+
+(* ---------------- Reduction merge ---------------- *)
+
+let test_reduction_merge_values () =
+  let cfg = mk_cfg () in
+  let da = mk_da cfg "acc" [| 10.0; 20.0; 30.0 |] in
+  let _ = Darray.ensure_replicated cfg da ~dirty_tracking:false in
+  let red = Reduction.allocate cfg da Mgacc_minic.Ast.Rplus in
+  Reduction.reduce_f red ~gpu:0 0 5.0;
+  Reduction.reduce_f red ~gpu:0 2 1.0;
+  Reduction.reduce_f red ~gpu:1 0 7.0;
+  let m = Reduction.merge cfg red da in
+  (* final = base + partial0 + partial1, on every replica. *)
+  let r = Darray.replica_of da in
+  List.iter
+    (fun g ->
+      let d = Memory.float_data r.Darray.bufs.(g) in
+      check (Alcotest.float 1e-12) "elem 0" 22.0 d.(0);
+      check (Alcotest.float 1e-12) "elem 1" 20.0 d.(1);
+      check (Alcotest.float 1e-12) "elem 2" 31.0 d.(2))
+    [ 0; 1 ];
+  (* Traffic: gather from GPU 1 (it contributed) + broadcast to GPU 1. *)
+  check Alcotest.int "two transfers" 2 (List.length m.Reduction.xfers);
+  check Alcotest.bool "combine kernel charged" true
+    (not (Cost.is_zero m.Reduction.combine_cost))
+
+let test_reduction_merge_single_gpu () =
+  let cfg = mk_cfg ~num_gpus:1 () in
+  let da = mk_da cfg "acc" [| 1.0 |] in
+  let _ = Darray.ensure_replicated cfg da ~dirty_tracking:false in
+  let red = Reduction.allocate cfg da Mgacc_minic.Ast.Rmax in
+  Reduction.reduce_f red ~gpu:0 0 9.0;
+  let m = Reduction.merge cfg red da in
+  check Alcotest.int "no transfers on one GPU" 0 (List.length m.Reduction.xfers);
+  let r = Darray.replica_of da in
+  check (Alcotest.float 1e-12) "max applied" 9.0 (Memory.float_data r.Darray.bufs.(0)).(0)
+
+let test_reduction_partials_accounted () =
+  let cfg = mk_cfg () in
+  let da = mk_da cfg "acc" (Array.make 1000 0.0) in
+  let _ = Darray.ensure_replicated cfg da ~dirty_tracking:false in
+  let mem g = (Machine.device cfg.Rt_config.machine g).Mgacc_gpusim.Device.memory in
+  let before = Memory.used_class (mem 0) `System in
+  let red = Reduction.allocate cfg da Mgacc_minic.Ast.Rplus in
+  check Alcotest.int "partial charged as system" (before + 8000) (Memory.used_class (mem 0) `System);
+  let _ = Reduction.merge cfg red da in
+  check Alcotest.int "partial freed after merge" before (Memory.used_class (mem 0) `System)
+
+(* ---------------- Dirty merge via a program ---------------- *)
+
+let run_acc ?(num_gpus = 2) ?chunk_bytes src =
+  let m = Machine.desktop () in
+  let config = Rt_config.make ~num_gpus ?chunk_bytes m in
+  Mgacc.run_acc ~config ~machine:m (Mgacc.parse_string ~name:"t" src)
+
+let test_merge_preserves_disjoint_writers () =
+  (* GPU 0 owns iterations [0,500), GPU 1 [500,1000); each writes only its
+     own disjoint region of the replicated array; merge must interleave
+     both GPUs' contributions. *)
+  let src =
+    {|void main() {
+        int n = 1000; double a[n]; int i;
+        for (i = 0; i < n; i++) { a[i] = -1.0; }
+        #pragma acc data copy(a[0:n])
+        {
+          #pragma acc parallel loop
+          for (i = 0; i < n; i++) { a[(i + 500) % n] = 1.0 * i; }
+        }
+      }|}
+  in
+  let env, _ = run_acc src in
+  let a = Mgacc.float_results env "a" in
+  check (Alcotest.float 1e-12) "gpu0's write landed" 0.0 a.(500);
+  check (Alcotest.float 1e-12) "gpu1's write landed" 999.0 a.(499);
+  Array.iteri (fun i v -> if v < 0.0 then Alcotest.failf "a[%d] unwritten" i) a
+
+let test_dirty_bytes_scale_with_chunks () =
+  (* One dirty element: with small chunks the reconciliation ships one
+     chunk (plus bits) to the peer. *)
+  let src =
+    {|void main() {
+        int n = 8192; double a[n]; int i;
+        for (i = 0; i < n; i++) { a[i] = 0.0; }
+        #pragma acc data copy(a[0:n])
+        {
+          #pragma acc parallel loop
+          for (i = 0; i < n; i++) { if (i == 0) { a[4096] = 1.0; } }
+        }
+      }|}
+  in
+  let _, r = run_acc ~chunk_bytes:1024 src in
+  (* one 1KB chunk + 16B of first-level bits, one direction *)
+  check Alcotest.int "one chunk ships" (1024 + 16) r.Mgacc.Report.gpu_gpu_bytes
+
+(* ---------------- Scalar firstprivate semantics ---------------- *)
+
+let test_scalars_are_firstprivate () =
+  (* A scalar assigned inside the loop must NOT leak back to the host
+     (OpenACC firstprivate), unlike the OpenMP runner's shared scalars. *)
+  let src =
+    {|void main() {
+        int n = 100; double a[n]; double t = 7.0; int i;
+        #pragma acc parallel loop localaccess(a: stride(1))
+        for (i = 0; i < n; i++) { t = 1.0 * i; a[i] = t; }
+      }|}
+  in
+  let env, _ = run_acc src in
+  (match Mgacc.Host_interp.get_scalar env "t" with
+  | Mgacc.Host_interp.Vfloat t -> check (Alcotest.float 1e-12) "t untouched" 7.0 t
+  | _ -> Alcotest.fail "t kind");
+  let a = Mgacc.float_results env "a" in
+  check (Alcotest.float 1e-12) "private use worked" 99.0 a.(99)
+
+let test_empty_iteration_space () =
+  let src =
+    {|void main() {
+        int n = 0; double a[10]; int i;
+        for (i = 0; i < 10; i++) { a[i] = 3.0; }
+        #pragma acc parallel loop localaccess(a: stride(1))
+        for (i = 0; i < n; i++) { a[i] = 9.0; }
+      }|}
+  in
+  let env, report = run_acc src in
+  let a = Mgacc.float_results env "a" in
+  check (Alcotest.float 1e-12) "nothing written" 3.0 a.(0);
+  check Alcotest.int "loop still counted" 1 report.Mgacc.Report.loops
+
+(* ---------------- OpenMP runner ---------------- *)
+
+let test_openmp_shared_scalars () =
+  (* Sequential in-order semantics: the last iteration's assignment is
+     visible after the loop (C/OpenMP shared scalar, race-free here). *)
+  let src =
+    {|void main() {
+        int n = 10; double a[n]; double last = 0.0; int i;
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) { a[i] = 1.0; last = 1.0 * i; }
+      }|}
+  in
+  let env, _ = Mgacc.run_openmp ~machine:(Machine.desktop ()) (Mgacc.parse_string ~name:"t" src) in
+  match Mgacc.Host_interp.get_scalar env "last" with
+  | Mgacc.Host_interp.Vfloat v -> check (Alcotest.float 1e-12) "shared write-back" 9.0 v
+  | _ -> Alcotest.fail "kind"
+
+let test_openmp_thread_count_matters () =
+  let src =
+    {|void main() {
+        int n = 200000; double a[n]; int i;
+        #pragma acc parallel loop
+        for (i = 0; i < n; i++) { a[i] = sqrt(1.0 * i) * 2.0 + 1.0; }
+      }|}
+  in
+  let program = Mgacc.parse_string ~name:"t" src in
+  let _, r1 = Mgacc.run_openmp ~threads:1 ~machine:(Machine.desktop ()) program in
+  let _, r12 = Mgacc.run_openmp ~threads:12 ~machine:(Machine.desktop ()) program in
+  check Alcotest.bool "12 threads much faster" true
+    (r12.Mgacc.Report.total_time < r1.Mgacc.Report.total_time /. 3.0)
+
+(* ---------------- Report ---------------- *)
+
+let test_report_speedup () =
+  let base = Report.host_only ~machine:"m" ~variant:"omp" ~seconds:2.0 in
+  let p = Profiler.create () in
+  Profiler.add_kernel p ~seconds:0.5;
+  let r = Report.of_profiler p ~machine:"m" ~variant:"acc" ~num_gpus:2 in
+  check (Alcotest.float 1e-12) "speedup" 4.0 (Report.speedup_vs r ~baseline:base);
+  check Alcotest.int "gpus" 2 r.Report.num_gpus
+
+let suite =
+  [
+    tc "reduction: merge folds partials into replicas" test_reduction_merge_values;
+    tc "reduction: single GPU needs no traffic" test_reduction_merge_single_gpu;
+    tc "reduction: partials charged and freed as system memory" test_reduction_partials_accounted;
+    tc "comm: disjoint writers merge losslessly" test_merge_preserves_disjoint_writers;
+    tc "comm: chunk granularity bounds shipped bytes" test_dirty_bytes_scale_with_chunks;
+    tc "launch: scalars are firstprivate" test_scalars_are_firstprivate;
+    tc "launch: empty iteration space" test_empty_iteration_space;
+    tc "openmp: shared scalar semantics" test_openmp_shared_scalars;
+    tc "openmp: thread scaling visible" test_openmp_thread_count_matters;
+    tc "report: speedup arithmetic" test_report_speedup;
+  ]

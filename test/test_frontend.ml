@@ -1,0 +1,290 @@
+(* Frontend tests: lexer, parser, pretty-printer round trips, typechecker. *)
+
+open Mgacc_minic
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---------------- Lexer ---------------- *)
+
+let toks src = List.map fst (Lexer.tokenize ~file:"t" src)
+
+let test_lexer_basics () =
+  check Alcotest.int "count" 6 (List.length (toks "int x = 42;"));
+  (match toks "3.5 1e3 2.0e-2 7" with
+  | [ Token.Tfloat_lit a; Token.Tfloat_lit b; Token.Tfloat_lit c; Token.Tint_lit 7; Token.Teof ] ->
+      check (Alcotest.float 1e-12) "3.5" 3.5 a;
+      check (Alcotest.float 1e-12) "1e3" 1000.0 b;
+      check (Alcotest.float 1e-12) "2e-2" 0.02 c
+  | _ -> Alcotest.fail "bad number lexing");
+  match toks "a<=b && c>>2" with
+  | [ Token.Tident "a"; Token.Tpunct "<="; Token.Tident "b"; Token.Tpunct "&&"; Token.Tident "c";
+      Token.Tpunct ">>"; Token.Tint_lit 2; Token.Teof ] ->
+      ()
+  | _ -> Alcotest.fail "bad operator lexing"
+
+let test_lexer_comments () =
+  check Alcotest.int "line comment" 2 (List.length (toks "x // blah blah\n"));
+  check Alcotest.int "block comment" 3 (List.length (toks "x /* multi\nline */ y"));
+  Alcotest.check_raises "unterminated"
+    (Loc.Error (Loc.make ~file:"t" ~line:1 ~col:3, "unterminated comment"))
+    (fun () -> ignore (toks "x /* oops"))
+
+let test_lexer_pragma () =
+  match toks "#pragma acc parallel loop\nfor" with
+  | [ Token.Tpragma p; Token.Tkw "for"; Token.Teof ] ->
+      check Alcotest.string "payload" "acc parallel loop" p
+  | _ -> Alcotest.fail "pragma not captured"
+
+let test_lexer_locations () =
+  let all = Lexer.tokenize ~file:"t" "a\n  b" in
+  match all with
+  | [ (_, la); (_, lb); _ ] ->
+      check Alcotest.int "line a" 1 la.Loc.line;
+      check Alcotest.int "line b" 2 lb.Loc.line;
+      check Alcotest.int "col b" 3 lb.Loc.col
+  | _ -> Alcotest.fail "token count"
+
+let test_lexer_bad_char () =
+  match toks "a @ b" with
+  | exception Loc.Error (_, msg) -> check Alcotest.bool "mentions char" true (String.contains msg '@')
+  | _ -> Alcotest.fail "expected error"
+
+(* ---------------- Parser: expressions ---------------- *)
+
+let pe src = Pretty.expr_to_string (Parser.parse_expr ~file:"t" src)
+
+let test_parser_precedence () =
+  check Alcotest.string "mul binds tighter" "(1 + (2 * 3))" (pe "1 + 2 * 3");
+  check Alcotest.string "left assoc" "((10 - 4) - 3)" (pe "10 - 4 - 3");
+  check Alcotest.string "cmp vs arith" "((a + 1) < (b * 2))" (pe "a + 1 < b * 2");
+  check Alcotest.string "logical" "((a && b) || c)" (pe "a && b || c");
+  check Alcotest.string "parens" "((1 + 2) * 3)" (pe "(1 + 2) * 3");
+  check Alcotest.string "unary" "((-a) + b)" (pe "-a + b");
+  check Alcotest.string "ternary" "(a ? b : (c ? d : e))" (pe "a ? b : c ? d : e");
+  check Alcotest.string "shift" "((a << 2) + 1)" (pe "(a << 2) + 1");
+  check Alcotest.string "cast" "((int)(a / b))" (pe "(int)(a / b)");
+  check Alcotest.string "index" "a[((i * 3) + 1)]" (pe "a[i*3 + 1]");
+  check Alcotest.string "call" "fmax(a, (b + 1))" (pe "fmax(a, b + 1)");
+  check Alcotest.string "length" "__length(xs)" (pe "__length(xs)")
+
+let test_parser_expr_errors () =
+  let fails src =
+    match Parser.parse_expr ~file:"t" src with
+    | exception Loc.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" src
+  in
+  fails "1 +";
+  fails "a[";
+  fails "f(a,)";
+  fails "1 2"
+
+(* ---------------- Parser: statements & programs ---------------- *)
+
+let parse_main body =
+  Parser.parse ~file:"t" (Printf.sprintf "void main() { %s }" body)
+
+let test_parser_statements () =
+  let p =
+    parse_main
+      {|
+        int n = 10;
+        double a[n];
+        int i;
+        for (i = 0; i < n; i++) { a[i] = 2.0 * i; }
+        while (n > 0) { n = n - 1; if (n == 3) break; else continue; }
+        i += 2; i--; a[0] /= 2.0;
+      |}
+  in
+  match Ast.find_func p "main" with
+  | Some f -> check Alcotest.int "statements" 8 (List.length f.Ast.fbody)
+  | None -> Alcotest.fail "no main"
+
+let test_parser_functions () =
+  let p =
+    Parser.parse ~file:"t"
+      "double dot(double xs[], double ys[], int n) { int i; double s = 0.0; for (i = 0; i < n; \
+       i++) { s += xs[i] * ys[i]; } return s; } void main() { }"
+  in
+  check Alcotest.int "two functions" 2 (List.length p.Ast.funcs);
+  match Ast.find_func p "dot" with
+  | Some f ->
+      check Alcotest.int "params" 3 (List.length f.Ast.fparams);
+      check Alcotest.string "ret" "double" (Ast.typ_to_string f.Ast.fret)
+  | None -> Alcotest.fail "no dot"
+
+let test_parser_directives () =
+  let d s = Pretty.directive_to_string (Parser.parse_directive ~file:"t" ~line:1 s) in
+  check Alcotest.string "parallel loop"
+    "acc parallel loop copyin(a[0:n], b) reduction(+: s) gang vector(128)"
+    (d "acc parallel loop copyin(a[0:n], b) reduction(+:s) gang vector(128)");
+  check Alcotest.string "kernels alias" "acc parallel loop" (d "acc kernels loop");
+  check Alcotest.string "data" "acc data copy(x[0:n])" (d "acc data copy(x[0:n])");
+  check Alcotest.string "update" "acc update host(x[0:n], y)" (d "acc update host(x[0:n], y)");
+  check Alcotest.string "localaccess"
+    "acc localaccess(a: stride(3, 0, 0), b: stride(1, 1, 2))"
+    (d "acc localaccess(a: stride(3), b: stride(1, 1, 2))");
+  check Alcotest.string "reductiontoarray" "acc reductiontoarray(+: hist)"
+    (d "acc reductiontoarray(+: hist)");
+  check Alcotest.string "reductiontoarray max" "acc reductiontoarray(max: best)"
+    (d "acc reductiontoarray(max: best[0:k])")
+
+let test_parser_directive_errors () =
+  let fails s =
+    match Parser.parse_directive ~file:"t" ~line:1 s with
+    | exception Loc.Error _ -> ()
+    | _ -> Alcotest.failf "expected error for %S" s
+  in
+  fails "omp parallel";
+  fails "acc wibble";
+  fails "acc parallel loop copyin";
+  fails "acc localaccess(a: wobble(1))";
+  fails "acc update nowhere(x)"
+
+let test_parser_pragma_attaches () =
+  let p =
+    parse_main
+      {|
+        int n = 4; double a[n]; int i;
+        #pragma acc data copy(a[0:n])
+        {
+          #pragma acc localaccess(a: stride(1))
+          #pragma acc parallel loop
+          for (i = 0; i < n; i++) { a[i] = 1.0; }
+        }
+      |}
+  in
+  let f = Option.get (Ast.find_func p "main") in
+  (* data pragma wraps the block; inside, two stacked pragmas wrap the for *)
+  match List.rev f.Ast.fbody with
+  | { Ast.sdesc = Ast.Spragma (Ast.Ddata _, { Ast.sdesc = Ast.Sblock [ inner ]; _ }); _ } :: _ -> (
+      match inner.Ast.sdesc with
+      | Ast.Spragma (Ast.Dlocalaccess _, { Ast.sdesc = Ast.Spragma (Ast.Dparallel_loop _, _); _ })
+        ->
+          ()
+      | _ -> Alcotest.fail "pragma stack shape")
+  | _ -> Alcotest.fail "data pragma shape"
+
+let test_parser_2d_desugar () =
+  let p =
+    parse_main
+      {|
+        int n = 4; int m = 6;
+        double a[n][m];
+        int i; int j;
+        for (i = 0; i < n; i++) { for (j = 0; j < m; j++) { a[i][j] = 1.0; } }
+      |}
+  in
+  let f = Option.get (Ast.find_func p "main") in
+  (* The declaration flattens to n*m elements. *)
+  (match List.nth f.Ast.fbody 2 with
+  | { Ast.sdesc = Ast.Sarray_decl (Ast.Edouble, "a", len); _ } ->
+      check Alcotest.string "flattened length" "(n * m)" (Pretty.expr_to_string len)
+  | _ -> Alcotest.fail "decl shape");
+  (* The subscript desugars to row-major indexing. *)
+  let rec find_assign s =
+    match s.Ast.sdesc with
+    | Ast.Sassign (Ast.Lindex ("a", idx), _, _) -> Some idx
+    | Ast.Sfor (_, body) | Ast.Sblock body -> List.find_map find_assign body
+    | _ -> None
+  in
+  match List.find_map find_assign f.Ast.fbody with
+  | Some idx -> check Alcotest.string "row major" "((i * m) + j)" (Pretty.expr_to_string idx)
+  | None -> Alcotest.fail "no assignment found"
+
+let test_parser_2d_errors () =
+  match
+    Parser.parse ~file:"t" "void main() { double a[4]; a[1][2] = 0.0; }"
+  with
+  | exception Loc.Error (_, msg) ->
+      check Alcotest.bool "names the array" true (String.length msg > 0)
+  | _ -> Alcotest.fail "indexing a 1-D array twice must fail"
+
+let test_roundtrip () =
+  let src =
+    {|
+double norm(double xs[], int n) {
+  double s = 0.0;
+  int i;
+  #pragma acc parallel loop reduction(+: s) localaccess(xs: stride(1))
+  for (i = 0; i < n; i++) { s += xs[i] * xs[i]; }
+  return sqrt(s);
+}
+void main() {
+  int n = 100;
+  double xs[n];
+  int i;
+  for (i = 0; i < n; i++) { xs[i] = 0.5 * i; }
+  double r = norm(xs, n);
+  if (r > 0.0) { r = r / 2.0; } else { r = 0.0; }
+}
+|}
+  in
+  let p1 = Parser.parse ~file:"t" src in
+  let printed1 = Pretty.program_to_string p1 in
+  let p2 = Parser.parse ~file:"t2" printed1 in
+  let printed2 = Pretty.program_to_string p2 in
+  check Alcotest.string "pretty fixpoint" printed1 printed2
+
+(* ---------------- Typechecker ---------------- *)
+
+let typecheck_src src = Typecheck.check_program (Parser.parse ~file:"t" src)
+
+let accepts name src = (name, fun () -> typecheck_src src)
+
+let rejects name src =
+  ( name,
+    fun () ->
+      match typecheck_src src with
+      | exception Loc.Error _ -> ()
+      | () -> Alcotest.failf "expected a type error" )
+
+let typecheck_cases =
+  [
+    accepts "numeric coercion int->double" "void main() { double x = 1; x = x + 2; }";
+    accepts "array params" "double f(double a[], int i) { return a[i]; } void main() { }";
+    accepts "ternary mixing" "void main() { int c = 1; double x = c ? 1.0 : 2; }";
+    rejects "undeclared variable" "void main() { x = 1; }";
+    rejects "redeclaration" "void main() { int x; int x; }";
+    rejects "array as scalar" "void main() { double a[3]; a = 1.0; }";
+    rejects "scalar indexed" "void main() { int x; x[0] = 1; }";
+    rejects "double array index" "void main() { double a[3]; a[1.5] = 1.0; }";
+    rejects "mod on double" "void main() { double x = 4.0; int y = x % 2; }";
+    rejects "break outside loop" "void main() { break; }";
+    rejects "void in expression" "void f() { } void main() { int x = f(); }";
+    rejects "call arity" "int g(int x) { return x; } void main() { int y = g(1, 2); }";
+    rejects "unknown function" "void main() { int y = nosuch(1); }";
+    rejects "builtin arity" "void main() { double x = sqrt(1.0, 2.0); }";
+    rejects "return value from void" "void main() { return 3; }";
+    rejects "duplicate function" "void f() { } void f() { } void main() { }";
+    rejects "directive names unknown array"
+      "void main() { int i; \n#pragma acc parallel loop copyin(a[0:4])\nfor (i = 0; i < 4; i++) { } }";
+    rejects "reduction on array"
+      "void main() { double a[4]; int i; \n#pragma acc parallel loop reduction(+: a)\nfor (i = 0; i < 4; i++) { } }";
+    rejects "parallel on non-loop"
+      "void main() { int i; \n#pragma acc parallel loop\ni = 3; }";
+    rejects "reductiontoarray on wrong statement"
+      "void main() { double a[4]; int i;\n#pragma acc parallel loop\nfor (i = 0; i < 4; i++) { \n#pragma acc reductiontoarray(+: a)\ni = 2; } }";
+    accepts "reductiontoarray well formed"
+      "void main() { double a[4]; int i;\n#pragma acc parallel loop\nfor (i = 0; i < 4; i++) { \n#pragma acc reductiontoarray(+: a)\na[i % 2] += 1.0; } }";
+  ]
+
+let suite =
+  [
+    tc "lexer: numbers, idents, operators" test_lexer_basics;
+    tc "lexer: comments" test_lexer_comments;
+    tc "lexer: pragma lines" test_lexer_pragma;
+    tc "lexer: locations" test_lexer_locations;
+    tc "lexer: bad character" test_lexer_bad_char;
+    tc "parser: operator precedence" test_parser_precedence;
+    tc "parser: expression errors" test_parser_expr_errors;
+    tc "parser: statements" test_parser_statements;
+    tc "parser: functions" test_parser_functions;
+    tc "parser: directives" test_parser_directives;
+    tc "parser: directive errors" test_parser_directive_errors;
+    tc "parser: pragma attachment" test_parser_pragma_attaches;
+    tc "parser: 2-D arrays desugar row-major" test_parser_2d_desugar;
+    tc "parser: 2-D subscript on 1-D array rejected" test_parser_2d_errors;
+    tc "pretty: parse/print fixpoint" test_roundtrip;
+  ]
+  @ List.map (fun (name, f) -> tc ("typecheck: " ^ name) f) typecheck_cases

@@ -1,0 +1,260 @@
+(* Tests for the machine simulator: memory accounting, fair-share fabric,
+   roofline models, machine presets, virtual CUDA API. *)
+
+open Mgacc_gpusim
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---------------- Memory ---------------- *)
+
+let test_memory_accounting () =
+  let m = Memory.create ~device_id:0 ~capacity:1000 in
+  let b1 = Memory.alloc_float m `User 50 in
+  check Alcotest.int "user bytes" 400 (Memory.used_class m `User);
+  let b2 = Memory.alloc_raw m `System 100 in
+  check Alcotest.int "system bytes" 100 (Memory.used_class m `System);
+  check Alcotest.int "total" 500 (Memory.used m);
+  Memory.free m b1;
+  check Alcotest.int "freed" 100 (Memory.used m);
+  Memory.free m b1;
+  check Alcotest.int "double free ignored" 100 (Memory.used m);
+  check Alcotest.int "peak survives free" 400 (Memory.peak_class m `User);
+  Memory.free m b2
+
+let test_memory_oom () =
+  let m = Memory.create ~device_id:3 ~capacity:1000 in
+  match Memory.alloc_float m `User 50 with
+  | exception _ -> Alcotest.fail "should fit"
+  | _ -> (
+      match Memory.alloc_float m `User 100 with
+      | exception Memory.Out_of_device_memory { device_id = 3; requested = 800; available = 600 } ->
+          ()
+      | exception Memory.Out_of_device_memory _ -> Alcotest.fail "wrong OOM payload"
+      | _ -> Alcotest.fail "expected OOM")
+
+let test_memory_use_after_free () =
+  let m = Memory.create ~device_id:0 ~capacity:1000 in
+  let b = Memory.alloc_float m `User 4 in
+  Memory.free m b;
+  match Memory.float_data b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "use after free"
+
+(* ---------------- Fabric ---------------- *)
+
+let gb = 1024.0 *. 1024.0 *. 1024.0
+
+let test_link =
+  {
+    Spec.h2d_bandwidth = 4.0 *. gb;
+    d2h_bandwidth = 4.0 *. gb;
+    p2p_bandwidth = 2.0 *. gb;
+    link_latency = 10e-6;
+    host_aggregate_bandwidth = 6.0 *. gb;
+  }
+
+let test_fabric_single_transfer () =
+  let f = Fabric.create test_link ~num_gpus:2 in
+  let bytes = int_of_float gb in
+  let expected = 10e-6 +. (1.0 /. 4.0) in
+  check (Alcotest.float 1e-9) "alone time" expected
+    (Fabric.transfer_time_alone f (Fabric.H2d 0) ~bytes);
+  let completions =
+    Fabric.run_batch f [ { Fabric.direction = Fabric.H2d 0; bytes; ready = 0.0; tag = "x" } ]
+  in
+  match completions with
+  | [ c ] -> check (Alcotest.float 1e-6) "batch matches alone" expected c.Fabric.finish
+  | _ -> Alcotest.fail "one completion"
+
+let test_fabric_host_aggregate_contention () =
+  (* Two concurrent H2D at 4 GB/s each would want 8; the 6 GB/s root
+     complex caps them at 3 each. *)
+  let f = Fabric.create test_link ~num_gpus:2 in
+  let bytes = int_of_float (3.0 *. gb) in
+  let reqs =
+    [
+      { Fabric.direction = Fabric.H2d 0; bytes; ready = 0.0; tag = "a" };
+      { Fabric.direction = Fabric.H2d 1; bytes; ready = 0.0; tag = "b" };
+    ]
+  in
+  match Fabric.run_batch f reqs with
+  | [ a; b ] ->
+      check (Alcotest.float 1e-3) "fair share a" (10e-6 +. 1.0) a.Fabric.finish;
+      check (Alcotest.float 1e-3) "fair share b" (10e-6 +. 1.0) b.Fabric.finish
+  | _ -> Alcotest.fail "two completions"
+
+let test_fabric_own_cap_binds () =
+  (* P2P capped at 2 GB/s regardless of the links. *)
+  let f = Fabric.create test_link ~num_gpus:2 in
+  let bytes = int_of_float (2.0 *. gb) in
+  match
+    Fabric.run_batch f [ { Fabric.direction = Fabric.P2p (0, 1); bytes; ready = 0.0; tag = "p" } ]
+  with
+  | [ c ] -> check (Alcotest.float 1e-3) "p2p rate" (10e-6 +. 1.0) c.Fabric.finish
+  | _ -> Alcotest.fail "one completion"
+
+let test_fabric_staggered_arrivals () =
+  let f = Fabric.create test_link ~num_gpus:2 in
+  let bytes = int_of_float gb in
+  let reqs =
+    [
+      { Fabric.direction = Fabric.H2d 0; bytes; ready = 0.0; tag = "early" };
+      { Fabric.direction = Fabric.H2d 0; bytes; ready = 10.0; tag = "late" };
+    ]
+  in
+  (match Fabric.run_batch f reqs with
+  | [ a; b ] ->
+      check Alcotest.bool "early done before late starts" true (a.Fabric.finish < 10.0);
+      check Alcotest.bool "late after its ready" true (b.Fabric.finish > 10.0)
+  | _ -> Alcotest.fail "two completions");
+  (* Zero-byte requests complete instantly. *)
+  match
+    Fabric.run_batch f [ { Fabric.direction = Fabric.H2d 0; bytes = 0; ready = 5.0; tag = "z" } ]
+  with
+  | [ c ] -> check (Alcotest.float 1e-12) "zero bytes" 5.0 c.Fabric.finish
+  | _ -> Alcotest.fail "one completion"
+
+let test_fabric_conservation () =
+  (* Any mix of transfers must finish no earlier than bytes / best rate. *)
+  let f = Fabric.create test_link ~num_gpus:3 in
+  let reqs =
+    List.init 9 (fun i ->
+        {
+          Fabric.direction =
+            (match i mod 3 with
+            | 0 -> Fabric.H2d (i mod 2)
+            | 1 -> Fabric.D2h ((i + 1) mod 2)
+            | _ -> Fabric.P2p (i mod 3, (i + 1) mod 3));
+          bytes = (i + 1) * 10_000_000;
+          ready = float_of_int (i mod 2) *. 0.001;
+          tag = "t";
+        })
+  in
+  let completions = Fabric.run_batch f reqs in
+  List.iter
+    (fun (c : Fabric.completion) ->
+      let lower =
+        c.Fabric.req.Fabric.ready
+        +. (float_of_int c.Fabric.req.Fabric.bytes /. Fabric.standalone_bandwidth f c.Fabric.req.Fabric.direction)
+      in
+      if c.Fabric.finish +. 1e-9 < lower then
+        Alcotest.failf "finish %f before physical lower bound %f" c.Fabric.finish lower)
+    completions
+
+(* ---------------- Kernel cost & CPU model ---------------- *)
+
+let test_kernel_cost_roofline () =
+  let g = Spec.tesla_c2075 in
+  let c = Cost.zero () in
+  c.Cost.flops <- 1_000_000_000;
+  let t_compute = Kernel_cost.duration g ~threads:100000 c in
+  (* 1 GFLOP at ~309 sustained GFLOP/s -> about 3.2 ms *)
+  check Alcotest.bool "compute-bound plausible" true (t_compute > 2e-3 && t_compute < 5e-3);
+  let m = Cost.zero () in
+  m.Cost.coalesced_bytes <- 1_000_000_000;
+  let t_mem = Kernel_cost.duration g ~threads:100000 m in
+  (* 1 GB at ~108 GB/s sustained -> about 8.6 ms *)
+  check Alcotest.bool "memory-bound plausible" true (t_mem > 6e-3 && t_mem < 12e-3);
+  (* Random accesses cost a transaction each. *)
+  let r = Cost.zero () in
+  r.Cost.random_accesses <- 10_000_000;
+  r.Cost.random_bytes <- 80_000_000;
+  let t_rand = Kernel_cost.duration g ~threads:100000 r in
+  let r2 = Cost.zero () in
+  r2.Cost.coalesced_bytes <- 80_000_000;
+  let t_seq = Kernel_cost.duration g ~threads:100000 r2 in
+  check Alcotest.bool "random slower than coalesced" true (t_rand > (2.0 *. t_seq))
+
+let test_kernel_cost_occupancy () =
+  let g = Spec.tesla_c2075 in
+  let c = Cost.zero () in
+  c.Cost.flops <- 1_000_000;
+  let t_small = Kernel_cost.duration g ~threads:32 c in
+  let t_big = Kernel_cost.duration g ~threads:100000 c in
+  check Alcotest.bool "few threads slower" true (t_small > t_big)
+
+let test_kernel_cost_broadcast_discount () =
+  let g = Spec.tesla_c2075 in
+  let b = Cost.zero () in
+  b.Cost.broadcast_bytes <- 320_000_000;
+  let c = Cost.zero () in
+  c.Cost.coalesced_bytes <- 320_000_000;
+  check Alcotest.bool "broadcast cheaper" true
+    (Kernel_cost.memory_time g b < Kernel_cost.memory_time g c /. 8.0)
+
+let test_cpu_model_scaling () =
+  let cpu = Spec.core_i7_970 in
+  let c = Cost.zero () in
+  c.Cost.flops <- 100_000_000;
+  let t1 = Cpu_model.duration cpu ~threads:1 c in
+  let t6 = Cpu_model.duration cpu ~threads:6 c in
+  let t12 = Cpu_model.duration cpu ~threads:12 c in
+  check Alcotest.bool "parallel speedup" true (t6 < t1 /. 3.0);
+  check Alcotest.bool "HT adds a little" true (t12 < t6);
+  check Alcotest.bool "HT far from linear" true (t12 > t6 /. 1.6);
+  (* One OpenMP thread pays the parallel-efficiency derating that plain
+     serial execution does not. *)
+  let serial = Cpu_model.serial_duration cpu c in
+  check Alcotest.bool "serial beats 1 OpenMP thread" true (serial <= t1)
+
+(* ---------------- Machine & CUDA ---------------- *)
+
+let test_machine_presets () =
+  let d = Machine.desktop () in
+  check Alcotest.int "desktop gpus" 2 (Machine.num_gpus d);
+  check Alcotest.int "desktop threads" 12 d.Machine.default_omp_threads;
+  let s = Machine.supernode () in
+  check Alcotest.int "supernode gpus" 3 (Machine.num_gpus s);
+  check Alcotest.int "supernode threads" 24 s.Machine.default_omp_threads;
+  (match Machine.desktop ~num_gpus:3 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "desktop has at most 2 GPUs");
+  (* Spans land in the trace. *)
+  let c = Cost.zero () in
+  c.Cost.flops <- 1000;
+  let _ = Machine.launch_kernel d ~dev:0 ~ready:0.0 ~threads:100 ~label:"k" c in
+  check Alcotest.int "span recorded" 1 (List.length (Mgacc_sim.Trace.spans d.Machine.trace))
+
+let test_cuda_api () =
+  let m = Machine.desktop () in
+  let ctx = Cuda.init m in
+  check Alcotest.int "device 0" 0 (Cuda.current_device ctx);
+  Cuda.set_device ctx 1;
+  check Alcotest.int "device 1" 1 (Cuda.current_device ctx);
+  Cuda.set_device ctx 0;
+  let buf = Cuda.malloc_floats ctx 8 in
+  Cuda.memcpy_h2d_floats ctx ~dst:buf (Array.init 8 float_of_int);
+  let t_after_copy = Cuda.now ctx in
+  check Alcotest.bool "copy took time" true (t_after_copy > 0.0);
+  Cuda.launch ctx ~threads:8 ~label:"double" (fun () ->
+      let d = Memory.float_data buf in
+      for i = 0 to 7 do
+        d.(i) <- 2.0 *. d.(i)
+      done;
+      let c = Cost.zero () in
+      c.Cost.flops <- 8;
+      c);
+  check Alcotest.bool "kernel took time" true (Cuda.now ctx > t_after_copy);
+  let out = Array.make 8 0.0 in
+  Cuda.memcpy_d2h_floats ctx ~src:buf out;
+  check (Alcotest.float 1e-12) "kernel effect" 14.0 out.(7);
+  Cuda.free ctx buf
+
+let suite =
+  [
+    tc "memory: class accounting and peaks" test_memory_accounting;
+    tc "memory: out of device memory" test_memory_oom;
+    tc "memory: use after free" test_memory_use_after_free;
+    tc "fabric: uncontended transfer" test_fabric_single_transfer;
+    tc "fabric: host aggregate contention" test_fabric_host_aggregate_contention;
+    tc "fabric: per-flow cap binds" test_fabric_own_cap_binds;
+    tc "fabric: staggered arrivals and zero bytes" test_fabric_staggered_arrivals;
+    tc "fabric: physical lower bounds" test_fabric_conservation;
+    tc "kernel cost: roofline magnitudes" test_kernel_cost_roofline;
+    tc "kernel cost: occupancy penalty" test_kernel_cost_occupancy;
+    tc "kernel cost: broadcast discount" test_kernel_cost_broadcast_discount;
+    tc "cpu model: thread scaling" test_cpu_model_scaling;
+    tc "machine: presets and tracing" test_machine_presets;
+    tc "cuda: malloc/memcpy/launch" test_cuda_api;
+  ]

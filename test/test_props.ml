@@ -1,0 +1,298 @@
+(* Property-based tests (QCheck) on the core data structures and
+   invariants: interval sets against a naive set-of-points model, bitsets
+   against boolean arrays, task splits, dirty tracking, the fabric's
+   physical bounds, and affine analysis against direct evaluation. *)
+
+module Interval = Mgacc_util.Interval
+module Bitset = Mgacc_util.Bitset
+module Memory = Mgacc_gpusim.Memory
+module Fabric = Mgacc_gpusim.Fabric
+module Spec = Mgacc_gpusim.Spec
+open Mgacc_runtime
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------------- Interval sets vs a model ---------------- *)
+
+let gen_intervals =
+  QCheck2.Gen.(list_size (int_bound 8) (pair (int_bound 60) (int_bound 20)))
+
+let points_of_list l =
+  List.concat_map
+    (fun (lo, len) -> List.init len (fun k -> lo + k))
+    l
+  |> List.sort_uniq compare
+
+let set_of_list l = Interval.Set.of_list (List.map (fun (lo, len) -> Interval.make lo (lo + len)) l)
+
+let model_points s =
+  List.concat_map
+    (fun (iv : Interval.t) -> List.init (Interval.length iv) (fun k -> iv.Interval.lo + k))
+    (Interval.Set.to_list s)
+
+let prop_set_semantics (l : (int * int) list) =
+  let s = set_of_list l in
+  model_points s = points_of_list l
+
+let prop_set_normalized l =
+  let s = set_of_list l in
+  let rec disjoint_sorted = function
+    | (a : Interval.t) :: (b : Interval.t) :: rest ->
+        (* strictly separated (no overlap, no adjacency) and non-empty *)
+        Interval.length a > 0 && a.Interval.hi < b.Interval.lo && disjoint_sorted (b :: rest)
+    | [ a ] -> Interval.length a > 0
+    | [] -> true
+  in
+  disjoint_sorted (Interval.Set.to_list s)
+
+let prop_set_ops (l1, l2) =
+  let s1 = set_of_list l1 and s2 = set_of_list l2 in
+  let p1 = points_of_list l1 and p2 = points_of_list l2 in
+  let eq s pts = model_points s = pts in
+  eq (Interval.Set.union s1 s2) (List.sort_uniq compare (p1 @ p2))
+  && eq (Interval.Set.inter s1 s2) (List.filter (fun x -> List.mem x p2) p1)
+  && eq (Interval.Set.diff s1 s2) (List.filter (fun x -> not (List.mem x p2)) p1)
+
+let prop_of_sorted_disjoint_agrees l =
+  let s = set_of_list l in
+  (* Re-feeding a normalized set through the O(n) constructor must be the
+     identity, and garbage must be rejected. *)
+  Interval.Set.equal s (Interval.Set.of_sorted_disjoint (Interval.Set.to_list s))
+
+(* ---------------- Bitset vs boolean array ---------------- *)
+
+let gen_bit_ops =
+  QCheck2.Gen.(pair (int_range 1 120) (list_size (int_bound 40) (pair bool (int_bound 200))))
+
+let prop_bitset (n, ops) =
+  let b = Bitset.create n in
+  let model = Array.make n false in
+  List.iter
+    (fun (set, raw) ->
+      let i = raw mod n in
+      if set then begin
+        Bitset.set b i;
+        model.(i) <- true
+      end
+      else begin
+        Bitset.clear b i;
+        model.(i) <- false
+      end)
+    ops;
+  let count_ok = Bitset.count b = Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 model in
+  let gets_ok = Array.for_all Fun.id (Array.init n (fun i -> Bitset.get b i = model.(i))) in
+  let runs = Bitset.runs b in
+  let runs_ok =
+    Array.for_all Fun.id (Array.init n (fun i -> Interval.Set.mem runs i = model.(i)))
+  in
+  count_ok && gets_ok && runs_ok
+
+(* ---------------- Task splits ---------------- *)
+
+let gen_split = QCheck2.Gen.(triple (int_bound 50) (int_bound 1000) (int_range 1 8))
+
+let prop_split_covers (lower, len, parts) =
+  let upper = lower + len in
+  let r = Task_map.split ~lower ~upper ~parts in
+  let total = Array.fold_left (fun acc x -> acc + Task_map.length x) 0 r in
+  let contiguous = ref (Array.length r = parts) in
+  Array.iteri
+    (fun i x ->
+      if i = 0 then (if x.Task_map.start_ <> lower then contiguous := false)
+      else if r.(i - 1).Task_map.stop_ <> x.Task_map.start_ then contiguous := false)
+    r;
+  let balanced =
+    let sizes = Array.map Task_map.length r in
+    Array.fold_left max 0 sizes - Array.fold_left min max_int sizes <= 1
+  in
+  total = len && !contiguous && balanced
+  && (len = 0 || r.(parts - 1).Task_map.stop_ = upper)
+
+(* ---------------- Dirty tracking ---------------- *)
+
+let gen_dirty =
+  QCheck2.Gen.(triple (int_range 1 500) (int_range 8 64) (list_size (int_bound 60) (int_bound 1000)))
+
+let prop_dirty_runs_match_marks (length, chunk_bytes, marks) =
+  let mem = Memory.create ~device_id:0 ~capacity:(16 * 1024 * 1024) in
+  let d = Dirty.create mem ~elem_bytes:8 ~length ~chunk_bytes ~two_level:true in
+  let model = Hashtbl.create 16 in
+  List.iter
+    (fun raw ->
+      let i = raw mod length in
+      Dirty.mark d i;
+      Hashtbl.replace model i ())
+    marks;
+  let runs = Dirty.dirty_runs d in
+  let ok =
+    List.for_all Fun.id
+      (List.init length (fun i -> Interval.Set.mem runs i = Hashtbl.mem model i))
+  in
+  let count_ok = Dirty.dirty_element_count d = Hashtbl.length model in
+  (* Two-level transfer plan ships at least the dirty payload and at most
+     the whole array plus bitmap. *)
+  let bytes = Dirty.transfer_bytes d in
+  let bound_ok =
+    if Hashtbl.length model = 0 then bytes = 0
+    else bytes >= 8 * Hashtbl.length model && bytes <= (8 * length) + (length + 7) / 8 + (8 * 64)
+  in
+  Dirty.free mem d;
+  ok && count_ok && bound_ok
+
+(* ---------------- Fabric physics ---------------- *)
+
+let gen_transfers =
+  QCheck2.Gen.(
+    list_size (int_range 1 10)
+      (triple (int_range 0 2) (int_range 1 50_000_000) (int_bound 3)))
+
+let prop_fabric_bounds txs =
+  let f = Fabric.create Spec.pcie_gen2_desktop ~num_gpus:2 in
+  let reqs =
+    List.map
+      (fun (kind, bytes, r) ->
+        let direction =
+          match kind with
+          | 0 -> Fabric.H2d (r mod 2)
+          | 1 -> Fabric.D2h (r mod 2)
+          | _ -> Fabric.P2p (r mod 2, 1 - (r mod 2))
+        in
+        { Fabric.direction; bytes; ready = float_of_int r *. 1e-4; tag = "q" })
+      txs
+  in
+  let completions = Fabric.run_batch f reqs in
+  List.length completions = List.length reqs
+  && List.for_all
+       (fun (c : Fabric.completion) ->
+         let req = c.Fabric.req in
+         let lower =
+           req.Fabric.ready
+           +. (float_of_int req.Fabric.bytes /. Fabric.standalone_bandwidth f req.Fabric.direction)
+         in
+         c.Fabric.start >= req.Fabric.ready -. 1e-12 && c.Fabric.finish +. 1e-9 >= lower)
+       completions
+
+(* ---------------- Affine analysis vs direct evaluation ---------------- *)
+
+(* Random affine-expressible expressions over i and uniforms u, v. *)
+let gen_affine_expr : Mgacc_minic.Ast.expr QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let loc = Mgacc_minic.Loc.dummy in
+  let mk d = { Mgacc_minic.Ast.edesc = d; eloc = loc } in
+  let leaf =
+    oneof
+      [
+        map (fun n -> mk (Mgacc_minic.Ast.Int_lit n)) (int_bound 20);
+        return (mk (Mgacc_minic.Ast.Var "i"));
+        return (mk (Mgacc_minic.Ast.Var "u"));
+        return (mk (Mgacc_minic.Ast.Var "v"));
+      ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2
+            (fun a b -> mk (Mgacc_minic.Ast.Binop (Mgacc_minic.Ast.Add, a, b)))
+            (node (depth - 1)) (node (depth - 1));
+          map2
+            (fun a b -> mk (Mgacc_minic.Ast.Binop (Mgacc_minic.Ast.Sub, a, b)))
+            (node (depth - 1)) (node (depth - 1));
+          map2
+            (fun n b -> mk (Mgacc_minic.Ast.Binop (Mgacc_minic.Ast.Mul, mk (Mgacc_minic.Ast.Int_lit n), b)))
+            (int_bound 5) (node (depth - 1));
+          map (fun a -> mk (Mgacc_minic.Ast.Unop (Mgacc_minic.Ast.Neg, a))) (node (depth - 1));
+        ]
+  in
+  node 3
+
+let eval_expr env e =
+  let rec go (e : Mgacc_minic.Ast.expr) =
+    match e.Mgacc_minic.Ast.edesc with
+    | Mgacc_minic.Ast.Int_lit n -> n
+    | Mgacc_minic.Ast.Var v -> List.assoc v env
+    | Mgacc_minic.Ast.Unop (Mgacc_minic.Ast.Neg, x) -> -go x
+    | Mgacc_minic.Ast.Binop (Mgacc_minic.Ast.Add, a, b) -> go a + go b
+    | Mgacc_minic.Ast.Binop (Mgacc_minic.Ast.Sub, a, b) -> go a - go b
+    | Mgacc_minic.Ast.Binop (Mgacc_minic.Ast.Mul, a, b) -> go a * go b
+    | _ -> assert false
+  in
+  go e
+
+let prop_affine_matches_eval e =
+  let is_uniform v = v = "u" || v = "v" in
+  match Mgacc_analysis.Affine.of_expr ~loop_var:"i" ~is_uniform e with
+  | None -> true (* nothing to check: generator can build i*i-free exprs only, but Mul(int, e) keeps it affine *)
+  | Some a ->
+      List.for_all
+        (fun (i, u, v) ->
+          let env = [ ("i", i); ("u", u); ("v", v) ] in
+          let direct = eval_expr env e in
+          let offset =
+            eval_expr env (Mgacc_analysis.Affine.offset_expr ~loc:Mgacc_minic.Loc.dummy a)
+          in
+          direct = (a.Mgacc_analysis.Affine.coeff * i) + offset)
+        [ (0, 1, 2); (3, 5, 7); (11, 0, 4); (-2, 3, -8) ]
+
+(* ---------------- Frontend robustness ---------------- *)
+
+(* Random token soup: the parser and typechecker must reject garbage with a
+   located error — never an assert failure, Match_failure or stack
+   overflow. *)
+let gen_token_soup =
+  let tokens =
+    [| "int"; "double"; "void"; "for"; "if"; "else"; "while"; "return"; "break"; "("; ")"; "{";
+       "}"; "["; "]"; ";"; ","; "+"; "-"; "*"; "/"; "%"; "="; "=="; "<"; "<="; "&&"; "||"; "?";
+       ":"; "x"; "y"; "main"; "n"; "1"; "2"; "3.5"; "0"; "#pragma acc parallel loop";
+       "#pragma acc data copy(x[0:n])"; "#pragma acc localaccess(x: stride(1))";
+       "#pragma acc reductiontoarray(+: x)"; "sqrt"; "__length" |]
+  in
+  QCheck2.Gen.(
+    map
+      (fun picks -> String.concat " " (List.map (fun i -> tokens.(i mod Array.length tokens)) picks))
+      (list_size (int_range 0 40) (int_bound 1000)))
+
+let prop_frontend_total soup =
+  (match Mgacc.parse_string ~name:"fuzz" soup with
+  | program -> (
+      match Mgacc.Typecheck.check_program program with
+      | () -> ()
+      | exception Mgacc.Loc.Error _ -> ())
+  | exception Mgacc.Loc.Error _ -> ());
+  true
+
+let gen_pragma_soup =
+  let words =
+    [| "acc"; "parallel"; "loop"; "data"; "update"; "host"; "device"; "copy"; "copyin"; "copyout";
+       "create"; "present"; "reduction"; "localaccess"; "reductiontoarray"; "stride"; "gang";
+       "vector"; "if"; "enter"; "exit"; "("; ")"; "["; "]"; ":"; ","; "+"; "x"; "1"; "n" |]
+  in
+  QCheck2.Gen.(
+    map
+      (fun picks -> String.concat " " (List.map (fun i -> words.(i mod Array.length words)) picks))
+      (list_size (int_range 0 15) (int_bound 1000)))
+
+let prop_pragma_total payload =
+  (match Mgacc.Parser.parse_directive ~file:"fuzz" ~line:1 payload with
+  | _ -> ()
+  | exception Mgacc.Loc.Error _ -> ());
+  true
+
+let suite =
+  [
+    qtest "interval set = set of points" gen_intervals prop_set_semantics;
+    qtest "interval set stays normalized" gen_intervals prop_set_normalized;
+    qtest "of_sorted_disjoint is identity on normalized sets" gen_intervals
+      prop_of_sorted_disjoint_agrees;
+    qtest "interval set ops match model" (QCheck2.Gen.pair gen_intervals gen_intervals) prop_set_ops;
+    qtest "bitset matches boolean array" gen_bit_ops prop_bitset;
+    qtest "task split covers and balances" gen_split prop_split_covers;
+    qtest "dirty runs equal marked set" gen_dirty prop_dirty_runs_match_marks;
+    qtest "fabric respects physics" gen_transfers prop_fabric_bounds;
+    qtest ~count:500 "affine form evaluates correctly" gen_affine_expr prop_affine_matches_eval;
+    qtest ~count:400 "frontend is total on token soup" gen_token_soup prop_frontend_total;
+    qtest ~count:400 "pragma parser is total on clause soup" gen_pragma_soup prop_pragma_total;
+  ]

@@ -1,0 +1,108 @@
+(* Unit tests for the simulation core: event queue, timelines, traces. *)
+
+open Mgacc_sim
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let test_event_queue_order () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:3.0 "c";
+  Event_queue.push q ~time:1.0 "a";
+  Event_queue.push q ~time:2.0 "b";
+  check (Alcotest.option (Alcotest.float 1e-12)) "peek" (Some 1.0) (Event_queue.peek_time q);
+  let order = List.init 3 (fun _ -> match Event_queue.pop q with Some (_, v) -> v | None -> "?") in
+  check (Alcotest.list Alcotest.string) "sorted" [ "a"; "b"; "c" ] order;
+  check Alcotest.bool "empty" true (Event_queue.is_empty q)
+
+let test_event_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.push q ~time:1.0 v) [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> match Event_queue.pop q with Some (_, v) -> v | None -> "?") in
+  check (Alcotest.list Alcotest.string) "fifo among equal keys" [ "x"; "y"; "z" ] order
+
+let test_event_queue_interleaved () =
+  let q = Event_queue.create () in
+  for i = 0 to 99 do
+    Event_queue.push q ~time:(float_of_int ((i * 37) mod 100)) i
+  done;
+  let prev = ref neg_infinity in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop q with
+    | None -> continue := false
+    | Some (t, _) ->
+        if t < !prev then Alcotest.failf "not monotone: %f after %f" t !prev;
+        prev := t;
+        incr count
+  done;
+  check Alcotest.int "drained all" 100 !count
+
+let test_timeline_serializes () =
+  let t = Timeline.create "gpu0" in
+  let s1, f1 = Timeline.reserve t ~ready:0.0 ~duration:2.0 in
+  let s2, f2 = Timeline.reserve t ~ready:1.0 ~duration:1.0 in
+  check (Alcotest.float 1e-12) "first starts at ready" 0.0 s1;
+  check (Alcotest.float 1e-12) "first ends" 2.0 f1;
+  check (Alcotest.float 1e-12) "second waits for resource" 2.0 s2;
+  check (Alcotest.float 1e-12) "second ends" 3.0 f2;
+  check (Alcotest.float 1e-12) "busy time" 3.0 (Timeline.busy_time t);
+  Timeline.reset t;
+  check (Alcotest.float 1e-12) "reset" 0.0 (Timeline.available_at t)
+
+let test_timeline_gap () =
+  let t = Timeline.create "x" in
+  let _ = Timeline.reserve t ~ready:0.0 ~duration:1.0 in
+  let s, _ = Timeline.reserve t ~ready:5.0 ~duration:1.0 in
+  check (Alcotest.float 1e-12) "idle gap honored" 5.0 s;
+  check (Alcotest.float 1e-12) "busy excludes gap" 2.0 (Timeline.busy_time t)
+
+let test_timeline_invalid () =
+  let t = Timeline.create "x" in
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Timeline.reserve: negative duration") (fun () ->
+      ignore (Timeline.reserve t ~ready:0.0 ~duration:(-1.0)))
+
+let span resource category start finish bytes =
+  { Trace.resource; category; label = "t"; start; finish; bytes }
+
+let test_trace_totals () =
+  let t = Trace.create () in
+  Trace.add t (span "gpu0" Trace.Kernel 0.0 2.0 0);
+  Trace.add t (span "pcie" Trace.Host_to_device 0.0 1.0 100);
+  Trace.add t (span "pcie" Trace.Peer 2.0 3.0 50);
+  check (Alcotest.float 1e-12) "kernel total" 2.0 (Trace.total_in t Trace.Kernel);
+  check Alcotest.int "h2d bytes" 100 (Trace.bytes_in t Trace.Host_to_device);
+  check Alcotest.int "peer bytes" 50 (Trace.bytes_in t Trace.Peer);
+  check (Alcotest.float 1e-12) "makespan" 3.0 (Trace.makespan t);
+  Trace.clear t;
+  check Alcotest.int "cleared" 0 (List.length (Trace.spans t))
+
+let test_trace_busy_union () =
+  let t = Trace.create () in
+  (* Overlapping spans of the same category must not double count. *)
+  Trace.add t (span "a" Trace.Kernel 0.0 2.0 0);
+  Trace.add t (span "b" Trace.Kernel 1.0 3.0 0);
+  Trace.add t (span "c" Trace.Kernel 5.0 6.0 0);
+  let busy = Trace.busy_union t (fun c -> c = Trace.Kernel) in
+  check (Alcotest.float 1e-12) "union length" 4.0 busy
+
+let test_trace_gantt_renders () =
+  let t = Trace.create () in
+  Trace.add t (span "gpu0" Trace.Kernel 0.0 1.0 0);
+  let s = Format.asprintf "%a" (Trace.pp_gantt ~width:40) t in
+  check Alcotest.bool "nonempty" true (String.length s > 10)
+
+let suite =
+  [
+    tc "event queue: time order" test_event_queue_order;
+    tc "event queue: FIFO ties" test_event_queue_fifo_ties;
+    tc "event queue: monotone drain" test_event_queue_interleaved;
+    tc "timeline: serializes reservations" test_timeline_serializes;
+    tc "timeline: honors idle gaps" test_timeline_gap;
+    tc "timeline: rejects bad input" test_timeline_invalid;
+    tc "trace: totals and bytes" test_trace_totals;
+    tc "trace: busy union deduplicates overlap" test_trace_busy_union;
+    tc "trace: gantt renders" test_trace_gantt_renders;
+  ]
