@@ -104,19 +104,26 @@ let collect scale =
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
-  print_endline "== Table I: machine settings (simulated) ==";
-  let t = Table.create ~headers:[ ""; "Desktop Machine"; "Supercomputer Node" ] in
-  let d = Machine.desktop () and s = Machine.supernode () in
+  print_endline "== Table I: machine settings (simulated; Mixed Desktop added for the scheduler study) ==";
+  let t = Table.create ~headers:[ ""; "Desktop Machine"; "Supercomputer Node"; "Mixed Desktop" ] in
+  let d = Machine.desktop () and s = Machine.supernode () and m = Machine.desktop_mixed () in
   Table.add_row t
-    [ "CPU"; Format.asprintf "%a" Spec.pp_cpu d.Machine.cpu; Format.asprintf "%a" Spec.pp_cpu s.Machine.cpu ];
+    [
+      "CPU";
+      Format.asprintf "%a" Spec.pp_cpu d.Machine.cpu;
+      Format.asprintf "%a" Spec.pp_cpu s.Machine.cpu;
+      Format.asprintf "%a" Spec.pp_cpu m.Machine.cpu;
+    ];
   Table.add_row t
     [
       "GPUs";
       Format.asprintf "%a x2" Spec.pp_gpu (Machine.device d 0).Mgacc_gpusim.Device.spec;
       Format.asprintf "%a x3" Spec.pp_gpu (Machine.device s 0).Mgacc_gpusim.Device.spec;
+      Format.asprintf "%a + %a" Spec.pp_gpu (Machine.device m 0).Mgacc_gpusim.Device.spec
+        Spec.pp_gpu (Machine.device m 1).Mgacc_gpusim.Device.spec;
     ];
-  Table.add_row t [ "OpenMP threads"; "12"; "24" ];
-  Table.print ~aligns:[ Table.Left; Table.Left; Table.Left ] t;
+  Table.add_row t [ "OpenMP threads"; "12"; "24"; "12" ];
+  Table.print ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left ] t;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -505,6 +512,18 @@ let expert scale =
   Table.print t;
   print_newline ()
 
+let balance ~smoke =
+  Printf.printf "== Scheduler balance study (Mixed Desktop: C2075 + M2050%s) ==\n"
+    (if smoke then "; smoke inputs" else "");
+  print_endline
+    "(equal split vs roofline-proportional seed vs adaptive feedback; every run is\n\
+     checked against the sequential reference — see docs/SCHEDULING.md)\n";
+  Balance_study.print (Balance_study.run ~smoke ());
+  print_endline
+    "\nshape: the C2075 earns the larger share, shrinking per-launch imbalance and total\n\
+     kernel time for the uniform apps (md, kmeans); bfs is irregular, so adaptive starts\n\
+     from the equal split and re-splits only when the predicted gain beats the movement cost.\n"
+
 let contention () =
   print_endline "== PCIe contention: why CPU-GPU time does not divide by GPU count ==";
   print_endline
@@ -660,12 +679,14 @@ let bechamel_probes () =
 let usage () =
   print_endline
     "usage: main.exe [--scale small|default|paper] [--bechamel] \
-     [all|table1|table2|fig7|fig8|fig9|chunk-sweep|dirty-levels|policy|misscheck|layout|extended|expert|contention|cluster|paper-validate]";
+     [--smoke] \
+     [all|table1|table2|fig7|fig8|fig9|chunk-sweep|dirty-levels|policy|misscheck|layout|extended|expert|contention|cluster|balance|paper-validate]";
   exit 1
 
 let () =
   let scale = ref Default in
   let bechamel = ref false in
+  let smoke = ref false in
   let targets = ref [] in
   let rec parse = function
     | [] -> ()
@@ -679,6 +700,9 @@ let () =
         parse rest
     | "--bechamel" :: rest ->
         bechamel := true;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
         parse rest
     | t :: rest ->
         targets := t :: !targets;
@@ -714,7 +738,8 @@ let () =
             extended scale;
             expert scale;
             contention ();
-            cluster scale
+            cluster scale;
+            balance ~smoke:!smoke
         | "table1" -> table1 ()
         | "table2" -> table2 scale
         | "fig7" -> fig7 collected
@@ -729,6 +754,7 @@ let () =
         | "contention" -> contention ()
         | "expert" -> expert scale
         | "cluster" -> cluster scale
+        | "balance" -> balance ~smoke:!smoke
         | "paper-validate" -> paper_validate ()
         | _ -> usage ())
       targets

@@ -20,9 +20,11 @@ let read_program path =
 
 let machine_of = function
   | "desktop" -> Ok (fun () -> Mgacc.Machine.desktop ())
+  | "desktop-mixed" -> Ok (fun () -> Mgacc.Machine.desktop_mixed ())
   | "supernode" -> Ok (fun () -> Mgacc.Machine.supernode ())
   | "cluster" -> Ok (fun () -> Mgacc.Machine.cluster ())
-  | other -> Error (Printf.sprintf "unknown machine %S (desktop|supernode|cluster)" other)
+  | other ->
+      Error (Printf.sprintf "unknown machine %S (desktop|desktop-mixed|supernode|cluster)" other)
 
 (* ---------------- run ---------------- *)
 
@@ -74,12 +76,13 @@ let check_against_reference program env =
       Ok ()
   | Error _ as e -> e
 
-let run_cmd file machine_name variant gpus chunk_kb no_distribution no_layout no_misscheck
-    single_level_dirty dump_arrays show_trace trace_json check_results verbose =
+let run_cmd file machine_name variant gpus schedule_name chunk_kb no_distribution no_layout
+    no_misscheck single_level_dirty dump_arrays show_trace trace_json check_results verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
   let* fresh_machine = machine_of machine_name in
+  let* schedule = Mgacc.Sched_policy.of_string schedule_name in
   try
     match variant with
     | "seq" ->
@@ -117,6 +120,7 @@ let run_cmd file machine_name variant gpus chunk_kb no_distribution no_layout no
         let config =
           Mgacc.Rt_config.make
             ?num_gpus:(if gpus = 0 then None else Some gpus)
+            ~schedule
             ~chunk_bytes:(chunk_kb * 1024)
             ~two_level_dirty:(not single_level_dirty) ~translator machine
         in
@@ -252,12 +256,18 @@ let exits_of = function Ok () -> 0 | Error msg -> Printf.eprintf "accc: %s\n" ms
 
 let run_term =
   let machine =
-    Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop or supernode")
+    Arg.(value & opt string "desktop"
+         & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, desktop-mixed, supernode or cluster")
   in
   let variant =
     Arg.(value & opt string "acc" & info [ "variant"; "v" ] ~docv:"V" ~doc:"acc, openmp or seq")
   in
   let gpus = Arg.(value & opt int 0 & info [ "gpus"; "g" ] ~docv:"N" ~doc:"GPU count (default: all)") in
+  let schedule =
+    Arg.(value & opt string "static"
+         & info [ "schedule" ] ~docv:"POLICY"
+             ~doc:"iteration partitioning: static (equal split), proportional or adaptive")
+  in
   let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
   let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
   let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
@@ -273,9 +283,9 @@ let run_term =
     Arg.(value & flag & info [ "check" ] ~doc:"validate results against the sequential reference")
   in
   Term.(
-    const (fun file m v g c nd nl nm sl d tr tj ck vb ->
-        exits_of (run_cmd file m v g c nd nl nm sl d tr tj ck vb))
-    $ file_arg $ machine $ variant $ gpus $ chunk $ no_dist $ no_layout $ no_misscheck
+    const (fun file m v g sch c nd nl nm sl d tr tj ck vb ->
+        exits_of (run_cmd file m v g sch c nd nl nm sl d tr tj ck vb))
+    $ file_arg $ machine $ variant $ gpus $ schedule $ chunk $ no_dist $ no_layout $ no_misscheck
     $ single_level $ dump $ trace $ trace_json $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)

@@ -1,0 +1,23 @@
+(** The scheduler balance study: MD, KMEANS and BFS on the heterogeneous
+    {!Mgacc.Machine.desktop_mixed} preset under each iteration-partitioning
+    policy, with every run verified against the sequential reference.
+
+    This is the evaluation for the adaptive scheduler: on a mixed machine
+    the equal split leaves the faster GPU idle at every barrier, and the
+    proportional/adaptive policies should recover that kernel time while
+    producing bit-identical functional results. *)
+
+type row = {
+  app : string;
+  policy : Mgacc.Sched_policy.t;
+  report : Mgacc.Report.t;
+  ok : bool;  (** outputs match the sequential reference *)
+}
+
+val run : ?smoke:bool -> ?machine:Mgacc.Machine.t -> unit -> row list
+(** Nine rows (3 apps x 3 policies). [smoke] shrinks the inputs for test
+    suites while staying above GPU occupancy saturation — below it a
+    weighted split cannot change simulated kernel time. The machine
+    defaults to a fresh {!Mgacc.Machine.desktop_mixed}. *)
+
+val print : row list -> unit

@@ -39,6 +39,9 @@ module Cuda = Mgacc_gpusim.Cuda
 module Cost = Mgacc_gpusim.Cost
 module Memory = Mgacc_gpusim.Memory
 module Trace = Mgacc_sim.Trace
+module Sched_policy = Mgacc_sched.Policy
+module Sched_feedback = Mgacc_sched.Feedback
+module Scheduler = Mgacc_sched.Scheduler
 module Rt_config = Mgacc_runtime.Rt_config
 module Report = Mgacc_runtime.Report
 module Acc_runtime = Mgacc_runtime.Acc_runtime

@@ -10,17 +10,22 @@ type t = {
   default_omp_threads : int;
 }
 
-let custom ?topology ~name ~cpu ~gpu ~link ~num_gpus ~omp_threads () =
-  if num_gpus <= 0 then invalid_arg "Machine.custom: num_gpus <= 0";
+let custom_hetero ?topology ~name ~cpu ~gpus ~link ~omp_threads () =
+  let num_gpus = Array.length gpus in
+  if num_gpus <= 0 then invalid_arg "Machine.custom_hetero: no GPUs";
   {
     name;
     cpu;
     link;
-    devices = Array.init num_gpus (fun id -> Device.create ~id gpu);
+    devices = Array.mapi (fun id gpu -> Device.create ~id gpu) gpus;
     fabric = Fabric.create ?topology link ~num_gpus;
     trace = Trace.create ();
     default_omp_threads = omp_threads;
   }
+
+let custom ?topology ~name ~cpu ~gpu ~link ~num_gpus ~omp_threads () =
+  if num_gpus <= 0 then invalid_arg "Machine.custom: num_gpus <= 0";
+  custom_hetero ?topology ~name ~cpu ~gpus:(Array.make num_gpus gpu) ~link ~omp_threads ()
 
 let desktop ?(num_gpus = 2) () =
   if num_gpus < 1 || num_gpus > 2 then invalid_arg "Machine.desktop: 1 or 2 GPUs";
@@ -31,6 +36,13 @@ let supernode ?(num_gpus = 3) () =
   if num_gpus < 1 || num_gpus > 3 then invalid_arg "Machine.supernode: 1 to 3 GPUs";
   custom ~name:"Supercomputer Node" ~cpu:Spec.dual_xeon_x5670 ~gpu:Spec.tesla_m2050
     ~link:Spec.pcie_gen2_supernode ~num_gpus ~omp_threads:24 ()
+
+let desktop_mixed () =
+  custom_hetero
+    ~name:"Mixed Desktop (C2075 + M2050)"
+    ~cpu:Spec.core_i7_970
+    ~gpus:[| Spec.tesla_c2075; Spec.tesla_m2050 |]
+    ~link:Spec.pcie_gen2_desktop ~omp_threads:12 ()
 
 let cluster ?(nodes = 2) ?(gpus_per_node = 2) () =
   if nodes < 1 || gpus_per_node < 1 then invalid_arg "Machine.cluster";

@@ -20,10 +20,22 @@ val desktop : ?num_gpus:int -> unit -> t
 val supernode : ?num_gpus:int -> unit -> t
 (** 2x Xeon X5670 + up to 3x Tesla M2050 (default 3), 24 OpenMP threads. *)
 
+val desktop_mixed : unit -> t
+(** A heterogeneous desktop: 1x Core i7 driving one Tesla C2075 and one
+    Tesla M2050 over desktop PCIe. Not a paper platform — it exists to
+    evaluate weighted iteration partitioning, where the C2075's higher
+    effective bandwidth and clock should earn it the larger share. *)
+
 val custom :
   ?topology:Fabric.topology ->
   name:string -> cpu:Spec.cpu -> gpu:Spec.gpu -> link:Spec.link -> num_gpus:int ->
   omp_threads:int -> unit -> t
+
+val custom_hetero :
+  ?topology:Fabric.topology ->
+  name:string -> cpu:Spec.cpu -> gpus:Spec.gpu array -> link:Spec.link ->
+  omp_threads:int -> unit -> t
+(** Like [custom] but with a per-device spec array, allowing mixed GPUs. *)
 
 val cluster : ?nodes:int -> ?gpus_per_node:int -> unit -> t
 (** A GPU cluster (paper §VI, second future-work item): [nodes] desktop-class

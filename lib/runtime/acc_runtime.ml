@@ -15,6 +15,7 @@ type t = {
   cfg : Rt_config.t;
   plans : Program_plan.t;
   profiler : Profiler.t;
+  scheduler : Mgacc_sched.Scheduler.t;
   darrays : (string, Darray.t) Hashtbl.t;
   compiled : (Loc.t, Launch.compiled) Hashtbl.t;
   mutable clock : float;
@@ -25,6 +26,10 @@ let create cfg plans =
     cfg;
     plans;
     profiler = Profiler.create ();
+    scheduler =
+      Mgacc_sched.Scheduler.create ~machine:cfg.Rt_config.machine
+        ~num_gpus:cfg.Rt_config.num_gpus ~policy:cfg.Rt_config.schedule
+        ~knobs:cfg.Rt_config.sched_knobs;
     darrays = Hashtbl.create 16;
     compiled = Hashtbl.create 16;
     clock = 0.0;
@@ -204,7 +209,23 @@ and on_parallel_loop_gpu t env loop plan =
   Log.debug (fun m ->
       m "loop %d at %s: %d iterations on %d GPU(s)" loop.Loop_info.loop_id
         (Loc.to_string loop.Loop_info.loop_loc) (max 0 (hi - lo)) num_gpus);
-  let ranges = Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:num_gpus in
+  let iterations = max 0 (hi - lo) in
+  let thread_multiplier = Kernel_plan.thread_multiplier plan in
+  let ranges =
+    let workload =
+      match Kernel_plan.schedule_hint plan with
+      | `Uniform -> Mgacc_sched.Scheduler.Uniform
+      | `Irregular -> Mgacc_sched.Scheduler.Irregular
+    in
+    match
+      Mgacc_sched.Scheduler.weights_for t.scheduler ~loop_id:loop.Loop_info.loop_id ~iterations
+        ~threads_per_iter:thread_multiplier
+        ~iter_cost:(Kernel_plan.static_iter_cost plan)
+        ~workload
+    with
+    | Some weights -> Task_map.split_weighted ~lower:lo ~upper:(max lo hi) ~weights
+    | None -> Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:num_gpus
+  in
   let t0 = t.clock in
   (* Phase 1: the data loader makes device copies valid (CPU-GPU). *)
   let arrays =
@@ -220,7 +241,18 @@ and on_parallel_loop_gpu t env loop plan =
       m "loop %d: loader moved %d bytes in %d transfer(s)" loop.Loop_info.loop_id
         (List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 load_xfers)
         (List.length load_xfers));
-  let t1 = charge_xfers t ~label:"load" ~kind:Cpu_gpu ~ready:t0 load_xfers in
+  (* A scheduler re-split moves deltas directly GPU-to-GPU; those peer
+     transfers are inter-GPU traffic, not part of the host load. Under the
+     equal-split policy the peer list is always empty and the charge
+     sequence is exactly the original one. *)
+  let repart_xfers, host_xfers =
+    List.partition
+      (fun (x : Darray.xfer) ->
+        match x.Darray.dir with Fabric.P2p _ -> true | Fabric.H2d _ | Fabric.D2h _ -> false)
+      load_xfers
+  in
+  let t1 = charge_xfers t ~label:"load" ~kind:Cpu_gpu ~ready:t0 host_xfers in
+  let t1 = charge_xfers t ~label:"rebalance" ~kind:Gpu_gpu ~ready:t1 repart_xfers in
   (* Phase 2: kernels on all GPUs concurrently (KERNELS). *)
   let compiled = compiled_for t env plan in
   let runs, scalar_partials =
@@ -229,10 +261,10 @@ and on_parallel_loop_gpu t env loop plan =
       ~get_darray:(get_darray t env)
       ~get_reduction:(fun name -> List.assoc_opt name reductions)
   in
-  let thread_multiplier = Kernel_plan.thread_multiplier plan in
-  let t2 =
-    List.fold_left
-      (fun acc (run : Launch.gpu_run) ->
+  let run_times =
+    List.map
+      (fun (run : Launch.gpu_run) ->
+        assert (run.Launch.iterations > 0);
         Profiler.incr_kernel_launches t.profiler;
         let _, finish =
           Machine.launch_kernel t.cfg.Rt_config.machine ~dev:run.Launch.gpu ~ready:t1
@@ -240,10 +272,37 @@ and on_parallel_loop_gpu t env loop plan =
             ~label:(Printf.sprintf "loop%d" loop.Loop_info.loop_id)
             run.Launch.cost
         in
-        Float.max acc finish)
-      t1 runs
+        (run.Launch.gpu, run.Launch.iterations, finish -. t1))
+      runs
   in
+  let t2 = List.fold_left (fun acc (_, _, s) -> Float.max acc (t1 +. s)) t1 run_times in
   Profiler.add_kernel t.profiler ~seconds:(t2 -. t1);
+  (* Feed the scheduler: per-GPU rates and the launch's imbalance. *)
+  (match run_times with
+  | _ :: _ :: _ ->
+      let slow = List.fold_left (fun acc (_, _, s) -> Float.max acc s) 0.0 run_times in
+      let fast = List.fold_left (fun acc (_, _, s) -> Float.min acc s) infinity run_times in
+      if slow > 0.0 then Profiler.add_imbalance t.profiler ~ratio:((slow -. fast) /. slow)
+  | [] | [ _ ] -> ());
+  let iters_per_gpu = Array.make num_gpus 0 and secs_per_gpu = Array.make num_gpus 0.0 in
+  List.iter
+    (fun (g, n, s) ->
+      iters_per_gpu.(g) <- n;
+      secs_per_gpu.(g) <- s)
+    run_times;
+  let bytes_per_iter =
+    List.fold_left
+      (fun acc name ->
+        let da = get_darray t env name in
+        match da.Darray.state with
+        | Darray.Distributed d -> acc + (d.Darray.spec.Darray.stride * Darray.elem_bytes da)
+        | Darray.Unallocated | Darray.Replicated _ -> acc)
+      0 arrays
+  in
+  if
+    Mgacc_sched.Scheduler.observe t.scheduler ~loop_id:loop.Loop_info.loop_id
+      ~iterations:iters_per_gpu ~seconds:secs_per_gpu ~total_iterations:iterations ~bytes_per_iter
+  then Profiler.incr_rebalances t.profiler;
   (* Phase 3: inter-GPU reconciliation (GPU-GPU). *)
   let wrote _ = hi > lo in
   let rec_result =

@@ -233,11 +233,94 @@ let covers t d spec ranges ~num_gpus =
     d.parts;
   !ok
 
+let owner_of d idx =
+  let n = Array.length d.parts in
+  let rec go g =
+    if g >= n then
+      invalid_arg (Printf.sprintf "Darray.owner_of: index %d owned by no GPU" idx)
+    else if Interval.contains d.parts.(g).own idx then g
+    else go (g + 1)
+  in
+  go 0
+
+(* Functional copy between two parts' buffers over [seg] (absolute
+   element indices; both windows must contain it). *)
+let copy_part_to_part t ~src ~dst (seg : Interval.t) =
+  let slo = src.window.Interval.lo and dlo = dst.window.Interval.lo in
+  match t.elem with
+  | Ast.Edouble ->
+      let s = Memory.float_data src.buf and d = Memory.float_data dst.buf in
+      for i = seg.Interval.lo to seg.Interval.hi - 1 do
+        d.(i - dlo) <- s.(i - slo)
+      done
+  | Ast.Eint ->
+      let s = Memory.int_data src.buf and d = Memory.int_data dst.buf in
+      for i = seg.Interval.lo to seg.Interval.hi - 1 do
+        d.(i - dlo) <- s.(i - slo)
+      done
+
+(* Re-split a live distribution without bouncing through the host: each
+   new window fills from the old owners' authoritative blocks, and only
+   the cross-GPU segments ride the fabric (as peer transfers — exactly
+   the movement the rebalance planner priced). The old parts' [own]
+   blocks tile [0, length), so every element has one source of truth. *)
+let repartition cfg t (d : dist) ~spec ~ranges ~num_gpus =
+  Log.debug (fun m ->
+      m "%s: repartitioning %d parts GPU-to-GPU (scheduler re-split)" t.name (Array.length ranges));
+  let new_parts =
+    Array.init num_gpus (fun g ->
+        let window, own = window_of_range spec ranges.(g) ~length:t.length ~g ~num_gpus in
+        {
+          window;
+          own;
+          buf = alloc_buf cfg g t (Interval.length window);
+          miss = Miss_buffer.create (mem_of cfg g) ~name:t.name ~elem_bytes:(elem_bytes t);
+        })
+  in
+  let xfers = ref [] in
+  Array.iteri
+    (fun dst p ->
+      let iv = p.window in
+      let cursor = ref iv.Interval.lo in
+      while !cursor < iv.Interval.hi do
+        let owner = owner_of d !cursor in
+        let oown = d.parts.(owner).own in
+        let seg_hi = min iv.Interval.hi oown.Interval.hi in
+        let seg = Interval.make !cursor seg_hi in
+        if not (Interval.is_empty seg) then begin
+          copy_part_to_part t ~src:d.parts.(owner) ~dst:p seg;
+          if owner <> dst then
+            xfers :=
+              {
+                dir = Fabric.P2p (owner, dst);
+                bytes = Interval.length seg * elem_bytes t;
+                tag = t.name ^ ":repart";
+              }
+              :: !xfers
+        end;
+        cursor := max seg_hi (!cursor + 1)
+      done)
+    new_parts;
+  Array.iteri
+    (fun g p ->
+      Memory.free (mem_of cfg g) p.buf;
+      Miss_buffer.release p.miss)
+    d.parts;
+  t.state <- Distributed { parts = new_parts; spec; ranges = Array.copy ranges };
+  t.written_since_halo_sync <- false;
+  List.rev !xfers
+
 let ensure_distributed cfg t ~spec ~ranges =
   let num_gpus = cfg.Rt_config.num_gpus in
   if Array.length ranges <> num_gpus then invalid_arg "Darray.ensure_distributed: ranges size";
   match t.state with
   | Distributed d when covers t d spec ranges ~num_gpus -> []
+  | Distributed d
+    when cfg.Rt_config.schedule <> Mgacc_sched.Policy.Equal
+         && t.device_fresh
+         && Array.length d.ranges = Array.length ranges
+         && d.spec = spec ->
+      repartition cfg t d ~spec ~ranges ~num_gpus
   | _ ->
       Log.debug (fun m ->
           m "%s: %s -> distributed (stride %d, halo %d/%d)" t.name (state_name t) spec.stride
@@ -288,12 +371,3 @@ let replica_of t =
   | Unallocated | Distributed _ ->
       invalid_arg (Printf.sprintf "Darray.replica_of: %s not replicated" t.name)
 
-let owner_of d idx =
-  let n = Array.length d.parts in
-  let rec go g =
-    if g >= n then
-      invalid_arg (Printf.sprintf "Darray.owner_of: index %d owned by no GPU" idx)
-    else if Interval.contains d.parts.(g).own idx then g
-    else go (g + 1)
-  in
-  go 0

@@ -61,7 +61,10 @@ val ensure_replicated : Rt_config.t -> t -> dirty_tracking:bool -> xfer list
 val ensure_distributed :
   Rt_config.t -> t -> spec:dist_spec -> ranges:Task_map.range array -> xfer list
 (** Make the array block-distributed for the given iteration split,
-    reusing the current distribution when the windows are identical. *)
+    reusing the current distribution when the windows are identical.
+    Under a non-equal schedule, a live same-spec distribution whose split
+    changed (a scheduler rebalance) is re-shaped with direct GPU-to-GPU
+    delta transfers instead of a flush through the host. *)
 
 val flush_to_host : Rt_config.t -> t -> xfer list
 (** Bring the host copy up to date (no-op if it already is). Device

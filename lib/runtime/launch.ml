@@ -244,8 +244,11 @@ let run_on_gpus cfg plan compiled ~ranges ~get_scalar ~get_darray ~get_reduction
   let partial_frames = ref [] in
   Array.iteri
     (fun gpu range ->
+      (* Empty ranges launch nothing: no frame, no kernel record, no
+         zero-length transfers. Scalar reductions stay correct because a
+         missing partial folds as the identity. *)
       let iterations = Task_map.length range in
-      if iterations > 0 || Array.length ranges = 1 then begin
+      if iterations > 0 then begin
         let frame = compiled.kc.Kernel_compile.make_frame () in
         (* Bind parameters. *)
         List.iter

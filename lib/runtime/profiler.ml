@@ -9,6 +9,9 @@ type t = {
   mutable gpu_gpu_bytes : int;
   mutable launches : int;
   mutable loops : int;
+  mutable rebalances : int;
+  mutable imbalance_sum : float;
+  mutable imbalance_samples : int;
   mutable mem : memory_report;
 }
 
@@ -22,6 +25,9 @@ let create () =
     gpu_gpu_bytes = 0;
     launches = 0;
     loops = 0;
+    rebalances = 0;
+    imbalance_sum = 0.0;
+    imbalance_samples = 0;
     mem = { user_bytes = 0; system_bytes = 0 };
   }
 
@@ -37,6 +43,11 @@ let add_kernel t ~seconds = t.kernel <- t.kernel +. seconds
 let add_overhead t ~seconds = t.overhead <- t.overhead +. seconds
 let incr_kernel_launches t = t.launches <- t.launches + 1
 let incr_loops t = t.loops <- t.loops + 1
+let incr_rebalances t = t.rebalances <- t.rebalances + 1
+
+let add_imbalance t ~ratio =
+  t.imbalance_sum <- t.imbalance_sum +. ratio;
+  t.imbalance_samples <- t.imbalance_samples + 1
 
 let cpu_gpu_time t = t.cpu_gpu
 let gpu_gpu_time t = t.gpu_gpu
@@ -47,6 +58,10 @@ let cpu_gpu_bytes t = t.cpu_gpu_bytes
 let gpu_gpu_bytes t = t.gpu_gpu_bytes
 let kernel_launches t = t.launches
 let loops_executed t = t.loops
+let rebalances t = t.rebalances
+
+let mean_imbalance t =
+  if t.imbalance_samples = 0 then 0.0 else t.imbalance_sum /. float_of_int t.imbalance_samples
 
 let record_memory_peaks t machine ~num_gpus =
   let user = ref 0 and system = ref 0 in

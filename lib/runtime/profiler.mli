@@ -17,6 +17,13 @@ val add_overhead : t -> seconds:float -> unit
 val incr_kernel_launches : t -> unit
 val incr_loops : t -> unit
 
+val incr_rebalances : t -> unit
+(** One committed scheduler re-split (adaptive policy only). *)
+
+val add_imbalance : t -> ratio:float -> unit
+(** Per-GPU kernel-time imbalance of one multi-GPU launch:
+    [(slowest - fastest) / slowest], in [\[0, 1)]. *)
+
 val cpu_gpu_time : t -> float
 val gpu_gpu_time : t -> float
 val kernel_time : t -> float
@@ -28,6 +35,10 @@ val cpu_gpu_bytes : t -> int
 val gpu_gpu_bytes : t -> int
 val kernel_launches : t -> int
 val loops_executed : t -> int
+val rebalances : t -> int
+
+val mean_imbalance : t -> float
+(** Mean recorded launch imbalance; 0 when no multi-GPU launch happened. *)
 
 type memory_report = { user_bytes : int; system_bytes : int }
 

@@ -11,6 +11,8 @@ type t = {
   gpu_gpu_bytes : int;
   loops : int;
   launches : int;
+  rebalances : int;
+  mean_imbalance : float;
   mem_user_bytes : int;
   mem_system_bytes : int;
 }
@@ -30,6 +32,8 @@ let of_profiler p ~machine ~variant ~num_gpus =
     gpu_gpu_bytes = Profiler.gpu_gpu_bytes p;
     loops = Profiler.loops_executed p;
     launches = Profiler.kernel_launches p;
+    rebalances = Profiler.rebalances p;
+    mean_imbalance = Profiler.mean_imbalance p;
     mem_user_bytes = mem.Profiler.user_bytes;
     mem_system_bytes = mem.Profiler.system_bytes;
   }
@@ -48,6 +52,8 @@ let host_only ~machine ~variant ~seconds =
     gpu_gpu_bytes = 0;
     loops = 0;
     launches = 0;
+    rebalances = 0;
+    mean_imbalance = 0.0;
     mem_user_bytes = 0;
     mem_system_bytes = 0;
   }

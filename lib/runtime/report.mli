@@ -14,6 +14,8 @@ type t = {
   gpu_gpu_bytes : int;
   loops : int;
   launches : int;
+  rebalances : int;  (** adaptive-scheduler re-splits committed *)
+  mean_imbalance : float;  (** mean per-launch (slowest-fastest)/slowest *)
   mem_user_bytes : int;  (** peak user data across used GPUs *)
   mem_system_bytes : int;  (** peak runtime-system data across used GPUs *)
 }

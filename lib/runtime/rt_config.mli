@@ -7,6 +7,10 @@ type t = {
   chunk_bytes : int;  (** second-level dirty-bit chunk payload size *)
   two_level_dirty : bool;  (** ablation B: false = single-level dirty bits *)
   translator : Mgacc_translator.Kernel_plan.options;
+  schedule : Mgacc_sched.Policy.t;
+      (** iteration-partitioning policy (default: the paper's equal split) *)
+  sched_knobs : Mgacc_sched.Feedback.knobs;
+      (** damping/hysteresis of the adaptive controller *)
 }
 
 val make :
@@ -14,7 +18,10 @@ val make :
   ?chunk_bytes:int ->
   ?two_level_dirty:bool ->
   ?translator:Mgacc_translator.Kernel_plan.options ->
+  ?schedule:Mgacc_sched.Policy.t ->
+  ?sched_knobs:Mgacc_sched.Feedback.knobs ->
   Mgacc_gpusim.Machine.t ->
   t
 (** Defaults: all of the machine's GPUs, 1 MB chunks (the paper's choice),
-    two-level dirty bits, all translator optimizations on. *)
+    two-level dirty bits, all translator optimizations on, the equal-split
+    schedule with default controller knobs. *)

@@ -15,6 +15,14 @@ val split : lower:int -> upper:int -> parts:int -> range array
     iterations). Raises [Invalid_argument] when [parts <= 0] or
     [upper < lower]. *)
 
+val split_weighted : lower:int -> upper:int -> weights:float array -> range array
+(** [split_weighted ~lower ~upper ~weights] covers [\[lower, upper)] with
+    one contiguous range per weight, sized by largest-remainder rounding of
+    the normalized weights (the scheduler's arbitrary splits). Equal
+    weights reproduce {!split} exactly. Raises [Invalid_argument] on an
+    empty, negative, non-finite or all-zero weight vector, or when
+    [upper < lower]. *)
+
 val window :
   range -> stride:int -> left:int -> right:int -> max_len:int -> Mgacc_util.Interval.t
 (** The element window a GPU needs for a [localaccess] array given its

@@ -1,0 +1,49 @@
+(** Static partitioner: seed per-GPU iteration shares from the roofline.
+
+    Given the machine's device specs and a per-iteration cost estimate of
+    the kernel at hand (the translator's static hint, or a measured
+    record), predict each GPU's sustained iteration rate with the same
+    roofline model the simulator charges ({!Mgacc_gpusim.Kernel_cost}) and
+    normalize the rates into a weight vector. On a homogeneous machine the
+    prediction is identical across devices and the caller should fall back
+    to the paper's equal split — {!homogeneous} detects that case
+    exactly. *)
+
+val homogeneous : Mgacc_gpusim.Machine.t -> num_gpus:int -> bool
+(** All of the first [num_gpus] devices share one spec. *)
+
+val uniform : int -> float array
+(** [uniform n] is [n] equal weights summing to 1. *)
+
+val device_rates :
+  Mgacc_gpusim.Machine.t ->
+  num_gpus:int ->
+  iterations:int ->
+  threads_per_iter:int ->
+  iter_cost:Mgacc_gpusim.Cost.t ->
+  float array
+(** Predicted iteration rate (iterations/second) of each device if it ran
+    the whole loop alone. A zero [iter_cost] falls back to a nominal
+    memory-bound mix so heterogeneity still registers. *)
+
+val quantize : ?grid:int -> float array -> float array
+(** Snap weights to multiples of [1/grid] (default 64, at least one unit
+    per device) by largest-remainder apportionment. Quantization is
+    spatial hysteresis: loops whose cost vectors differ only slightly get
+    the {e same} split, so a distributed array shared between them reuses
+    one partitioning instead of reshaping at every alternation. *)
+
+val seed_weights :
+  Mgacc_gpusim.Machine.t ->
+  num_gpus:int ->
+  iterations:int ->
+  threads_per_iter:int ->
+  iter_cost:Mgacc_gpusim.Cost.t ->
+  float array
+(** Normalized and {!quantize}d {!device_rates}; exactly {!uniform} on a
+    homogeneous machine. *)
+
+val normalize : ?min_share:float -> float array -> float array
+(** Scale nonnegative weights to sum to 1, clamping each share to at least
+    [min_share] (default 0.01) so no device starves out of the feedback
+    loop. Raises [Invalid_argument] on an all-zero or negative vector. *)

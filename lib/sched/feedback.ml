@@ -1,0 +1,60 @@
+type knobs = {
+  alpha : float;
+  hysteresis : float;
+  payoff_launches : float;
+  min_share : float;
+}
+
+let default_knobs = { alpha = 0.5; hysteresis = 0.02; payoff_launches = 4.0; min_share = 0.02 }
+
+type t = {
+  knobs : knobs;
+  rates : float array;  (** 0.0 = no sample yet *)
+  mutable samples : int;
+}
+
+let create knobs ~num_gpus =
+  if num_gpus <= 0 then invalid_arg "Feedback.create: num_gpus <= 0";
+  if knobs.alpha <= 0.0 || knobs.alpha > 1.0 then invalid_arg "Feedback.create: alpha not in (0,1]";
+  if knobs.hysteresis < 0.0 then invalid_arg "Feedback.create: negative hysteresis";
+  { knobs; rates = Array.make num_gpus 0.0; samples = 0 }
+
+let observe t ~iterations ~seconds =
+  let n = Array.length t.rates in
+  if Array.length iterations <> n || Array.length seconds <> n then
+    invalid_arg "Feedback.observe: arity mismatch";
+  Array.iteri
+    (fun g iters ->
+      if iters > 0 && seconds.(g) > 0.0 then begin
+        let rate = float_of_int iters /. seconds.(g) in
+        t.rates.(g) <-
+          (if t.rates.(g) = 0.0 then rate
+           else (t.knobs.alpha *. rate) +. ((1.0 -. t.knobs.alpha) *. t.rates.(g)))
+      end)
+    iterations;
+  t.samples <- t.samples + 1
+
+let rates t = if Array.exists (fun r -> r = 0.0) t.rates then None else Some (Array.copy t.rates)
+
+let proposed_weights t =
+  Option.map (Cost_model.normalize ~min_share:t.knobs.min_share) (rates t)
+
+(* Per-launch kernel time is the straggler's: T(w) = max_g (w_g / r_g),
+   up to the common factor of the iteration count. *)
+let launch_time ~weights ~rates =
+  let worst = ref 0.0 in
+  Array.iteri (fun g w -> worst := Float.max !worst (w /. Float.max rates.(g) 1e-12)) weights;
+  !worst
+
+let predicted_gain t ~current =
+  match rates t with
+  | None -> 0.0
+  | Some r -> (
+      match proposed_weights t with
+      | None -> 0.0
+      | Some p ->
+          let t_cur = launch_time ~weights:current ~rates:r in
+          let t_new = launch_time ~weights:p ~rates:r in
+          if t_cur <= 0.0 then 0.0 else Float.max 0.0 ((t_cur -. t_new) /. t_cur))
+
+let samples t = t.samples

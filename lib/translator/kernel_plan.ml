@@ -71,6 +71,126 @@ let classifier t =
     let mode = base idx in
     if layout_transformed t array then Coalesce.apply_layout_transform mode else mode
 
+(* ------------------------------------------------------------------ *)
+(* Static per-iteration cost and schedule hint for the scheduler.      *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-iteration work varies when an inner loop's trip count depends on
+   the parallel index (BFS runs [degree[i]] edge visits per node), or when
+   an index-dependent branch decides whether an inner loop runs at all
+   (BFS's frontier test skips the whole body off-frontier). Dynamic
+   *subscripts* alone (MD's neighbor gathers) do not skew work: every
+   iteration still runs the same fixed-trip loops, so a static throughput
+   model remains valid for them. The taint analysis tells the two apart. *)
+let schedule_hint t =
+  let open Mgacc_minic.Ast in
+  let taint = Mgacc_analysis.Taint.compute t.loop in
+  let varies e = Mgacc_analysis.Taint.expr_tainted taint e in
+  let rec contains_loop s =
+    match s.sdesc with
+    | Sfor _ | Swhile _ -> true
+    | Sif (_, a, b) -> List.exists contains_loop a || List.exists contains_loop b
+    | Sblock body -> List.exists contains_loop body
+    | Spragma (_, inner) -> contains_loop inner
+    | Sdecl _ | Sarray_decl _ | Sassign _ | Sincr _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue ->
+        false
+  in
+  let rec stmt_irregular s =
+    match s.sdesc with
+    | Sfor (h, body) ->
+        (match h.for_cond with Some c -> varies c | None -> false)
+        || List.exists stmt_irregular body
+    | Swhile (c, body) -> varies c || List.exists stmt_irregular body
+    | Sif (c, a, b) ->
+        (varies c && (List.exists contains_loop a || List.exists contains_loop b))
+        || List.exists stmt_irregular a
+        || List.exists stmt_irregular b
+    | Sblock body -> List.exists stmt_irregular body
+    | Spragma (_, inner) -> stmt_irregular inner
+    | Sdecl _ | Sarray_decl _ | Sassign _ | Sincr _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue ->
+        false
+  in
+  if List.exists stmt_irregular t.loop.Loop_info.body then `Irregular else `Uniform
+
+let static_iter_cost t =
+  let open Mgacc_minic.Ast in
+  let cost = Mgacc_gpusim.Cost.zero () in
+  let classify = classifier t in
+  let charge array idx =
+    (* Element width is 8 bytes for doubles; ints are narrower but the
+       seeding model only needs relative magnitudes. *)
+    match classify array idx with
+    | Mgacc_analysis.Coalesce.Broadcast ->
+        cost.Mgacc_gpusim.Cost.broadcast_bytes <- cost.Mgacc_gpusim.Cost.broadcast_bytes + 8
+    | Mgacc_analysis.Coalesce.Coalesced ->
+        cost.Mgacc_gpusim.Cost.coalesced_bytes <- cost.Mgacc_gpusim.Cost.coalesced_bytes + 8
+    | Mgacc_analysis.Coalesce.Strided _ | Mgacc_analysis.Coalesce.Random ->
+        cost.Mgacc_gpusim.Cost.random_accesses <- cost.Mgacc_gpusim.Cost.random_accesses + 1;
+        cost.Mgacc_gpusim.Cost.random_bytes <- cost.Mgacc_gpusim.Cost.random_bytes + 8
+  in
+  let rec expr e =
+    match e.edesc with
+    | Int_lit _ | Float_lit _ | Var _ | Length _ -> ()
+    | Index (a, idx) ->
+        charge a idx;
+        expr idx
+    | Unop ((Neg : unop), x) ->
+        cost.Mgacc_gpusim.Cost.flops <- cost.Mgacc_gpusim.Cost.flops + 1;
+        expr x
+    | Unop (_, x) ->
+        cost.Mgacc_gpusim.Cost.int_ops <- cost.Mgacc_gpusim.Cost.int_ops + 1;
+        expr x
+    | Binop ((Add | Sub | Mul | Div | Mod), x, y) ->
+        cost.Mgacc_gpusim.Cost.flops <- cost.Mgacc_gpusim.Cost.flops + 1;
+        expr x;
+        expr y
+    | Binop (_, x, y) ->
+        cost.Mgacc_gpusim.Cost.int_ops <- cost.Mgacc_gpusim.Cost.int_ops + 1;
+        expr x;
+        expr y
+    | Ternary (c, a, b) ->
+        cost.Mgacc_gpusim.Cost.int_ops <- cost.Mgacc_gpusim.Cost.int_ops + 1;
+        expr c;
+        expr a;
+        expr b
+    | Call (_, args) ->
+        (* A builtin (sqrt, exp, ...) is several flops; 4 is the order the
+           CPU/GPU models use for transcendentals. *)
+        cost.Mgacc_gpusim.Cost.flops <- cost.Mgacc_gpusim.Cost.flops + 4;
+        List.iter expr args
+  in
+  let lvalue = function Lvar _ -> () | Lindex (a, idx) -> charge a idx; expr idx in
+  let rec stmt s =
+    match s.sdesc with
+    | Sdecl (_, _, init) -> Option.iter expr init
+    | Sarray_decl (_, _, n) -> expr n
+    | Sassign (lv, _, e) ->
+        lvalue lv;
+        expr e
+    | Sincr (lv, _) ->
+        cost.Mgacc_gpusim.Cost.int_ops <- cost.Mgacc_gpusim.Cost.int_ops + 1;
+        lvalue lv
+    | Sexpr e -> expr e
+    | Sif (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | Swhile (c, body) ->
+        expr c;
+        List.iter stmt body
+    | Sfor (h, body) ->
+        Option.iter stmt h.for_init;
+        Option.iter expr h.for_cond;
+        Option.iter stmt h.for_update;
+        List.iter stmt body
+    | Sreturn e -> Option.iter expr e
+    | Sbreak | Scontinue -> ()
+    | Sblock body -> List.iter stmt body
+    | Spragma (_, inner) -> stmt inner
+  in
+  List.iter stmt t.loop.Loop_info.body;
+  cost
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>loop %d (var %s):@," t.loop.Loop_info.loop_id t.loop.Loop_info.loop_var;
   List.iter (fun c -> Format.fprintf ppf "  %a@," Array_config.pp c) t.configs;

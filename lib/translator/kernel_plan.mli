@@ -56,6 +56,22 @@ val needs_dirty_tracking : t -> num_gpus:int -> string -> bool
 (** Replicated arrays with plain writes need dirty tracking — but only when
     more than one GPU participates. *)
 
+val schedule_hint : t -> [ `Uniform | `Irregular ]
+(** [`Irregular] when per-iteration work varies with the parallel index:
+    an inner loop's trip count is tainted (BFS's per-node degree), or a
+    tainted branch guards an inner loop (BFS's frontier test). The
+    scheduler then seeds an equal split and relies on runtime feedback,
+    since a static cost model cannot see the skew. Dynamic subscripts
+    with fixed trip counts (MD's neighbor gathers) stay [`Uniform]. *)
+
+val static_iter_cost : t -> Mgacc_gpusim.Cost.t
+(** Compile-time estimate of the cost of {e one} straight-line pass over
+    the loop body: arithmetic counted per operator, each array access
+    charged 8 bytes under the plan's coalescing classification. Control
+    flow is not simulated (branches contribute both arms, nested loops one
+    trip), which is fine for its consumer — the scheduler only compares
+    device throughputs on the {e same} cost vector. *)
+
 val classifier : t -> string -> Ast.expr -> Mgacc_analysis.Coalesce.mode
 (** The coalescing classifier for kernel compilation, with the layout
     transformation applied to qualifying arrays. *)

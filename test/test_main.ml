@@ -18,4 +18,5 @@ let () =
       ("samples", Test_samples.suite);
       ("more", Test_more.suite);
       ("corners", Test_corners.suite);
+      ("sched", Test_sched.suite);
     ]
