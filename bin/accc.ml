@@ -76,13 +76,20 @@ let check_against_reference program env =
       Ok ()
   | Error _ as e -> e
 
-let run_cmd file machine_name variant gpus schedule_name chunk_kb no_distribution no_layout
-    no_misscheck single_level_dirty dump_arrays show_trace trace_json check_results verbose =
+let overlap_of = function
+  | "on" -> Ok true
+  | "off" -> Ok false
+  | other -> Error (Printf.sprintf "unknown overlap mode %S (on|off)" other)
+
+let run_cmd file machine_name variant gpus schedule_name overlap_name chunk_kb no_distribution
+    no_layout no_misscheck single_level_dirty dump_arrays show_trace trace_json check_results
+    verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
   let* fresh_machine = machine_of machine_name in
   let* schedule = Mgacc.Sched_policy.of_string schedule_name in
+  let* overlap = overlap_of overlap_name in
   try
     match variant with
     | "seq" ->
@@ -120,7 +127,7 @@ let run_cmd file machine_name variant gpus schedule_name chunk_kb no_distributio
         let config =
           Mgacc.Rt_config.make
             ?num_gpus:(if gpus = 0 then None else Some gpus)
-            ~schedule
+            ~schedule ~overlap
             ~chunk_bytes:(chunk_kb * 1024)
             ~two_level_dirty:(not single_level_dirty) ~translator machine
         in
@@ -268,6 +275,11 @@ let run_term =
          & info [ "schedule" ] ~docv:"POLICY"
              ~doc:"iteration partitioning: static (equal split), proportional or adaptive")
   in
+  let overlap =
+    Arg.(value & opt string "off"
+         & info [ "overlap" ] ~docv:"on|off"
+             ~doc:"dependency-driven communication/computation overlap (off = barrier semantics)")
+  in
   let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
   let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
   let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
@@ -283,10 +295,10 @@ let run_term =
     Arg.(value & flag & info [ "check" ] ~doc:"validate results against the sequential reference")
   in
   Term.(
-    const (fun file m v g sch c nd nl nm sl d tr tj ck vb ->
-        exits_of (run_cmd file m v g sch c nd nl nm sl d tr tj ck vb))
-    $ file_arg $ machine $ variant $ gpus $ schedule $ chunk $ no_dist $ no_layout $ no_misscheck
-    $ single_level $ dump $ trace $ trace_json $ check_results $ verbose)
+    const (fun file m v g sch ov c nd nl nm sl d tr tj ck vb ->
+        exits_of (run_cmd file m v g sch ov c nd nl nm sl d tr tj ck vb))
+    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ chunk $ no_dist $ no_layout
+    $ no_misscheck $ single_level $ dump $ trace $ trace_json $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
 

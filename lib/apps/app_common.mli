@@ -30,6 +30,8 @@ val pgi : machine:Machine.t -> t -> Host_interp.env * Report.t
 val proposal :
   ?chunk_bytes:int ->
   ?two_level_dirty:bool ->
+  ?overlap:bool ->
+  ?schedule:Sched_policy.t ->
   ?options:Kernel_plan.options ->
   num_gpus:int ->
   machine:Machine.t ->

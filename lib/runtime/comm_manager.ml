@@ -6,11 +6,26 @@ module Cost = Mgacc_gpusim.Cost
 module Interval = Mgacc_util.Interval
 open Mgacc_minic
 
+type op_kind = Dirty_chunk | Miss_ship | Halo_segment | Red_gather | Red_bcast
+
+type op = { dir : Fabric.direction; bytes : int; tag : string; array : string; kind : op_kind }
+
+type gpu_kernel = { gpu : int; array : string; cost : Cost.t; label : string }
+
 type result = {
-  xfers : Darray.xfer list;
-  gpu_kernel_costs : (int * Cost.t * string) list;
+  ops : op list;
+  replays : gpu_kernel list;
+  combines : gpu_kernel list;
+  scans : (int * string * float) list;
   scan_seconds : float;
 }
+
+let xfers_of r =
+  List.map (fun op -> { Darray.dir = op.dir; bytes = op.bytes; tag = op.tag }) r.ops
+
+let gpu_kernel_costs_of r =
+  List.map (fun k -> (k.gpu, k.cost, k.label)) r.replays
+  @ List.map (fun k -> (k.gpu, k.cost, k.label)) r.combines
 
 (* Host-side cost of inspecting one array's second-level bits. *)
 let scan_base_seconds = 2e-6
@@ -19,13 +34,16 @@ let scan_per_chunk_seconds = 20e-9
 (* Element-wise merge of GPU [src]'s dirty runs into every other replica.
    The exchanged chunks stage through system buffers on both ends (paper
    §IV-D: the receiver needs the chunk payload plus its bits to merge), so
-   the staging shows up in the Fig. 9 "System" accounting. *)
+   the staging shows up in the Fig. 9 "System" accounting. Because of the
+   staging, a chunk may be in flight while the receiver's kernel still
+   runs: the overlap engine only gates the send on the *source's* kernel
+   finish plus this array's scan. *)
 let merge_replicated cfg (da : Darray.t) =
   let r = Darray.replica_of da in
   let num_gpus = cfg.Rt_config.num_gpus in
   let mem g = (Mgacc_gpusim.Machine.device cfg.Rt_config.machine g).Mgacc_gpusim.Device.memory in
-  let xfers = ref [] in
-  let scan = ref 0.0 in
+  let ops = ref [] in
+  let scans = ref [] in
   let staging = ref [] in
   (* One send buffer per writing GPU and one receive buffer per GPU (sized
      for the largest incoming batch): the chunks stream through these. *)
@@ -46,15 +64,25 @@ let merge_replicated cfg (da : Darray.t) =
     match r.Darray.dirty.(src) with
     | None -> ()
     | Some d ->
-        scan := !scan +. scan_base_seconds +. (float_of_int (Dirty.total_chunks d) *. scan_per_chunk_seconds);
+        scans :=
+          ( src,
+            da.Darray.name,
+            scan_base_seconds +. (float_of_int (Dirty.total_chunks d) *. scan_per_chunk_seconds) )
+          :: !scans;
         if Dirty.any_dirty d then begin
           let bytes = Dirty.transfer_bytes d in
           let runs = Dirty.dirty_runs d in
           for dst = 0 to num_gpus - 1 do
             if dst <> src then begin
-              xfers :=
-                { Darray.dir = Fabric.P2p (src, dst); bytes; tag = da.Darray.name ^ ":dirty" }
-                :: !xfers;
+              ops :=
+                {
+                  dir = Fabric.P2p (src, dst);
+                  bytes;
+                  tag = da.Darray.name ^ ":dirty";
+                  array = da.Darray.name;
+                  kind = Dirty_chunk;
+                }
+                :: !ops;
               (* Functional merge of exactly the dirty elements. *)
               (match da.Darray.elem with
               | Ast.Edouble ->
@@ -79,14 +107,14 @@ let merge_replicated cfg (da : Darray.t) =
      remains in the memory accounting). *)
   List.iter (fun (g, buf) -> Memory.free (mem g) buf) !staging;
   Array.iter (function Some d -> Dirty.clear d | None -> ()) r.Darray.dirty;
-  (!xfers, !scan)
+  (List.rev !ops, List.rev !scans)
 
 (* Ship miss records to their owners and replay them there. *)
 let drain_misses cfg (da : Darray.t) =
   match da.Darray.state with
   | Darray.Distributed dist ->
       let num_gpus = cfg.Rt_config.num_gpus in
-      let xfers = ref [] in
+      let ops = ref [] in
       let replay_counts = Array.make num_gpus 0 in
       for src = 0 to num_gpus - 1 do
         let part = dist.Darray.parts.(src) in
@@ -104,9 +132,15 @@ let drain_misses cfg (da : Darray.t) =
               let entries = List.rev entries_rev in
               if entries <> [] && owner <> src then begin
                 let payload = List.length entries * record_bytes in
-                xfers :=
-                  { Darray.dir = Fabric.P2p (src, owner); bytes = payload; tag = da.Darray.name ^ ":miss" }
-                  :: !xfers;
+                ops :=
+                  {
+                    dir = Fabric.P2p (src, owner);
+                    bytes = payload;
+                    tag = da.Darray.name ^ ":miss";
+                    array = da.Darray.name;
+                    kind = Miss_ship;
+                  }
+                  :: !ops;
                 (* The records stage in a system buffer on the owner until
                    the replay kernel consumes them. *)
                 let mem =
@@ -172,11 +206,11 @@ let drain_misses cfg (da : Darray.t) =
                  cost.Cost.random_accesses <- n;
                  cost.Cost.random_bytes <- n * Darray.elem_bytes da;
                  cost.Cost.int_ops <- 2 * n;
-                 Some (gpu, cost, da.Darray.name ^ ":replay")
+                 Some { gpu; array = da.Darray.name; cost; label = da.Darray.name ^ ":replay" }
                end)
         |> List.filter_map Fun.id
       in
-      (!xfers, replays)
+      (List.rev !ops, replays)
   | Darray.Unallocated | Darray.Replicated _ -> ([], [])
 
 (* Refresh halo copies from their owners after the partitions changed. *)
@@ -184,7 +218,7 @@ let halo_exchange cfg (da : Darray.t) =
   match da.Darray.state with
   | Darray.Distributed dist ->
       let num_gpus = cfg.Rt_config.num_gpus in
-      let xfers = ref [] in
+      let ops = ref [] in
       for dst = 0 to num_gpus - 1 do
         let part = dist.Darray.parts.(dst) in
         let halo =
@@ -202,13 +236,15 @@ let halo_exchange cfg (da : Darray.t) =
               let seg_hi = min iv.Interval.hi oown.Interval.hi in
               let seg = Interval.make !cursor seg_hi in
               if owner <> dst && not (Interval.is_empty seg) then begin
-                xfers :=
+                ops :=
                   {
-                    Darray.dir = Fabric.P2p (owner, dst);
+                    dir = Fabric.P2p (owner, dst);
                     bytes = Interval.length seg * Darray.elem_bytes da;
                     tag = da.Darray.name ^ ":halo";
+                    array = da.Darray.name;
+                    kind = Halo_segment;
                   }
-                  :: !xfers;
+                  :: !ops;
                 (* Functional copy owner -> dst. *)
                 let src_part = dist.Darray.parts.(owner) in
                 let slo = src_part.Darray.window.Interval.lo in
@@ -232,13 +268,18 @@ let halo_exchange cfg (da : Darray.t) =
           (Interval.Set.to_list halo)
       done;
       Darray.mark_halo_synced da;
-      !xfers
+      List.rev !ops
   | Darray.Unallocated | Darray.Replicated _ -> []
 
 let reconcile cfg plan ~get_darray ~reductions ~wrote =
-  let xfers = ref [] in
-  let kernels = ref [] in
-  let scan = ref 0.0 in
+  (* Accumulators are built reversed with constant-time prepends and
+     reversed once at the end (the old [l := !l @ x] was quadratic in the
+     number of transfers). *)
+  let ops = ref [] in
+  let replays = ref [] in
+  let combines = ref [] in
+  let scans = ref [] in
+  let prepend_all dst xs = List.iter (fun x -> dst := x :: !dst) xs in
   List.iter
     (fun (c : Array_config.t) ->
       let name = c.Array_config.array in
@@ -249,14 +290,15 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote =
         | Array_config.Replicated ->
             if cfg.Rt_config.num_gpus > 1 then begin
               let x, s = merge_replicated cfg da in
-              xfers := !xfers @ x;
-              scan := !scan +. s
+              prepend_all ops x;
+              prepend_all scans s
             end
         | Array_config.Distributed ->
-            let x_miss, replays = drain_misses cfg da in
+            let x_miss, r = drain_misses cfg da in
             let x_halo = if da.Darray.written_since_halo_sync then halo_exchange cfg da else [] in
-            xfers := !xfers @ x_miss @ x_halo;
-            kernels := !kernels @ replays
+            prepend_all ops x_miss;
+            prepend_all ops x_halo;
+            prepend_all replays r
       end)
     plan.Kernel_plan.configs;
   (* Array reductions. *)
@@ -264,8 +306,26 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote =
     (fun (name, red) ->
       let da = get_darray name in
       let m = Reduction.merge cfg red da in
-      xfers := !xfers @ m.Reduction.xfers;
+      prepend_all ops
+        (List.map
+           (fun (x : Darray.xfer) ->
+             let kind =
+               match x.Darray.dir with
+               | Fabric.P2p (_, 0) -> Red_gather
+               | _ -> Red_bcast
+             in
+             { dir = x.Darray.dir; bytes = x.Darray.bytes; tag = x.Darray.tag; array = name; kind })
+           m.Reduction.xfers);
       if not (Cost.is_zero m.Reduction.combine_cost) then
-        kernels := !kernels @ [ (0, m.Reduction.combine_cost, name ^ ":combine") ])
+        combines :=
+          { gpu = 0; array = name; cost = m.Reduction.combine_cost; label = name ^ ":combine" }
+          :: !combines)
     reductions;
-  { xfers = !xfers; gpu_kernel_costs = !kernels; scan_seconds = !scan }
+  let scans = List.rev !scans in
+  {
+    ops = List.rev !ops;
+    replays = List.rev !replays;
+    combines = List.rev !combines;
+    scans;
+    scan_seconds = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 scans;
+  }

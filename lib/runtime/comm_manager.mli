@@ -12,16 +12,67 @@
     - {b Reduction arrays}: fold the per-GPU partials (gather to GPU 0,
       combine, broadcast), via {!Reduction.merge}.
 
-    All movement is returned as transfer descriptors plus per-GPU kernel
-    costs (replay and combine kernels) and a host-side scan overhead; the
-    caller charges them to the fabric and devices. *)
+    All movement is returned as {e timed op descriptors}: each op names
+    the producing GPU (the transfer's source endpoint), the consuming
+    GPU, the array it belongs to and its dependency class, so the caller
+    can gate it on the producer's own kernel-finish event instead of a
+    global barrier (see docs/OVERLAP.md). Replay and combine kernels come
+    back keyed by (GPU, array) so each can be gated on the arrival of
+    exactly its own inputs. The barrier-mode runtime flattens the same
+    descriptors into one bulk batch — the functional merges performed
+    here are identical either way. *)
+
+module Fabric = Mgacc_gpusim.Fabric
+module Cost = Mgacc_gpusim.Cost
+
+type op_kind =
+  | Dirty_chunk  (** replicated-array dirty chunks, staged both ends *)
+  | Miss_ship  (** write-miss records headed for their owner *)
+  | Halo_segment  (** owner block -> stale halo copy *)
+  | Red_gather  (** reduction partial -> GPU 0 *)
+  | Red_bcast  (** combined reduction result -> replica *)
+
+type op = {
+  dir : Fabric.direction;  (** producer and consumer endpoints *)
+  bytes : int;
+  tag : string;
+  array : string;
+  kind : op_kind;
+}
+
+type gpu_kernel = {
+  gpu : int;
+  array : string;
+  cost : Cost.t;
+  label : string;
+}
+(** A replay kernel (gated on the owner's incoming {!Miss_ship} arrivals)
+    or a reduction combine kernel (gated on the array's {!Red_gather}
+    arrivals). *)
 
 type result = {
-  xfers : Darray.xfer list;
-  gpu_kernel_costs : (int * Mgacc_gpusim.Cost.t * string) list;
-      (** (gpu, cost, label) for replay/merge kernels *)
-  scan_seconds : float;  (** dirty-bit scanning bookkeeping on the host *)
+  ops : op list;
+  replays : gpu_kernel list;
+  combines : gpu_kernel list;
+  scans : (int * string * float) list;
+      (** per-(writing GPU, array) host-side dirty-bit scan seconds; an
+          op sourced at GPU [g] for array [a] may not start before [g]'s
+          kernel finish plus this scan *)
+  scan_seconds : float;  (** total of [scans] (barrier mode charges it serially) *)
 }
+
+val xfers_of : result -> Darray.xfer list
+(** The ops flattened to plain transfer descriptors (barrier mode). *)
+
+val gpu_kernel_costs_of : result -> (int * Cost.t * string) list
+(** Replays then combines as (gpu, cost, label) tuples (barrier mode). *)
+
+val halo_exchange : Rt_config.t -> Darray.t -> op list
+(** Refresh every stale halo copy of a distributed array from its owners,
+    performing the functional copies immediately and returning one
+    {!Halo_segment} op per (owner, destination) segment — a halo interval
+    spanning several owners yields several ops. No-op (and no ops) when
+    the array is not distributed. *)
 
 val reconcile :
   Rt_config.t ->

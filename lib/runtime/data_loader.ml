@@ -2,9 +2,25 @@ open Mgacc_minic
 module Kernel_plan = Mgacc_translator.Kernel_plan
 module Array_config = Mgacc_analysis.Array_config
 
+type prepared = {
+  xfers : Darray.xfer list;
+  reductions : (string * Reduction.t) list;
+  reused : string list;
+}
+
 let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
   let xfers = ref [] in
   let reductions = ref [] in
+  let reused = ref [] in
+  (* An array already on the device in the right placement produces no
+     transfers: the reload-skip reuse iterative applications live on. Under
+     overlap this is a prefetch hit — the previous launch's reconciliation,
+     gated only on its own producers, already refreshed the copy while the
+     host ran ahead to this launch. *)
+  let note_reuse name (da : Darray.t) emitted =
+    if emitted = [] && da.Darray.state <> Darray.Unallocated then reused := name :: !reused;
+    emitted
+  in
   List.iter
     (fun (c : Array_config.t) ->
       let name = c.Array_config.array in
@@ -12,7 +28,7 @@ let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
       match c.Array_config.reduction with
       | Some op ->
           (* Reduction destinations stay replicated; partials are private. *)
-          xfers := !xfers @ Darray.ensure_replicated cfg da ~dirty_tracking:false;
+          xfers := !xfers @ note_reuse name da (Darray.ensure_replicated cfg da ~dirty_tracking:false);
           reductions := (name, Reduction.allocate cfg da op) :: !reductions
       | None -> (
           match Kernel_plan.placement_of plan name with
@@ -20,7 +36,7 @@ let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
               let dirty_tracking =
                 Kernel_plan.needs_dirty_tracking plan ~num_gpus:cfg.Rt_config.num_gpus name
               in
-              xfers := !xfers @ Darray.ensure_replicated cfg da ~dirty_tracking
+              xfers := !xfers @ note_reuse name da (Darray.ensure_replicated cfg da ~dirty_tracking)
           | Array_config.Distributed ->
               let spec =
                 match c.Array_config.localaccess with
@@ -34,7 +50,7 @@ let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
                     { Darray.stride; left; right }
                 | None -> assert false (* Distributed implies a localaccess spec *)
               in
-              xfers := !xfers @ Darray.ensure_distributed cfg da ~spec ~ranges))
+              xfers := !xfers @ note_reuse name da (Darray.ensure_distributed cfg da ~spec ~ranges)))
     plan.Kernel_plan.configs;
   (* Arrays referenced only through __length never appear in the access
      summaries, so they have no config; they still need device presence
@@ -44,4 +60,4 @@ let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
       if Kernel_plan.config_for plan name = None then
         xfers := !xfers @ Darray.ensure_replicated cfg (get_darray name) ~dirty_tracking:false)
     arrays;
-  (!xfers, List.rev !reductions)
+  { xfers = !xfers; reductions = List.rev !reductions; reused = List.rev !reused }

@@ -8,9 +8,17 @@
     allocates reduction partials for [reductiontoarray] destinations.
 
     Returns the transfer descriptors to charge (a mix of D2H flushes from
-    placement transitions and H2D loads). *)
+    placement transitions and H2D loads), plus the arrays whose device
+    copies were still valid — the reload-skip reuse that the overlap
+    engine counts as prefetch hits. *)
 
 open Mgacc_minic
+
+type prepared = {
+  xfers : Darray.xfer list;
+  reductions : (string * Reduction.t) list;
+  reused : string list;  (** configured arrays that needed no transfer *)
+}
 
 val prepare :
   Rt_config.t ->
@@ -19,7 +27,7 @@ val prepare :
   eval_int:(Ast.expr -> int) ->
   get_darray:(string -> Darray.t) ->
   arrays:string list ->
-  Darray.xfer list * (string * Reduction.t) list
+  prepared
 (** [eval_int] evaluates [localaccess] window parameters in the host
     environment; [arrays] lists every array parameter of the kernel (a view
     is bound for each, so each needs device presence even if only its

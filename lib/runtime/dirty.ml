@@ -11,7 +11,18 @@ type t = {
   first_buf : Memory.buf;
   second_buf : Memory.buf;
   mutable dirty_elems : int;
+  mutable dirty_bytes : int;
+      (* two-level transfer payload of the currently dirty chunks,
+         maintained incrementally by [mark] so [transfer_bytes] is O(1) *)
 }
+
+(* Payload one dirty chunk contributes to a transfer: its (clamped)
+   elements plus its slice of first-level bits. *)
+let chunk_payload_bytes t chunk =
+  let lo = chunk * t.chunk_elems in
+  let hi = min t.length (lo + t.chunk_elems) in
+  let elems = hi - lo in
+  (elems * t.elem_bytes) + ((elems + 7) / 8)
 
 let create mem ~elem_bytes ~length ~chunk_bytes ~two_level =
   if elem_bytes <= 0 || length < 0 || chunk_bytes < elem_bytes then
@@ -30,6 +41,7 @@ let create mem ~elem_bytes ~length ~chunk_bytes ~two_level =
     first_buf = Memory.alloc_raw mem `System first_bytes;
     second_buf = Memory.alloc_raw mem `System (if two_level then second_bytes else 0);
     dirty_elems = 0;
+    dirty_bytes = 0;
   }
 
 let mark t i =
@@ -37,7 +49,10 @@ let mark t i =
     Bitset.set t.first i;
     t.dirty_elems <- t.dirty_elems + 1;
     let chunk = i / t.chunk_elems in
-    if not (Bitset.get t.second chunk) then Bitset.set t.second chunk
+    if not (Bitset.get t.second chunk) then begin
+      Bitset.set t.second chunk;
+      t.dirty_bytes <- t.dirty_bytes + chunk_payload_bytes t chunk
+    end
   end
 
 let any_dirty t = t.dirty_elems > 0
@@ -48,25 +63,14 @@ let dirty_runs t = Bitset.runs t.first
 
 let transfer_bytes t =
   if t.dirty_elems = 0 then 0
-  else if t.two_level then begin
-    let bytes = ref 0 in
-    let nchunks = total_chunks t in
-    for chunk = 0 to nchunks - 1 do
-      if Bitset.get t.second chunk then begin
-        let lo = chunk * t.chunk_elems in
-        let hi = min t.length (lo + t.chunk_elems) in
-        let elems = hi - lo in
-        bytes := !bytes + (elems * t.elem_bytes) + ((elems + 7) / 8)
-      end
-    done;
-    !bytes
-  end
+  else if t.two_level then t.dirty_bytes
   else (t.length * t.elem_bytes) + ((t.length + 7) / 8)
 
 let clear t =
   Bitset.clear_all t.first;
   Bitset.clear_all t.second;
-  t.dirty_elems <- 0
+  t.dirty_elems <- 0;
+  t.dirty_bytes <- 0
 
 let footprint_bytes t = t.first_buf.Memory.size_bytes + t.second_buf.Memory.size_bytes
 

@@ -38,7 +38,9 @@ val transfer_bytes : t -> int
 (** Bytes the reconciliation must ship to one peer under the configured
     mechanism: per dirty chunk its payload plus its slice of first-level
     bits (two-level), or the whole payload plus the whole bit array
-    (single-level) — zero when nothing is dirty. *)
+    (single-level) — zero when nothing is dirty. O(1): the two-level
+    figure is maintained incrementally by {!mark} as chunks turn dirty,
+    not recomputed by scanning the chunk bits. *)
 
 val clear : t -> unit
 val footprint_bytes : t -> int

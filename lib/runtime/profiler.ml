@@ -12,6 +12,8 @@ type t = {
   mutable rebalances : int;
   mutable imbalance_sum : float;
   mutable imbalance_samples : int;
+  mutable hidden : float;
+  mutable prefetch_hits : int;
   mutable mem : memory_report;
 }
 
@@ -28,6 +30,8 @@ let create () =
     rebalances = 0;
     imbalance_sum = 0.0;
     imbalance_samples = 0;
+    hidden = 0.0;
+    prefetch_hits = 0;
     mem = { user_bytes = 0; system_bytes = 0 };
   }
 
@@ -49,6 +53,9 @@ let add_imbalance t ~ratio =
   t.imbalance_sum <- t.imbalance_sum +. ratio;
   t.imbalance_samples <- t.imbalance_samples + 1
 
+let add_hidden t ~seconds = t.hidden <- t.hidden +. seconds
+let add_prefetch_hits t ~count = t.prefetch_hits <- t.prefetch_hits + count
+
 let cpu_gpu_time t = t.cpu_gpu
 let gpu_gpu_time t = t.gpu_gpu
 let kernel_time t = t.kernel
@@ -59,6 +66,8 @@ let gpu_gpu_bytes t = t.gpu_gpu_bytes
 let kernel_launches t = t.launches
 let loops_executed t = t.loops
 let rebalances t = t.rebalances
+let hidden_time t = t.hidden
+let prefetch_hits t = t.prefetch_hits
 
 let mean_imbalance t =
   if t.imbalance_samples = 0 then 0.0 else t.imbalance_sum /. float_of_int t.imbalance_samples
@@ -76,9 +85,9 @@ let memory t = t.mem
 
 let pp ppf t =
   Format.fprintf ppf
-    "time: total=%.6fs kernels=%.6fs cpu-gpu=%.6fs gpu-gpu=%.6fs overhead=%.6fs; bytes: h<->d=%s \
-     p2p=%s; launches=%d loops=%d; mem user=%s system=%s"
-    (total_time t) t.kernel t.cpu_gpu t.gpu_gpu t.overhead
+    "time: total=%.6fs kernels=%.6fs cpu-gpu=%.6fs gpu-gpu=%.6fs overhead=%.6fs hidden=%.6fs; \
+     bytes: h<->d=%s p2p=%s; launches=%d loops=%d; mem user=%s system=%s"
+    (total_time t) t.kernel t.cpu_gpu t.gpu_gpu t.overhead t.hidden
     (Mgacc_util.Bytesize.to_string t.cpu_gpu_bytes)
     (Mgacc_util.Bytesize.to_string t.gpu_gpu_bytes)
     t.launches t.loops

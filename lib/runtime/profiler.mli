@@ -24,12 +24,27 @@ val add_imbalance : t -> ratio:float -> unit
 (** Per-GPU kernel-time imbalance of one multi-GPU launch:
     [(slowest - fastest) / slowest], in [\[0, 1)]. *)
 
+val add_hidden : t -> seconds:float -> unit
+(** Overlap engine only: seconds of transfer/kernel activity that ran in
+    the shadow of the critical path (the category counters get only the
+    exposed share, so they sum to the makespan). *)
+
+val add_prefetch_hits : t -> count:int -> unit
+(** Arrays whose device copies were still valid at a launch, so the loader
+    skipped the reload — under overlap, the previous launch's exchange
+    already prefetched exactly these for the next launch. *)
+
 val cpu_gpu_time : t -> float
 val gpu_gpu_time : t -> float
 val kernel_time : t -> float
 val overhead_time : t -> float
 val total_time : t -> float
-(** Sum of all categories: the parallel-region execution time. *)
+(** Sum of all categories: the parallel-region execution time. Under the
+    overlap engine the categories hold exposed (critical-path) time only,
+    so this is the makespan; hidden time is reported separately. *)
+
+val hidden_time : t -> float
+val prefetch_hits : t -> int
 
 val cpu_gpu_bytes : t -> int
 val gpu_gpu_bytes : t -> int

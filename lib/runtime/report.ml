@@ -13,6 +13,8 @@ type t = {
   launches : int;
   rebalances : int;
   mean_imbalance : float;
+  hidden_seconds : float;
+  prefetch_hits : int;
   mem_user_bytes : int;
   mem_system_bytes : int;
 }
@@ -34,6 +36,8 @@ let of_profiler p ~machine ~variant ~num_gpus =
     launches = Profiler.kernel_launches p;
     rebalances = Profiler.rebalances p;
     mean_imbalance = Profiler.mean_imbalance p;
+    hidden_seconds = Profiler.hidden_time p;
+    prefetch_hits = Profiler.prefetch_hits p;
     mem_user_bytes = mem.Profiler.user_bytes;
     mem_system_bytes = mem.Profiler.system_bytes;
   }
@@ -54,6 +58,8 @@ let host_only ~machine ~variant ~seconds =
     launches = 0;
     rebalances = 0;
     mean_imbalance = 0.0;
+    hidden_seconds = 0.0;
+    prefetch_hits = 0;
     mem_user_bytes = 0;
     mem_system_bytes = 0;
   }
@@ -62,7 +68,8 @@ let speedup_vs t ~baseline = baseline.total_time /. t.total_time
 
 let pp ppf t =
   Format.fprintf ppf
-    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f) mem user=%s sys=%s"
+    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f%t) mem user=%s sys=%s"
     t.machine t.variant t.total_time t.kernel_time t.cpu_gpu_time t.gpu_gpu_time t.overhead_time
+    (fun ppf -> if t.hidden_seconds > 0.0 then Format.fprintf ppf " hidden=%.6f" t.hidden_seconds)
     (Mgacc_util.Bytesize.to_string t.mem_user_bytes)
     (Mgacc_util.Bytesize.to_string t.mem_system_bytes)

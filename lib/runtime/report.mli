@@ -16,6 +16,10 @@ type t = {
   launches : int;
   rebalances : int;  (** adaptive-scheduler re-splits committed *)
   mean_imbalance : float;  (** mean per-launch (slowest-fastest)/slowest *)
+  hidden_seconds : float;
+      (** overlap engine: activity that ran off the critical path; the
+          per-category times then sum to the makespan *)
+  prefetch_hits : int;  (** launches' arrays already valid on device (reload skipped) *)
   mem_user_bytes : int;  (** peak user data across used GPUs *)
   mem_system_bytes : int;  (** peak runtime-system data across used GPUs *)
 }

@@ -6,6 +6,11 @@ type t = {
   num_gpus : int;  (** devices actually used (<= machine's) *)
   chunk_bytes : int;  (** second-level dirty-bit chunk payload size *)
   two_level_dirty : bool;  (** ablation B: false = single-level dirty bits *)
+  overlap : bool;
+      (** dependency-driven communication/computation overlap: gate each
+          transfer and replay on the events it actually depends on instead
+          of the bulk-synchronous barrier chain (docs/OVERLAP.md). [false]
+          keeps the original barrier semantics bit-for-bit. *)
   translator : Mgacc_translator.Kernel_plan.options;
   schedule : Mgacc_sched.Policy.t;
       (** iteration-partitioning policy (default: the paper's equal split) *)
@@ -17,11 +22,13 @@ val make :
   ?num_gpus:int ->
   ?chunk_bytes:int ->
   ?two_level_dirty:bool ->
+  ?overlap:bool ->
   ?translator:Mgacc_translator.Kernel_plan.options ->
   ?schedule:Mgacc_sched.Policy.t ->
   ?sched_knobs:Mgacc_sched.Feedback.knobs ->
   Mgacc_gpusim.Machine.t ->
   t
 (** Defaults: all of the machine's GPUs, 1 MB chunks (the paper's choice),
-    two-level dirty bits, all translator optimizations on, the equal-split
-    schedule with default controller knobs. *)
+    two-level dirty bits, overlap off (barrier semantics), all translator
+    optimizations on, the equal-split schedule with default controller
+    knobs. *)

@@ -105,4 +105,10 @@ let observe t ~loop_id ~iterations ~seconds ~total_iterations ~bytes_per_iter =
                     t.rebalances <- t.rebalances + 1;
                     true))
 
+let observe_events t ~loop_id ~iterations ~starts ~finishes ~total_iterations ~bytes_per_iter =
+  if Array.length starts <> Array.length finishes then
+    invalid_arg "Scheduler.observe_events: starts/finishes length mismatch";
+  let seconds = Array.init (Array.length starts) (fun g -> finishes.(g) -. starts.(g)) in
+  observe t ~loop_id ~iterations ~seconds ~total_iterations ~bytes_per_iter
+
 let rebalances t = t.rebalances

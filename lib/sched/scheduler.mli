@@ -52,5 +52,20 @@ val observe :
     Returns [true] when a re-split was committed for the loop's next
     launch (only ever under [Adaptive]). *)
 
+val observe_events :
+  t ->
+  loop_id:int ->
+  iterations:int array ->
+  starts:float array ->
+  finishes:float array ->
+  total_iterations:int ->
+  bytes_per_iter:int ->
+  bool
+(** {!observe} for the overlap engine: per-GPU kernel start/finish events
+    instead of durations. Each GPU's rate comes from its own busy span
+    [finish - start], so event-gated launches (where GPUs no longer start
+    together) still feed the controller unskewed. With a common start this
+    is exactly {!observe}. *)
+
 val rebalances : t -> int
 (** Total re-splits committed across all loops. *)

@@ -108,6 +108,97 @@ let test_dirty_bytes_scale_with_chunks () =
   (* one 1KB chunk + 16B of first-level bits, one direction *)
   check Alcotest.int "one chunk ships" (1024 + 16) r.Mgacc.Report.gpu_gpu_bytes
 
+(* ---------------- Halo exchange across several owners ---------------- *)
+
+let test_halo_spans_multiple_owners () =
+  (* 3 GPUs, equal split of 30 elements, right halo of 15: GPU 0's halo
+     [10,25) crosses the GPU1/GPU2 ownership boundary and must be
+     refreshed with one segment per owner. *)
+  let module Fabric = Mgacc_gpusim.Fabric in
+  let cfg = Rt_config.make ~num_gpus:3 (Machine.supernode ~num_gpus:3 ()) in
+  let da = mk_da cfg "h" (Array.init 30 float_of_int) in
+  let ranges = Task_map.split ~lower:0 ~upper:30 ~parts:3 in
+  let spec = { Darray.stride = 1; left = 0; right = 15 } in
+  let _ = Darray.ensure_distributed cfg da ~spec ~ranges in
+  (* Owners write fresh values into their own blocks (device-side). *)
+  let poke gpu logical v =
+    let p = Darray.part_for da ~gpu in
+    (Memory.float_data p.Darray.buf).(logical - p.Darray.window.Interval.lo) <- v
+  in
+  poke 1 12 999.0;
+  poke 2 22 777.0;
+  Darray.mark_device_written da;
+  let ops = Comm_manager.halo_exchange cfg da in
+  check Alcotest.int "one op per (owner, dst) segment" 3 (List.length ops);
+  List.iter
+    (fun (o : Comm_manager.op) ->
+      check Alcotest.bool "kind" true (o.Comm_manager.kind = Comm_manager.Halo_segment))
+    ops;
+  let bytes_of dir =
+    match List.find_opt (fun (o : Comm_manager.op) -> o.Comm_manager.dir = dir) ops with
+    | Some o -> o.Comm_manager.bytes
+    | None -> Alcotest.fail "missing halo segment"
+  in
+  (* GPU 0 needs [10,20) from GPU 1 and [20,25) from GPU 2; GPU 1 needs
+     [20,30) from GPU 2; GPU 2's window holds no halo. *)
+  check Alcotest.int "gpu1 -> gpu0 segment" (10 * 8) (bytes_of (Fabric.P2p (1, 0)));
+  check Alcotest.int "gpu2 -> gpu0 segment" (5 * 8) (bytes_of (Fabric.P2p (2, 0)));
+  check Alcotest.int "gpu2 -> gpu1 segment" (10 * 8) (bytes_of (Fabric.P2p (2, 1)));
+  (* The functional copies landed in the halo regions. *)
+  let peek gpu logical =
+    let p = Darray.part_for da ~gpu in
+    (Memory.float_data p.Darray.buf).(logical - p.Darray.window.Interval.lo)
+  in
+  check (Alcotest.float 1e-12) "gpu0 sees gpu1's write" 999.0 (peek 0 12);
+  check (Alcotest.float 1e-12) "gpu0 sees gpu2's write" 777.0 (peek 0 22);
+  check (Alcotest.float 1e-12) "gpu1 sees gpu2's write" 777.0 (peek 1 22);
+  check Alcotest.bool "halo marked synced" false da.Darray.written_since_halo_sync
+
+(* ---------------- Two-level dirty transfer bytes ---------------- *)
+
+let test_transfer_bytes_matches_brute_force () =
+  (* The O(1) incremental figure must match a from-scratch recount of the
+     dirty chunks, including the clamped final chunk. *)
+  let mem = Memory.create ~device_id:0 ~capacity:(1 lsl 20) in
+  let elem_bytes = 8 and length = 1003 and chunk_bytes = 64 in
+  let chunk_elems = chunk_bytes / elem_bytes in
+  let d = Dirty.create mem ~elem_bytes ~length ~chunk_bytes ~two_level:true in
+  let marked = Hashtbl.create 64 in
+  let mark i =
+    Dirty.mark d i;
+    Hashtbl.replace marked i ()
+  in
+  (* A scattered pattern with repeats, dense runs and the tail chunk. *)
+  List.iter mark [ 0; 1; 1; 7; 8; 64; 65; 500; 501; 502; 777; 1000; 1002; 1002 ];
+  let brute_force () =
+    let chunks = Hashtbl.create 16 in
+    Hashtbl.iter (fun i () -> Hashtbl.replace chunks (i / chunk_elems) ()) marked;
+    Hashtbl.fold
+      (fun c () acc ->
+        let lo = c * chunk_elems in
+        let elems = min length (lo + chunk_elems) - lo in
+        acc + (elems * elem_bytes) + ((elems + 7) / 8))
+      chunks 0
+  in
+  check Alcotest.int "incremental = brute force" (brute_force ()) (Dirty.transfer_bytes d);
+  (* Marking more of an already-dirty chunk must not change the figure. *)
+  mark 2;
+  check Alcotest.int "same chunk adds nothing" (brute_force ()) (Dirty.transfer_bytes d);
+  (* A new chunk grows it by exactly one chunk's payload. *)
+  let before = Dirty.transfer_bytes d in
+  mark 200;
+  check Alcotest.int "new chunk adds its payload"
+    (before + (chunk_elems * elem_bytes) + ((chunk_elems + 7) / 8))
+    (Dirty.transfer_bytes d);
+  check Alcotest.int "still brute force" (brute_force ()) (Dirty.transfer_bytes d);
+  Dirty.clear d;
+  Hashtbl.reset marked;
+  check Alcotest.int "clean after clear" 0 (Dirty.transfer_bytes d);
+  mark 1002;
+  (* Only the 3-element tail chunk: clamped payload plus one bit byte. *)
+  check Alcotest.int "tail chunk clamps" ((3 * elem_bytes) + 1) (Dirty.transfer_bytes d);
+  Dirty.free mem d
+
 (* ---------------- Scalar firstprivate semantics ---------------- *)
 
 let test_scalars_are_firstprivate () =
@@ -189,6 +280,8 @@ let suite =
     tc "reduction: partials charged and freed as system memory" test_reduction_partials_accounted;
     tc "comm: disjoint writers merge losslessly" test_merge_preserves_disjoint_writers;
     tc "comm: chunk granularity bounds shipped bytes" test_dirty_bytes_scale_with_chunks;
+    tc "comm: halo interval spanning several owners" test_halo_spans_multiple_owners;
+    tc "comm: two-level transfer bytes match brute force" test_transfer_bytes_matches_brute_force;
     tc "launch: scalars are firstprivate" test_scalars_are_firstprivate;
     tc "launch: empty iteration space" test_empty_iteration_space;
     tc "openmp: shared scalar semantics" test_openmp_shared_scalars;

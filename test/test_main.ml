@@ -19,4 +19,5 @@ let () =
       ("more", Test_more.suite);
       ("corners", Test_corners.suite);
       ("sched", Test_sched.suite);
+      ("overlap", Test_overlap.suite);
     ]
