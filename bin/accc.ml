@@ -81,15 +81,21 @@ let overlap_of = function
   | "off" -> Ok false
   | other -> Error (Printf.sprintf "unknown overlap mode %S (on|off)" other)
 
-let run_cmd file machine_name variant gpus schedule_name overlap_name chunk_kb no_distribution
-    no_layout no_misscheck single_level_dirty dump_arrays show_trace trace_json check_results
-    verbose =
+let coherence_of = function
+  | "eager" -> Ok Mgacc.Rt_config.Eager
+  | "lazy" -> Ok Mgacc.Rt_config.Lazy
+  | other -> Error (Printf.sprintf "unknown coherence mode %S (eager|lazy)" other)
+
+let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_name chunk_kb
+    no_distribution no_layout no_misscheck single_level_dirty dump_arrays show_trace trace_json
+    json_report check_results verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
   let* fresh_machine = machine_of machine_name in
   let* schedule = Mgacc.Sched_policy.of_string schedule_name in
   let* overlap = overlap_of overlap_name in
+  let* coherence = coherence_of coherence_name in
   try
     match variant with
     | "seq" ->
@@ -127,12 +133,13 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name chunk_kb n
         let config =
           Mgacc.Rt_config.make
             ?num_gpus:(if gpus = 0 then None else Some gpus)
-            ~schedule ~overlap
+            ~schedule ~overlap ~coherence
             ~chunk_bytes:(chunk_kb * 1024)
             ~two_level_dirty:(not single_level_dirty) ~translator machine
         in
         let env, report = Mgacc.run_acc ~config ~machine program in
-        Format.printf "%a@." Mgacc.Report.pp report;
+        if json_report then print_endline (Mgacc.Report.to_json report)
+        else Format.printf "%a@." Mgacc.Report.pp report;
         List.iter
           (fun name ->
             match Mgacc.Host_interp.find_array_opt env name with
@@ -280,6 +287,13 @@ let run_term =
          & info [ "overlap" ] ~docv:"on|off"
              ~doc:"dependency-driven communication/computation overlap (off = barrier semantics)")
   in
+  let coherence =
+    Arg.(value & opt string "eager"
+         & info [ "coherence" ] ~docv:"eager|lazy"
+             ~doc:"inter-GPU replica coherence: eager ships every dirty chunk everywhere after \
+                   each loop; lazy ships only the next reader's window and pulls the rest on \
+                   demand")
+  in
   let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
   let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
   let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
@@ -294,11 +308,16 @@ let run_term =
   let check_results =
     Arg.(value & flag & info [ "check" ] ~doc:"validate results against the sequential reference")
   in
+  let json_report =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"print the report as one JSON object (includes coherence counters)")
+  in
   Term.(
-    const (fun file m v g sch ov c nd nl nm sl d tr tj ck vb ->
-        exits_of (run_cmd file m v g sch ov c nd nl nm sl d tr tj ck vb))
-    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ chunk $ no_dist $ no_layout
-    $ no_misscheck $ single_level $ dump $ trace $ trace_json $ check_results $ verbose)
+    const (fun file m v g sch ov coh c nd nl nm sl d tr tj js ck vb ->
+        exits_of (run_cmd file m v g sch ov coh c nd nl nm sl d tr tj js ck vb))
+    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ chunk $ no_dist
+    $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json $ json_report
+    $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
 

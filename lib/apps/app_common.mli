@@ -32,6 +32,7 @@ val proposal :
   ?two_level_dirty:bool ->
   ?overlap:bool ->
   ?schedule:Sched_policy.t ->
+  ?coherence:Rt_config.coherence ->
   ?options:Kernel_plan.options ->
   num_gpus:int ->
   machine:Machine.t ->

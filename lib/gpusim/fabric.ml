@@ -95,9 +95,57 @@ type flow = {
   mutable finish_time : float;
 }
 
+(* Active flows live in a growable array so the event loop admits
+   arrivals in O(1) amortized instead of the former quadratic
+   [active := !active @ arrived]. The water-filling allocation is
+   numerically order-dependent (it drains [remcap] in visit order), so
+   iteration must mirror the list version exactly: admission order,
+   with completed flows removed by a stable in-place compaction. *)
+module Bag = struct
+  type 'a t = { mutable arr : 'a array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+  let is_empty b = b.len = 0
+
+  let push b x =
+    if b.len = Array.length b.arr then begin
+      let grown = Array.make (Int.max 8 (2 * b.len)) x in
+      Array.blit b.arr 0 grown 0 b.len;
+      b.arr <- grown
+    end;
+    b.arr.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let iter f b =
+    for i = 0 to b.len - 1 do
+      f b.arr.(i)
+    done
+
+  let fold f init b =
+    let acc = ref init in
+    for i = 0 to b.len - 1 do
+      acc := f !acc b.arr.(i)
+    done;
+    !acc
+
+  (* Stable partition: drop elements failing [keep] (passing each to
+     [removed]) while preserving the relative order of the survivors. *)
+  let filter_in_place b ~keep ~removed =
+    let w = ref 0 in
+    for r = 0 to b.len - 1 do
+      let x = b.arr.(r) in
+      if keep x then begin
+        b.arr.(!w) <- x;
+        incr w
+      end
+      else removed x
+    done;
+    b.len <- !w
+end
+
 (* Max-min fair allocation by water filling over the active flows. *)
 let assign_rates t active =
-  List.iter
+  Bag.iter
     (fun f ->
       f.fixed <- false;
       f.rate <- 0.0)
@@ -108,8 +156,8 @@ let assign_rates t active =
     if not (Hashtbl.mem remcap r) then Hashtbl.replace remcap r (capacity t r);
     Hashtbl.replace count r (1 + Option.value ~default:0 (Hashtbl.find_opt count r))
   in
-  List.iter (fun f -> List.iter touch f.res) active;
-  let unfixed = ref (List.length active) in
+  Bag.iter (fun f -> List.iter touch f.res) active;
+  let unfixed = ref active.Bag.len in
   while !unfixed > 0 do
     let bound f =
       List.fold_left
@@ -119,10 +167,10 @@ let assign_rates t active =
         f.cap f.res
     in
     let lambda =
-      List.fold_left (fun acc f -> if f.fixed then acc else Float.min acc (bound f)) infinity active
+      Bag.fold (fun acc f -> if f.fixed then acc else Float.min acc (bound f)) infinity active
     in
     let eps = lambda *. 1e-9 in
-    List.iter
+    Bag.iter
       (fun f ->
         if (not f.fixed) && bound f <= lambda +. eps then begin
           f.fixed <- true;
@@ -163,38 +211,41 @@ let run_batch t reqs =
           :: !flows)
     reqs_arr;
   let pending = ref (List.sort (fun a b -> compare a.arrive b.arrive) (List.rev !flows)) in
-  let active = ref [] in
+  let active = Bag.create () in
   let now = ref 0.0 in
   (match !pending with [] -> () | f :: _ -> now := f.arrive);
-  while !pending <> [] || !active <> [] do
-    (* Admit arrivals. *)
-    let arrived, rest = List.partition (fun f -> f.arrive <= !now +. 1e-15) !pending in
-    pending := rest;
-    active := !active @ arrived;
-    if !active = [] then begin
+  while !pending <> [] || not (Bag.is_empty active) do
+    (* Admit arrivals: [pending] is arrive-sorted, so the due flows form
+       a prefix; push them in order (matching the old list append). *)
+    let rec admit = function
+      | f :: rest when f.arrive <= !now +. 1e-15 ->
+          Bag.push active f;
+          admit rest
+      | rest -> rest
+    in
+    pending := admit !pending;
+    if Bag.is_empty active then begin
       match !pending with
       | f :: _ -> now := f.arrive
       | [] -> ()
     end
     else begin
-      assign_rates t !active;
+      assign_rates t active;
       (* Next event: earliest completion among active, or next arrival. *)
       let next_completion =
-        List.fold_left (fun acc f -> Float.min acc (!now +. (f.remaining /. f.rate))) infinity !active
+        Bag.fold (fun acc f -> Float.min acc (!now +. (f.remaining /. f.rate))) infinity active
       in
       let next_arrival = match !pending with [] -> infinity | f :: _ -> f.arrive in
       let t_next = Float.min next_completion next_arrival in
       let dt = t_next -. !now in
-      List.iter (fun f -> f.remaining <- f.remaining -. (f.rate *. dt)) !active;
+      Bag.iter (fun f -> f.remaining <- f.remaining -. (f.rate *. dt)) active;
       now := t_next;
-      let done_, still = List.partition (fun f -> f.remaining <= 1e-6) !active in
-      List.iter
-        (fun f ->
+      Bag.filter_in_place active
+        ~keep:(fun f -> f.remaining > 1e-6)
+        ~removed:(fun f ->
           f.finish_time <- !now;
           completions.(f.idx) <-
             Some { req = reqs_arr.(f.idx); start = f.start_time; finish = f.finish_time })
-        done_;
-      active := still
     end
   done;
   Array.to_list

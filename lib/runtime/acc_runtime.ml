@@ -20,6 +20,10 @@ type t = {
   darrays : (string, Darray.t) Hashtbl.t;
   compiled : (Loc.t, Launch.compiled) Hashtbl.t;
   events : Event.t;  (** overlap mode: per-GPU data-readiness timelines *)
+  seen_ranges : (Loc.t, Task_map.range array) Hashtbl.t;
+      (** lazy coherence: last-observed iteration split per loop, used to
+          resolve the lookahead's affine windows into concrete per-GPU
+          element ranges (iterative apps re-run loops with stable bounds) *)
   mutable clock : float;  (** host program-order time *)
   mutable horizon : float;  (** overlap mode: makespan over everything issued *)
 }
@@ -36,6 +40,7 @@ let create cfg plans =
     darrays = Hashtbl.create 16;
     compiled = Hashtbl.create 16;
     events = Event.create ~num_gpus:cfg.Rt_config.num_gpus;
+    seen_ranges = Hashtbl.create 16;
     clock = 0.0;
     horizon = 0.0;
   }
@@ -103,22 +108,50 @@ let run_batch_overlap t ~label ~kind (reqs : Fabric.request list) =
     completions
   end
 
+(* Deferred intervals pulled on demand carry a ":pull" tag; count their
+   bytes into the per-array coherence counters. *)
+let count_pulls t (xfers : Darray.xfer list) =
+  List.iter
+    (fun (x : Darray.xfer) ->
+      match String.rindex_opt x.Darray.tag ':' with
+      | Some i when String.sub x.Darray.tag i (String.length x.Darray.tag - i) = ":pull" ->
+          Profiler.add_coh_pulled t.profiler ~array:(String.sub x.Darray.tag 0 i)
+            ~bytes:x.Darray.bytes
+      | _ -> ())
+    xfers
+
 (* Host-driven transfers (copyin/copyout/update) are host-visible sync
    points: in overlap mode they first drain everything in flight, then run
-   fully exposed; in barrier mode this is exactly the original charge. *)
+   fully exposed; in barrier mode this is exactly the original charge.
+   Under lazy coherence a flush list may lead with on-demand P2p pulls
+   (replica 0 turning coherent); those ride the interconnect before the
+   host copy and are charged as GPU-GPU traffic. Eager mode never
+   produces them, so its charge sequence is unchanged. *)
 let charge_host_xfers t ~label xfers =
   if xfers = [] then ()
-  else if not t.cfg.Rt_config.overlap then
-    t.clock <- charge_xfers t ~label ~kind:Cpu_gpu ~ready:t.clock xfers
   else begin
-    let ready = Float.max t.clock t.horizon in
-    let finish = charge_xfers t ~label ~kind:Cpu_gpu ~ready xfers in
-    t.horizon <- Float.max t.horizon finish;
-    for g = 0 to t.cfg.Rt_config.num_gpus - 1 do
-      Event.record t.events g finish
-    done;
-    Event.record_host t.events finish;
-    t.clock <- finish
+    let pulls, host =
+      List.partition
+        (fun (x : Darray.xfer) ->
+          match x.Darray.dir with Fabric.P2p _ -> true | Fabric.H2d _ | Fabric.D2h _ -> false)
+        xfers
+    in
+    count_pulls t pulls;
+    if not t.cfg.Rt_config.overlap then begin
+      let ready = charge_xfers t ~label ~kind:Gpu_gpu ~ready:t.clock pulls in
+      t.clock <- charge_xfers t ~label ~kind:Cpu_gpu ~ready host
+    end
+    else begin
+      let ready = Float.max t.clock t.horizon in
+      let ready = charge_xfers t ~label ~kind:Gpu_gpu ~ready pulls in
+      let finish = charge_xfers t ~label ~kind:Cpu_gpu ~ready host in
+      t.horizon <- Float.max t.horizon finish;
+      for g = 0 to t.cfg.Rt_config.num_gpus - 1 do
+        Event.record t.events g finish
+      done;
+      Event.record_host t.events finish;
+      t.clock <- finish
+    end
   end
 
 (* ---------------- present table ---------------- *)
@@ -286,6 +319,7 @@ let prepare_launch t env (loop : Loop_info.t) plan =
     | Some weights -> Task_map.split_weighted ~lower:lo ~upper:(max lo hi) ~weights
     | None -> Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:num_gpus
   in
+  Hashtbl.replace t.seen_ranges loop.Loop_info.loop_loc ranges;
   let t0 = t.clock in
   (* Phase 1: the data loader makes device copies valid (CPU-GPU). *)
   let arrays =
@@ -297,6 +331,7 @@ let prepare_launch t env (loop : Loop_info.t) plan =
     Data_loader.prepare t.cfg plan ~ranges ~eval_int:(Host_interp.eval_int env)
       ~get_darray:(get_darray t env) ~arrays
   in
+  count_pulls t prep.Data_loader.xfers;
   Log.debug (fun m ->
       m "loop %d: loader moved %d bytes in %d transfer(s)" loop.Loop_info.loop_id
         (List.fold_left
@@ -313,6 +348,48 @@ let bytes_per_iter_of t env arrays =
       | Darray.Distributed d -> acc + (d.Darray.spec.Darray.stride * Darray.elem_bytes da)
       | Darray.Unallocated | Darray.Replicated _ -> acc)
     0 arrays
+
+(* Resolve the translator's static lookahead into a concrete consumer
+   window for the communication manager: the next reader's affine
+   subscript form evaluated over that loop's last-observed per-GPU
+   iteration split. Iterative applications re-run their loops with
+   stable bounds, so the memoized split predicts the true windows; a
+   reader that never launched yet falls back to ship-everything. Wrong
+   predictions cost nothing in correctness — unshipped intervals stay
+   stale and are pulled on demand. *)
+let next_window_for t plan name =
+  if not (Rt_config.lazy_coherence t.cfg) then Comm_manager.Cw_all
+  else
+    let after = plan.Kernel_plan.loop.Loop_info.loop_loc in
+    match Program_plan.next_read t.plans ~after ~array:name with
+    | Program_plan.No_future_read -> Comm_manager.Cw_none
+    | Program_plan.Reads_next { loop_loc; window } -> (
+        match window with
+        | Program_plan.Whole_array -> Comm_manager.Cw_all
+        | Program_plan.Affine_window { coeff; cmin; cmax } -> (
+            match Hashtbl.find_opt t.seen_ranges loop_loc with
+            | None -> Comm_manager.Cw_all
+            | Some ranges ->
+                Comm_manager.Cw_windows
+                  (Array.map
+                     (fun (rg : Task_map.range) ->
+                       if rg.Task_map.stop_ <= rg.Task_map.start_ then
+                         Mgacc_util.Interval.Set.empty
+                       else begin
+                         let lo_it = rg.Task_map.start_ and hi_it = rg.Task_map.stop_ - 1 in
+                         let lo, hi =
+                           if coeff >= 0 then ((coeff * lo_it) + cmin, (coeff * hi_it) + cmax + 1)
+                           else ((coeff * hi_it) + cmin, (coeff * lo_it) + cmax + 1)
+                         in
+                         Mgacc_util.Interval.Set.of_interval
+                           (Mgacc_util.Interval.make (max 0 lo) hi)
+                       end)
+                     ranges)))
+
+let count_coh t (r : Comm_manager.result) =
+  List.iter
+    (fun (a, shipped, deferred) -> Profiler.add_coh t.profiler ~array:a ~shipped ~deferred)
+    r.Comm_manager.coh
 
 let rec on_parallel_loop t env loop =
   Profiler.incr_loops t.profiler;
@@ -387,7 +464,9 @@ and on_parallel_loop_gpu t env loop plan =
   let wrote _ = s.hi > s.lo in
   let rec_result =
     Comm_manager.reconcile t.cfg plan ~get_darray:(get_darray t env) ~reductions ~wrote
+      ~next_window:(next_window_for t plan)
   in
+  count_coh t rec_result;
   let rec_xfers = Comm_manager.xfers_of rec_result in
   let t2' =
     Machine.overhead t.cfg.Rt_config.machine ~ready:t2
@@ -541,7 +620,11 @@ and on_parallel_loop_gpu_overlap t env loop plan =
      Wave 2 carries what those kernels produce: halos of replayed arrays
      and reduction broadcasts. *)
   let wrote _ = s.hi > s.lo in
-  let r = Comm_manager.reconcile t.cfg plan ~get_darray:(get_darray t env) ~reductions ~wrote in
+  let r =
+    Comm_manager.reconcile t.cfg plan ~get_darray:(get_darray t env) ~reductions ~wrote
+      ~next_window:(next_window_for t plan)
+  in
+  count_coh t r;
   let scan_tbl = Hashtbl.create 8 in
   List.iter (fun (g, a, sec) -> Hashtbl.replace scan_tbl (g, a) sec) r.Comm_manager.scans;
   let scan_of g a = Option.value ~default:0.0 (Hashtbl.find_opt scan_tbl (g, a)) in
@@ -549,6 +632,7 @@ and on_parallel_loop_gpu_overlap t env loop plan =
   let gather_arrival = Hashtbl.create 8 in
   let replay_fin = Hashtbl.create 8 in
   let combine_fin = Hashtbl.create 8 in
+  let bcast_arrival = Hashtbl.create 8 in
   let bump tbl key v =
     match Hashtbl.find_opt tbl key with Some x when x >= v -> () | _ -> Hashtbl.replace tbl key v
   in
@@ -585,7 +669,13 @@ and on_parallel_loop_gpu_overlap t env loop plan =
             | None -> (
                 match Hashtbl.find_opt gather_arrival a with Some f -> f | None -> kfin.(src))
           in
-          Float.max base kfin.(src)
+          (* A binomial-tree edge (lazy coherence, round > 0) additionally
+             waits for its source to have received the result in the
+             previous round; star broadcasts never populate this table
+             before their single batch runs, so eager timing is
+             untouched. *)
+          let parent = Option.value ~default:0.0 (Hashtbl.find_opt bcast_arrival (a, src)) in
+          Float.max (Float.max base kfin.(src)) parent
       | Comm_manager.Halo_segment ->
           (* No staging: the owner's live partition is read while the
              consumer's halo region is overwritten, so both ends gate. *)
@@ -603,7 +693,9 @@ and on_parallel_loop_gpu_overlap t env loop plan =
     | Comm_manager.Miss_ship, Fabric.P2p (_, dst) ->
         bump miss_arrival (dst, op.Comm_manager.array) fin
     | Comm_manager.Red_gather, Fabric.P2p _ -> bump gather_arrival op.Comm_manager.array fin
-    | Comm_manager.Red_bcast, Fabric.P2p (_, dst) -> Event.record t.events dst fin
+    | Comm_manager.Red_bcast, Fabric.P2p (_, dst) ->
+        bump bcast_arrival (op.Comm_manager.array, dst) fin;
+        Event.record t.events dst fin
     | Comm_manager.Halo_segment, Fabric.P2p (src, dst) ->
         Event.record t.events src fin;
         Event.record t.events dst fin
@@ -649,8 +741,19 @@ and on_parallel_loop_gpu_overlap t env loop plan =
       let st = List.fold_left (fun acc (a, _) -> Float.min acc a) infinity spans in
       let fi = List.fold_left (fun acc (_, b) -> Float.max acc b) 0.0 spans in
       account t ~kind:`Gpu_gpu ~bytes:0 ~start:st ~finish:fi);
-  List.iter2 handle_completion wave2
-    (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:2) wave2));
+  (* Wave 2 runs in broadcast-round order: ops of round [r+1] (binomial
+     tree edges) only become ready once round [r] completions have been
+     recorded. Eager mode puts every op in round 0, reproducing the
+     original single batch exactly. *)
+  let wave2_rounds =
+    List.sort_uniq compare (List.map (fun (op : Comm_manager.op) -> op.Comm_manager.round) wave2)
+  in
+  List.iter
+    (fun round ->
+      let ops = List.filter (fun (op : Comm_manager.op) -> op.Comm_manager.round = round) wave2 in
+      List.iter2 handle_completion ops
+        (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:2) ops)))
+    wave2_rounds;
   (* Phase 4: scalar-reduction partials. Only these block the host — a
      launch with no scalar result returns control immediately, which is
      where the cross-launch overlap comes from. *)

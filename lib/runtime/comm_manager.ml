@@ -8,9 +8,18 @@ open Mgacc_minic
 
 type op_kind = Dirty_chunk | Miss_ship | Halo_segment | Red_gather | Red_bcast
 
-type op = { dir : Fabric.direction; bytes : int; tag : string; array : string; kind : op_kind }
+type op = {
+  dir : Fabric.direction;
+  bytes : int;
+  tag : string;
+  array : string;
+  kind : op_kind;
+  round : int;
+}
 
 type gpu_kernel = { gpu : int; array : string; cost : Cost.t; label : string }
+
+type consumer_window = Cw_none | Cw_all | Cw_windows of Interval.Set.t array
 
 type result = {
   ops : op list;
@@ -18,6 +27,7 @@ type result = {
   combines : gpu_kernel list;
   scans : (int * string * float) list;
   scan_seconds : float;
+  coh : (string * int * int) list;
 }
 
 let xfers_of r =
@@ -81,6 +91,7 @@ let merge_replicated cfg (da : Darray.t) =
                   tag = da.Darray.name ^ ":dirty";
                   array = da.Darray.name;
                   kind = Dirty_chunk;
+                  round = 0;
                 }
                 :: !ops;
               (* Functional merge of exactly the dirty elements. *)
@@ -109,6 +120,106 @@ let merge_replicated cfg (da : Darray.t) =
   Array.iter (function Some d -> Dirty.clear d | None -> ()) r.Darray.dirty;
   (List.rev !ops, List.rev !scans)
 
+(* Lazy (consumer-driven) variant: intersect each writer's exact dirty
+   runs with each destination's upcoming read window and ship only the
+   surviving intervals, coalesced into ranged transfers (payload = run
+   lengths + an 8-byte (base, count) header per run — no chunk bits ride
+   along, the receiver merges by range). Everything outside the window
+   is deferred: the destination replica is marked stale there and pulls
+   on demand if a later consumer shows up. Writers are processed in
+   ascending GPU order exactly like the eager path, so overlapping
+   writes resolve to the same final values. *)
+let merge_replicated_lazy cfg (da : Darray.t) ~(window : consumer_window) =
+  let r = Darray.replica_of da in
+  let num_gpus = cfg.Rt_config.num_gpus in
+  let mem g = (Mgacc_gpusim.Machine.device cfg.Rt_config.machine g).Mgacc_gpusim.Device.memory in
+  let elem_bytes = Darray.elem_bytes da in
+  let ranged_bytes s =
+    List.fold_left
+      (fun acc (iv : Interval.t) -> acc + (Interval.length iv * elem_bytes) + 8)
+      0 (Interval.Set.to_list s)
+  in
+  let scans = ref [] in
+  let runs = Array.make num_gpus Interval.Set.empty in
+  for src = 0 to num_gpus - 1 do
+    match r.Darray.dirty.(src) with
+    | None -> ()
+    | Some d ->
+        scans :=
+          ( src,
+            da.Darray.name,
+            scan_base_seconds +. (float_of_int (Dirty.total_chunks d) *. scan_per_chunk_seconds) )
+          :: !scans;
+        if Dirty.any_dirty d then runs.(src) <- Dirty.dirty_runs d
+  done;
+  let ship = Array.make_matrix num_gpus num_gpus Interval.Set.empty in
+  for src = 0 to num_gpus - 1 do
+    if not (Interval.Set.is_empty runs.(src)) then
+      for dst = 0 to num_gpus - 1 do
+        if dst <> src then
+          ship.(src).(dst) <-
+            (match window with
+            | Cw_none -> Interval.Set.empty
+            | Cw_all -> runs.(src)
+            | Cw_windows ws -> Interval.Set.inter runs.(src) ws.(dst))
+      done
+  done;
+  (* Staging as in the eager path, sized for the ranged payloads. *)
+  let staging = ref [] in
+  let send_bytes =
+    Array.init num_gpus (fun src ->
+        Array.fold_left max 0 (Array.map ranged_bytes ship.(src)))
+  in
+  for g = 0 to num_gpus - 1 do
+    if send_bytes.(g) > 0 then
+      staging := (g, Memory.alloc_raw (mem g) `System send_bytes.(g)) :: !staging;
+    let incoming =
+      Array.fold_left max 0
+        (Array.init num_gpus (fun src -> if src = g then 0 else ranged_bytes ship.(src).(g)))
+    in
+    if incoming > 0 then staging := (g, Memory.alloc_raw (mem g) `System incoming) :: !staging
+  done;
+  let ops = ref [] in
+  let shipped = ref 0 in
+  let deferred = ref 0 in
+  for src = 0 to num_gpus - 1 do
+    let w = runs.(src) in
+    if not (Interval.Set.is_empty w) then begin
+      for dst = 0 to num_gpus - 1 do
+        if dst <> src then r.Darray.valid.(dst) <- Interval.Set.diff r.Darray.valid.(dst) w
+      done;
+      r.Darray.valid.(src) <- Interval.Set.union r.Darray.valid.(src) w;
+      let w_bytes = Interval.Set.total_length w * elem_bytes in
+      for dst = 0 to num_gpus - 1 do
+        if dst <> src then begin
+          let s = ship.(src).(dst) in
+          deferred := !deferred + w_bytes - (Interval.Set.total_length s * elem_bytes);
+          if not (Interval.Set.is_empty s) then begin
+            let bytes = ranged_bytes s in
+            shipped := !shipped + bytes;
+            ops :=
+              {
+                dir = Fabric.P2p (src, dst);
+                bytes;
+                tag = da.Darray.name ^ ":dirty";
+                array = da.Darray.name;
+                kind = Dirty_chunk;
+                round = 0;
+              }
+              :: !ops;
+            List.iter
+              (fun seg -> Darray.copy_replica_seg da r ~src ~dst seg)
+              (Interval.Set.to_list s);
+            r.Darray.valid.(dst) <- Interval.Set.union r.Darray.valid.(dst) s
+          end
+        end
+      done
+    end
+  done;
+  List.iter (fun (g, buf) -> Memory.free (mem g) buf) !staging;
+  Array.iter (function Some d -> Dirty.clear d | None -> ()) r.Darray.dirty;
+  (List.rev !ops, List.rev !scans, !shipped, !deferred)
+
 (* Ship miss records to their owners and replay them there. *)
 let drain_misses cfg (da : Darray.t) =
   match da.Darray.state with
@@ -131,7 +242,25 @@ let drain_misses cfg (da : Darray.t) =
             (fun owner entries_rev ->
               let entries = List.rev entries_rev in
               if entries <> [] && owner <> src then begin
-                let payload = List.length entries * record_bytes in
+                let payload =
+                  if Rt_config.lazy_coherence cfg then begin
+                    (* RLE the record indices into (base, count) range
+                       ships: an 8-byte header per contiguous run plus
+                       one value per unique index, instead of a
+                       4+elem-byte record per write. *)
+                    let idxs = List.sort_uniq compare (List.map fst entries) in
+                    let runs, _ =
+                      List.fold_left
+                        (fun (runs, prev) i ->
+                          match prev with
+                          | Some p when i = p + 1 -> (runs, Some i)
+                          | _ -> (runs + 1, Some i))
+                        (0, None) idxs
+                    in
+                    (runs * 8) + (List.length idxs * Darray.elem_bytes da)
+                  end
+                  else List.length entries * record_bytes
+                in
                 ops :=
                   {
                     dir = Fabric.P2p (src, owner);
@@ -139,6 +268,7 @@ let drain_misses cfg (da : Darray.t) =
                     tag = da.Darray.name ^ ":miss";
                     array = da.Darray.name;
                     kind = Miss_ship;
+                    round = 0;
                   }
                   :: !ops;
                 (* The records stage in a system buffer on the owner until
@@ -243,6 +373,7 @@ let halo_exchange cfg (da : Darray.t) =
                     tag = da.Darray.name ^ ":halo";
                     array = da.Darray.name;
                     kind = Halo_segment;
+                    round = 0;
                   }
                   :: !ops;
                 (* Functional copy owner -> dst. *)
@@ -271,15 +402,18 @@ let halo_exchange cfg (da : Darray.t) =
       List.rev !ops
   | Darray.Unallocated | Darray.Replicated _ -> []
 
-let reconcile cfg plan ~get_darray ~reductions ~wrote =
+let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
   (* Accumulators are built reversed with constant-time prepends and
      reversed once at the end (the old [l := !l @ x] was quadratic in the
      number of transfers). *)
+  let lazy_mode = Rt_config.lazy_coherence cfg in
   let ops = ref [] in
   let replays = ref [] in
   let combines = ref [] in
   let scans = ref [] in
+  let coh = ref [] in
   let prepend_all dst xs = List.iter (fun x -> dst := x :: !dst) xs in
+  let op_bytes xs = List.fold_left (fun acc (o : op) -> acc + o.bytes) 0 xs in
   List.iter
     (fun (c : Array_config.t) ->
       let name = c.Array_config.array in
@@ -288,11 +422,21 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote =
         Darray.mark_device_written da;
         match Kernel_plan.placement_of plan name with
         | Array_config.Replicated ->
-            if cfg.Rt_config.num_gpus > 1 then begin
-              let x, s = merge_replicated cfg da in
-              prepend_all ops x;
-              prepend_all scans s
-            end
+            if cfg.Rt_config.num_gpus > 1 then
+              if lazy_mode then begin
+                let x, s, shipped, deferred =
+                  merge_replicated_lazy cfg da ~window:(next_window name)
+                in
+                prepend_all ops x;
+                prepend_all scans s;
+                coh := (name, shipped, deferred) :: !coh
+              end
+              else begin
+                let x, s = merge_replicated cfg da in
+                prepend_all ops x;
+                prepend_all scans s;
+                coh := (name, op_bytes x, 0) :: !coh
+              end
         | Array_config.Distributed ->
             let x_miss, r = drain_misses cfg da in
             let x_halo = if da.Darray.written_since_halo_sync then halo_exchange cfg da else [] in
@@ -305,21 +449,59 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote =
   List.iter
     (fun (name, red) ->
       let da = get_darray name in
-      let m = Reduction.merge cfg red da in
-      prepend_all ops
-        (List.map
-           (fun (x : Darray.xfer) ->
-             let kind =
-               match x.Darray.dir with
-               | Fabric.P2p (_, 0) -> Red_gather
-               | _ -> Red_bcast
-             in
-             { dir = x.Darray.dir; bytes = x.Darray.bytes; tag = x.Darray.tag; array = name; kind })
-           m.Reduction.xfers);
-      if not (Cost.is_zero m.Reduction.combine_cost) then
-        combines :=
-          { gpu = 0; array = name; cost = m.Reduction.combine_cost; label = name ^ ":combine" }
-          :: !combines)
+      let kind_of (x : Darray.xfer) =
+        match x.Darray.dir with Fabric.P2p (_, 0) -> Red_gather | _ -> Red_bcast
+      in
+      if lazy_mode then begin
+        let ship = match next_window name with Cw_none -> `Defer | _ -> `Tree in
+        let m = Reduction.merge_lazy cfg red da ~ship in
+        prepend_all ops
+          (List.map
+             (fun ((x : Darray.xfer), round) ->
+               {
+                 dir = x.Darray.dir;
+                 bytes = x.Darray.bytes;
+                 tag = x.Darray.tag;
+                 array = name;
+                 kind = kind_of x;
+                 round;
+               })
+             m.Reduction.rounds);
+        if not (Cost.is_zero m.Reduction.lazy_combine_cost) then
+          combines :=
+            { gpu = 0; array = name; cost = m.Reduction.lazy_combine_cost; label = name ^ ":combine" }
+            :: !combines;
+        coh :=
+          ( name,
+            List.fold_left (fun acc ((x : Darray.xfer), _) -> acc + x.Darray.bytes) 0
+              m.Reduction.rounds,
+            m.Reduction.deferred_bytes )
+          :: !coh
+      end
+      else begin
+        let m = Reduction.merge cfg red da in
+        prepend_all ops
+          (List.map
+             (fun (x : Darray.xfer) ->
+               {
+                 dir = x.Darray.dir;
+                 bytes = x.Darray.bytes;
+                 tag = x.Darray.tag;
+                 array = name;
+                 kind = kind_of x;
+                 round = 0;
+               })
+             m.Reduction.xfers);
+        if not (Cost.is_zero m.Reduction.combine_cost) then
+          combines :=
+            { gpu = 0; array = name; cost = m.Reduction.combine_cost; label = name ^ ":combine" }
+            :: !combines;
+        coh :=
+          ( name,
+            List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 m.Reduction.xfers,
+            0 )
+          :: !coh
+      end)
     reductions;
   let scans = List.rev !scans in
   {
@@ -328,4 +510,5 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote =
     combines = List.rev !combines;
     scans;
     scan_seconds = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 scans;
+    coh = List.rev !coh;
   }

@@ -38,6 +38,10 @@ type op = {
   tag : string;
   array : string;
   kind : op_kind;
+  round : int;
+      (** binomial-tree broadcast round for lazy-coherence {!Red_bcast}
+          ops (an edge of round [r+1] depends on its source receiving
+          round [r]); 0 everywhere else *)
 }
 
 type gpu_kernel = {
@@ -50,6 +54,12 @@ type gpu_kernel = {
     or a reduction combine kernel (gated on the array's {!Red_gather}
     arrivals). *)
 
+type consumer_window =
+  | Cw_none  (** no future device read: defer everything *)
+  | Cw_all  (** unknown or whole-array consumer: ship all dirty runs *)
+  | Cw_windows of Mgacc_util.Interval.Set.t array
+      (** the next reader's predicted per-GPU read windows *)
+
 type result = {
   ops : op list;
   replays : gpu_kernel list;
@@ -59,6 +69,10 @@ type result = {
           op sourced at GPU [g] for array [a] may not start before [g]'s
           kernel finish plus this scan *)
   scan_seconds : float;  (** total of [scans] (barrier mode charges it serially) *)
+  coh : (string * int * int) list;
+      (** per-array coherence traffic (replicated merges and reductions
+          only): (array, bytes shipped, bytes deferred). Eager mode
+          reports its shipped bytes with zero deferred. *)
 }
 
 val xfers_of : result -> Darray.xfer list
@@ -80,6 +94,10 @@ val reconcile :
   get_darray:(string -> Darray.t) ->
   reductions:(string * Reduction.t) list ->
   wrote:(string -> bool) ->
+  next_window:(string -> consumer_window) ->
   result
 (** [wrote name] says whether any GPU actually executed writes to the array
-    in this launch (empty iteration ranges write nothing). *)
+    in this launch (empty iteration ranges write nothing). [next_window]
+    supplies the next consumer's predicted read window per array; it is
+    only consulted under lazy coherence (pass [fun _ -> Cw_all]
+    otherwise). *)

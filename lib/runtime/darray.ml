@@ -23,7 +23,11 @@ type dist_spec = { stride : int; left : int; right : int }
 
 type dist = { parts : part array; spec : dist_spec; ranges : Task_map.range array }
 
-type replica = { bufs : Memory.buf array; mutable dirty : Dirty.t option array }
+type replica = {
+  bufs : Memory.buf array;
+  mutable dirty : Dirty.t option array;
+  valid : Interval.Set.t array;
+}
 
 type state = Unallocated | Replicated of replica | Distributed of dist
 
@@ -116,19 +120,86 @@ let free_state cfg t =
         d.parts);
   t.state <- Unallocated
 
+(* ---------------- validity (lazy coherence) ---------------- *)
+
+let full_set t = Interval.Set.of_interval (Interval.make 0 t.length)
+
+(* Functional copy between two replica buffers over [seg] (absolute
+   element indices; replica buffers span the whole array). *)
+let copy_replica_seg t r ~src ~dst (seg : Interval.t) =
+  if not (Interval.is_empty seg) then
+    match t.elem with
+    | Ast.Edouble ->
+        let s = Memory.float_data r.bufs.(src) and d = Memory.float_data r.bufs.(dst) in
+        for i = seg.Interval.lo to seg.Interval.hi - 1 do
+          d.(i) <- s.(i)
+        done
+    | Ast.Eint ->
+        let s = Memory.int_data r.bufs.(src) and d = Memory.int_data r.bufs.(dst) in
+        for i = seg.Interval.lo to seg.Interval.hi - 1 do
+          d.(i) <- s.(i)
+        done
+
+let pull_valid (_cfg : Rt_config.t) t ~gpu ~(want : Interval.Set.t) =
+  match t.state with
+  | Replicated r ->
+      let missing = Interval.Set.diff want r.valid.(gpu) in
+      if Interval.Set.is_empty missing then []
+      else begin
+        Log.debug (fun m ->
+            m "%s: GPU %d pulls stale %a on demand" t.name gpu Interval.Set.pp missing);
+        let xfers = ref [] in
+        let remaining = ref missing in
+        let n = Array.length r.bufs in
+        for src = 0 to n - 1 do
+          if src <> gpu && not (Interval.Set.is_empty !remaining) then begin
+            let grab = Interval.Set.inter r.valid.(src) !remaining in
+            List.iter
+              (fun seg ->
+                copy_replica_seg t r ~src ~dst:gpu seg;
+                xfers :=
+                  {
+                    dir = Fabric.P2p (src, gpu);
+                    bytes = Interval.length seg * elem_bytes t;
+                    tag = t.name ^ ":pull";
+                  }
+                  :: !xfers)
+              (Interval.Set.to_list grab);
+            remaining := Interval.Set.diff !remaining grab
+          end
+        done;
+        (* The validity invariant (every element valid somewhere)
+           guarantees all stale intervals found a source. *)
+        if not (Interval.Set.is_empty !remaining) then
+          invalid_arg
+            (Printf.sprintf "Darray.pull_valid: %s: no valid source for a stale range" t.name);
+        r.valid.(gpu) <- Interval.Set.union r.valid.(gpu) want;
+        List.rev !xfers
+      end
+  | Unallocated | Distributed _ -> []
+
 (* ---------------- flush / load ---------------- *)
 
-let flush_to_host (_cfg : Rt_config.t) t =
+let flush_to_host (cfg : Rt_config.t) t =
   if not t.device_fresh then []
   else begin
     let xfers =
       match t.state with
       | Unallocated -> assert false
       | Replicated r ->
-          (* Replicas are consistent between kernels; any copy serves. *)
+          (* Under eager coherence replicas are consistent between
+             kernels, so any copy serves. Under lazy coherence replica 0
+             may hold stale intervals: pull them from valid peers first
+             (this is the on-demand path behind copyout, [update host]
+             and placement transitions). *)
+          let pulls =
+            if Rt_config.lazy_coherence cfg then pull_valid cfg t ~gpu:0 ~want:(full_set t)
+            else []
+          in
           let full = Interval.make 0 t.length in
           copy_buf_to_host t r.bufs.(0) ~win_lo:0 full;
-          [ { dir = Fabric.D2h 0; bytes = t.length * elem_bytes t; tag = t.name ^ ":flush" } ]
+          pulls
+          @ [ { dir = Fabric.D2h 0; bytes = t.length * elem_bytes t; tag = t.name ^ ":flush" } ]
       | Distributed d ->
           Array.to_list
             (Array.mapi
@@ -153,6 +224,7 @@ let load_from_host _cfg t =
       let full = Interval.make 0 t.length in
       Array.iter (fun buf -> copy_host_to_buf t buf ~win_lo:0 full) r.bufs;
       Array.iter (function Some d -> Dirty.clear d | None -> ()) r.dirty;
+      Array.iteri (fun g _ -> r.valid.(g) <- full_set t) r.bufs;
       t.device_fresh <- false;
       Array.to_list
         (Array.mapi
@@ -197,7 +269,7 @@ let ensure_replicated cfg t ~dirty_tracking =
       let flush = flush_to_host cfg t in
       free_state cfg t;
       let bufs = Array.init num_gpus (fun g -> alloc_buf cfg g t t.length) in
-      let r = { bufs; dirty = Array.make num_gpus None } in
+      let r = { bufs; dirty = Array.make num_gpus None; valid = Array.make num_gpus (full_set t) } in
       add_dirty r;
       t.state <- Replicated r;
       t.written_since_halo_sync <- false;

@@ -32,6 +32,11 @@ type dist = {
 type replica = {
   bufs : Mgacc_gpusim.Memory.buf array;
   mutable dirty : Dirty.t option array;  (** present only under tracking *)
+  valid : Interval.Set.t array;
+      (** per-GPU validity intervals (lazy coherence): the element ranges
+          this replica holds current values for. Invariant: the union
+          over all GPUs covers the whole array. Under eager coherence
+          every entry stays the full range. *)
 }
 
 type state = Unallocated | Replicated of replica | Distributed of dist
@@ -68,7 +73,23 @@ val ensure_distributed :
 
 val flush_to_host : Rt_config.t -> t -> xfer list
 (** Bring the host copy up to date (no-op if it already is). Device
-    state stays allocated and remains valid. *)
+    state stays allocated and remains valid. Under lazy coherence a
+    replicated array first pulls replica 0 fully valid from its peers
+    (the returned list then mixes P2p pulls with the D2h copy). *)
+
+val pull_valid : Rt_config.t -> t -> gpu:int -> want:Interval.Set.t -> xfer list
+(** Make the intervals of [want] valid on replica [gpu], copying each
+    stale range from a peer that holds it (tag ["<name>:pull"], one P2p
+    xfer per contiguous run). No-op when the array is not replicated or
+    nothing in [want] is stale. Raises if the validity invariant is
+    broken (some range valid nowhere). *)
+
+val full_set : t -> Interval.Set.t
+(** The whole index range [\[0, length)] as an interval set. *)
+
+val copy_replica_seg : t -> replica -> src:int -> dst:int -> Interval.t -> unit
+(** Functional copy of one absolute-index segment between two replica
+    buffers (no transfer descriptor — callers account the traffic). *)
 
 val load_from_host : Rt_config.t -> t -> xfer list
 (** Push the host copy into whatever device state exists (used by

@@ -1,12 +1,58 @@
 open Mgacc_minic
 module Kernel_plan = Mgacc_translator.Kernel_plan
+module Program_plan = Mgacc_translator.Program_plan
 module Array_config = Mgacc_analysis.Array_config
+module Interval = Mgacc_util.Interval
 
 type prepared = {
   xfers : Darray.xfer list;
   reductions : (string * Reduction.t) list;
   reused : string list;
 }
+
+(* Lazy coherence: make exactly what this launch reads valid, pulling any
+   stale interval inside the demand from a valid peer. Reduction
+   destinations fold partials into replica 0's base values, so GPU 0 must
+   be fully valid there; other replicated inputs pull only each GPU's own
+   read window of the launch (resolved from the plan's affine read
+   summary over the iteration split). Stale data outside the windows
+   stays deferred — a later consumer, copyout or update pulls it then. *)
+let pull_for_launch cfg plan ~(ranges : Task_map.range array) ~get_darray =
+  if not (Rt_config.lazy_coherence cfg) then []
+  else
+    List.concat_map
+      (fun (c : Array_config.t) ->
+        let name = c.Array_config.array in
+        let da = get_darray name in
+        match c.Array_config.reduction with
+        | Some _ -> Darray.pull_valid cfg da ~gpu:0 ~want:(Darray.full_set da)
+        | None -> (
+            match Kernel_plan.placement_of plan name with
+            | Array_config.Distributed -> []
+            | Array_config.Replicated -> (
+                match Program_plan.read_window_of plan ~array:name with
+                | None -> []
+                | Some window ->
+                    let want g =
+                      match window with
+                      | Program_plan.Whole_array -> Darray.full_set da
+                      | Program_plan.Affine_window { coeff; cmin; cmax } ->
+                          let rg = ranges.(g) in
+                          if rg.Task_map.stop_ <= rg.Task_map.start_ then Interval.Set.empty
+                          else begin
+                            let lo_it = rg.Task_map.start_ and hi_it = rg.Task_map.stop_ - 1 in
+                            let lo, hi =
+                              if coeff >= 0 then
+                                ((coeff * lo_it) + cmin, (coeff * hi_it) + cmax + 1)
+                              else ((coeff * hi_it) + cmin, (coeff * lo_it) + cmax + 1)
+                            in
+                            Interval.Set.of_interval (Interval.make (max 0 lo) hi)
+                          end
+                    in
+                    List.concat
+                      (List.init (Array.length ranges) (fun g ->
+                           Darray.pull_valid cfg da ~gpu:g ~want:(want g))))))
+      plan.Kernel_plan.configs
 
 let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
   let xfers = ref [] in
@@ -60,4 +106,5 @@ let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
       if Kernel_plan.config_for plan name = None then
         xfers := !xfers @ Darray.ensure_replicated cfg (get_darray name) ~dirty_tracking:false)
     arrays;
+  xfers := !xfers @ pull_for_launch cfg plan ~ranges ~get_darray;
   { xfers = !xfers; reductions = List.rev !reductions; reused = List.rev !reused }

@@ -1,6 +1,9 @@
 type memory_report = { user_bytes : int; system_bytes : int }
 
+type coh_cell = { mutable shipped : int; mutable deferred : int; mutable pulled : int }
+
 type t = {
+  coh : (string, coh_cell) Hashtbl.t;
   mutable cpu_gpu : float;
   mutable gpu_gpu : float;
   mutable kernel : float;
@@ -19,6 +22,7 @@ type t = {
 
 let create () =
   {
+    coh = Hashtbl.create 8;
     cpu_gpu = 0.0;
     gpu_gpu = 0.0;
     kernel = 0.0;
@@ -55,6 +59,31 @@ let add_imbalance t ~ratio =
 
 let add_hidden t ~seconds = t.hidden <- t.hidden +. seconds
 let add_prefetch_hits t ~count = t.prefetch_hits <- t.prefetch_hits + count
+
+let coh_cell t array =
+  match Hashtbl.find_opt t.coh array with
+  | Some c -> c
+  | None ->
+      let c = { shipped = 0; deferred = 0; pulled = 0 } in
+      Hashtbl.replace t.coh array c;
+      c
+
+let add_coh t ~array ~shipped ~deferred =
+  if shipped <> 0 || deferred <> 0 then begin
+    let c = coh_cell t array in
+    c.shipped <- c.shipped + shipped;
+    c.deferred <- c.deferred + deferred
+  end
+
+let add_coh_pulled t ~array ~bytes =
+  if bytes <> 0 then begin
+    let c = coh_cell t array in
+    c.pulled <- c.pulled + bytes
+  end
+
+let coh_rows t =
+  Hashtbl.fold (fun array c acc -> (array, c.shipped, c.deferred, c.pulled) :: acc) t.coh []
+  |> List.sort compare
 
 let cpu_gpu_time t = t.cpu_gpu
 let gpu_gpu_time t = t.gpu_gpu

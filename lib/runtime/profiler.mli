@@ -34,6 +34,17 @@ val add_prefetch_hits : t -> count:int -> unit
     skipped the reload — under overlap, the previous launch's exchange
     already prefetched exactly these for the next launch. *)
 
+val add_coh : t -> array:string -> shipped:int -> deferred:int -> unit
+(** Per-array coherence traffic of one reconciliation: bytes shipped to
+    consumers vs. bytes whose transfer was deferred (left stale). *)
+
+val add_coh_pulled : t -> array:string -> bytes:int -> unit
+(** Bytes of previously deferred intervals pulled on demand. *)
+
+val coh_rows : t -> (string * int * int * int) list
+(** Per-array (shipped, deferred, pulled) byte counters, sorted by array
+    name. Bytes deferred but never pulled were elided outright. *)
+
 val cpu_gpu_time : t -> float
 val gpu_gpu_time : t -> float
 val kernel_time : t -> float

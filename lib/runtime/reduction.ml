@@ -62,6 +62,12 @@ let reduce_i t ~gpu i v =
 
 type merge_result = { xfers : Darray.xfer list; combine_cost : Cost.t }
 
+type lazy_merge_result = {
+  rounds : (Darray.xfer * int) list;
+  lazy_combine_cost : Cost.t;
+  deferred_bytes : int;
+}
+
 let merge (cfg : Rt_config.t) t (da : Darray.t) =
   let r = Darray.replica_of da in
   let g_count = cfg.Rt_config.num_gpus in
@@ -118,3 +124,87 @@ let merge (cfg : Rt_config.t) t (da : Darray.t) =
   Array.iteri (fun g buf -> Memory.free (mem g) buf) t.bufs;
   Darray.mark_device_written da;
   { xfers = List.rev !xfers; combine_cost }
+
+(* Lazy-coherence merge: gather the partials and fold them into GPU 0's
+   replica only. When the lookahead proves no kernel reads the array
+   ([`Defer]), the peers are simply marked stale — the broadcast is
+   elided entirely and a later [update host]/copyout pulls from replica
+   0 for free (it is the flush source anyway). Otherwise the result
+   ships down a binomial tree whose per-edge ops carry their round
+   number, so the overlap DAG can start round [r+1] edges as soon as
+   their source received round [r] instead of serializing a star from
+   GPU 0. *)
+let merge_lazy (cfg : Rt_config.t) t (da : Darray.t) ~ship =
+  let r = Darray.replica_of da in
+  let g_count = cfg.Rt_config.num_gpus in
+  let width = Ast.elem_ty_size t.elem in
+  let bytes = t.length * width in
+  (* Fold into replica 0 only; replica 0 must be fully valid here (the
+     data loader guarantees it before the reduction kernel launches). *)
+  (match t.elem with
+  | Ast.Edouble ->
+      let idf = View.redop_identity_f t.op in
+      let d = Memory.float_data r.Darray.bufs.(0) in
+      Array.iter
+        (function
+          | Pf p ->
+              for i = 0 to t.length - 1 do
+                if p.(i) <> idf then d.(i) <- View.apply_redop_f t.op d.(i) p.(i)
+              done
+          | Pi _ -> assert false)
+        t.partials
+  | Ast.Eint ->
+      let idi = View.redop_identity_i t.op in
+      let d = Memory.int_data r.Darray.bufs.(0) in
+      Array.iter
+        (function
+          | Pi p ->
+              for i = 0 to t.length - 1 do
+                if p.(i) <> idi then d.(i) <- View.apply_redop_i t.op d.(i) p.(i)
+              done
+          | Pf _ -> assert false)
+        t.partials);
+  let xfers = ref [] in
+  for g = 1 to g_count - 1 do
+    if t.touched.(g) then
+      xfers := ({ Darray.dir = Fabric.P2p (g, 0); bytes; tag = t.name ^ ":red-gather" }, 0) :: !xfers
+  done;
+  let full = Darray.full_set da in
+  let deferred = ref 0 in
+  (match ship with
+  | `Defer ->
+      r.Darray.valid.(0) <- full;
+      for g = 1 to g_count - 1 do
+        r.Darray.valid.(g) <- Mgacc_util.Interval.Set.empty;
+        deferred := !deferred + bytes
+      done
+  | `Tree ->
+      (* Functional broadcast (copy replica 0 into every peer) plus the
+         tree-edge transfer descriptors: in round [r] every GPU < 2^r
+         that holds the result forwards it to its partner 2^r away. *)
+      for g = 1 to g_count - 1 do
+        Darray.copy_replica_seg da r ~src:0 ~dst:g (Mgacc_util.Interval.make 0 t.length);
+        r.Darray.valid.(g) <- full
+      done;
+      r.Darray.valid.(0) <- full;
+      let round = ref 0 in
+      let span = ref 1 in
+      while !span < g_count do
+        for src = 0 to !span - 1 do
+          let dst = src + !span in
+          if dst < g_count then
+            xfers :=
+              ({ Darray.dir = Fabric.P2p (src, dst); bytes; tag = t.name ^ ":red-bcast" }, !round)
+              :: !xfers
+        done;
+        span := 2 * !span;
+        incr round
+      done);
+  let contributors = Array.fold_left (fun n x -> if x then n + 1 else n) 1 t.touched in
+  let combine_cost = Cost.zero () in
+  combine_cost.Cost.flops <- t.length * contributors;
+  combine_cost.Cost.coalesced_bytes <- t.length * width * (contributors + 1);
+  let mem g = (Machine.device cfg.Rt_config.machine g).Device.memory in
+  Array.iteri (fun g buf -> Memory.free (mem g) buf) t.bufs;
+  Darray.mark_device_written da;
+  { rounds = List.rev !xfers; lazy_combine_cost = combine_cost; deferred_bytes = !deferred }

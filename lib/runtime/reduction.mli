@@ -33,3 +33,20 @@ type merge_result = {
 val merge : Rt_config.t -> t -> Darray.t -> merge_result
 (** Fold all partials into every replica buffer (functionally) and return
     the traffic and merge-kernel cost to charge. Frees the partials. *)
+
+type lazy_merge_result = {
+  rounds : (Darray.xfer * int) list;
+      (** gathers (round 0) and binomial-tree broadcast edges tagged
+          with their tree round, so the overlap DAG can pipeline
+          round [r+1] edges behind their round-[r] source arrival *)
+  lazy_combine_cost : Mgacc_gpusim.Cost.t;
+  deferred_bytes : int;  (** broadcast bytes elided by deferral *)
+}
+
+val merge_lazy : Rt_config.t -> t -> Darray.t -> ship:[ `Defer | `Tree ] -> lazy_merge_result
+(** Lazy-coherence merge: fold the partials into replica 0 only.
+    [`Defer] (no future device read) marks the peers stale and elides
+    the broadcast entirely; [`Tree] broadcasts the combined result down
+    a binomial tree. Replica 0 must be fully valid on entry (the data
+    loader pulls it coherent before a reduction launches). Frees the
+    partials. *)

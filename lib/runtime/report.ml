@@ -17,10 +17,16 @@ type t = {
   prefetch_hits : int;
   mem_user_bytes : int;
   mem_system_bytes : int;
+  coh_shipped_bytes : int;
+  coh_deferred_bytes : int;
+  coh_pulled_bytes : int;
+  coh_arrays : (string * int * int * int) list;
 }
 
 let of_profiler p ~machine ~variant ~num_gpus =
   let mem = Profiler.memory p in
+  let coh_arrays = Profiler.coh_rows p in
+  let sum f = List.fold_left (fun acc row -> acc + f row) 0 coh_arrays in
   {
     machine;
     variant;
@@ -40,6 +46,10 @@ let of_profiler p ~machine ~variant ~num_gpus =
     prefetch_hits = Profiler.prefetch_hits p;
     mem_user_bytes = mem.Profiler.user_bytes;
     mem_system_bytes = mem.Profiler.system_bytes;
+    coh_shipped_bytes = sum (fun (_, s, _, _) -> s);
+    coh_deferred_bytes = sum (fun (_, _, d, _) -> d);
+    coh_pulled_bytes = sum (fun (_, _, _, p) -> p);
+    coh_arrays;
   }
 
 let host_only ~machine ~variant ~seconds =
@@ -62,14 +72,56 @@ let host_only ~machine ~variant ~seconds =
     prefetch_hits = 0;
     mem_user_bytes = 0;
     mem_system_bytes = 0;
+    coh_shipped_bytes = 0;
+    coh_deferred_bytes = 0;
+    coh_pulled_bytes = 0;
+    coh_arrays = [];
   }
 
 let speedup_vs t ~baseline = baseline.total_time /. t.total_time
+let coh_elided_bytes t = max 0 (t.coh_deferred_bytes - t.coh_pulled_bytes)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let coh_arrays =
+    String.concat ","
+      (List.map
+         (fun (name, shipped, deferred, pulled) ->
+           Printf.sprintf {|{"name":"%s","shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d}|}
+             (json_escape name) shipped deferred pulled)
+         t.coh_arrays)
+  in
+  Printf.sprintf
+    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}}|}
+    (json_escape t.machine) (json_escape t.variant) t.num_gpus t.total_time t.kernel_time
+    t.cpu_gpu_time t.gpu_gpu_time t.overhead_time t.cpu_gpu_bytes t.gpu_gpu_bytes t.loops t.launches
+    t.rebalances t.mean_imbalance t.hidden_seconds t.prefetch_hits t.mem_user_bytes
+    t.mem_system_bytes t.coh_shipped_bytes t.coh_deferred_bytes t.coh_pulled_bytes
+    (coh_elided_bytes t) coh_arrays
 
 let pp ppf t =
   Format.fprintf ppf
-    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f%t) mem user=%s sys=%s"
+    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f%t) mem user=%s sys=%s%t"
     t.machine t.variant t.total_time t.kernel_time t.cpu_gpu_time t.gpu_gpu_time t.overhead_time
     (fun ppf -> if t.hidden_seconds > 0.0 then Format.fprintf ppf " hidden=%.6f" t.hidden_seconds)
     (Mgacc_util.Bytesize.to_string t.mem_user_bytes)
     (Mgacc_util.Bytesize.to_string t.mem_system_bytes)
+    (fun ppf ->
+      if t.coh_deferred_bytes > 0 || t.coh_pulled_bytes > 0 then
+        Format.fprintf ppf " coh shipped=%s deferred=%s pulled=%s elided=%s"
+          (Mgacc_util.Bytesize.to_string t.coh_shipped_bytes)
+          (Mgacc_util.Bytesize.to_string t.coh_deferred_bytes)
+          (Mgacc_util.Bytesize.to_string t.coh_pulled_bytes)
+          (Mgacc_util.Bytesize.to_string (coh_elided_bytes t)))

@@ -22,6 +22,11 @@ type t = {
   prefetch_hits : int;  (** launches' arrays already valid on device (reload skipped) *)
   mem_user_bytes : int;  (** peak user data across used GPUs *)
   mem_system_bytes : int;  (** peak runtime-system data across used GPUs *)
+  coh_shipped_bytes : int;  (** replicated/reduction bytes shipped at reconciles *)
+  coh_deferred_bytes : int;  (** bytes left stale instead of shipped (lazy coherence) *)
+  coh_pulled_bytes : int;  (** deferred bytes later pulled on demand *)
+  coh_arrays : (string * int * int * int) list;
+      (** per-array (name, shipped, deferred, pulled), sorted by name *)
 }
 
 val of_profiler : Profiler.t -> machine:string -> variant:string -> num_gpus:int -> t
@@ -31,5 +36,12 @@ val host_only : machine:string -> variant:string -> seconds:float -> t
 
 val speedup_vs : t -> baseline:t -> float
 (** [baseline.total /. t.total]. *)
+
+val coh_elided_bytes : t -> int
+(** Deferred bytes never pulled: transfers lazy coherence avoided outright. *)
+
+val to_json : t -> string
+(** One-line JSON object with every field, including a ["coherence"]
+    sub-object with totals, elided bytes and the per-array breakdown. *)
 
 val pp : Format.formatter -> t -> unit

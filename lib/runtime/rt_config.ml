@@ -1,20 +1,35 @@
+type coherence = Eager | Lazy
+
 type t = {
   machine : Mgacc_gpusim.Machine.t;
   num_gpus : int;
   chunk_bytes : int;
   two_level_dirty : bool;
   overlap : bool;
+  coherence : coherence;
   translator : Mgacc_translator.Kernel_plan.options;
   schedule : Mgacc_sched.Policy.t;
   sched_knobs : Mgacc_sched.Feedback.knobs;
 }
 
 let make ?num_gpus ?(chunk_bytes = 1024 * 1024) ?(two_level_dirty = true) ?(overlap = false)
-    ?(translator = Mgacc_translator.Kernel_plan.default_options)
+    ?(coherence = Eager) ?(translator = Mgacc_translator.Kernel_plan.default_options)
     ?(schedule = Mgacc_sched.Policy.Equal)
     ?(sched_knobs = Mgacc_sched.Feedback.default_knobs) machine =
   let available = Mgacc_gpusim.Machine.num_gpus machine in
   let num_gpus = Option.value ~default:available num_gpus in
   if num_gpus < 1 || num_gpus > available then invalid_arg "Rt_config.make: bad num_gpus";
   if chunk_bytes < 8 then invalid_arg "Rt_config.make: chunk_bytes too small";
-  { machine; num_gpus; chunk_bytes; two_level_dirty; overlap; translator; schedule; sched_knobs }
+  {
+    machine;
+    num_gpus;
+    chunk_bytes;
+    two_level_dirty;
+    overlap;
+    coherence;
+    translator;
+    schedule;
+    sched_knobs;
+  }
+
+let lazy_coherence t = t.coherence = Lazy && t.num_gpus > 1

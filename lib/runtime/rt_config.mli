@@ -1,6 +1,13 @@
 (** Runtime configuration: the machine, the GPU count, and the knobs the
     evaluation ablates. *)
 
+type coherence =
+  | Eager  (** reconcile every replica after every kernel (paper §IV-D) *)
+  | Lazy
+      (** consumer-driven: ship only the intervals the next reader's
+          window covers, defer the rest and pull on demand
+          (docs/COHERENCE.md) *)
+
 type t = {
   machine : Mgacc_gpusim.Machine.t;
   num_gpus : int;  (** devices actually used (<= machine's) *)
@@ -11,6 +18,10 @@ type t = {
           transfer and replay on the events it actually depends on instead
           of the bulk-synchronous barrier chain (docs/OVERLAP.md). [false]
           keeps the original barrier semantics bit-for-bit. *)
+  coherence : coherence;
+      (** replica-reconciliation policy. [Eager] keeps the legacy
+          all-pairs exchange bit-for-bit; [Lazy] tracks per-replica
+          validity intervals and defers unread chunks. *)
   translator : Mgacc_translator.Kernel_plan.options;
   schedule : Mgacc_sched.Policy.t;
       (** iteration-partitioning policy (default: the paper's equal split) *)
@@ -23,12 +34,19 @@ val make :
   ?chunk_bytes:int ->
   ?two_level_dirty:bool ->
   ?overlap:bool ->
+  ?coherence:coherence ->
   ?translator:Mgacc_translator.Kernel_plan.options ->
   ?schedule:Mgacc_sched.Policy.t ->
   ?sched_knobs:Mgacc_sched.Feedback.knobs ->
   Mgacc_gpusim.Machine.t ->
   t
 (** Defaults: all of the machine's GPUs, 1 MB chunks (the paper's choice),
-    two-level dirty bits, overlap off (barrier semantics), all translator
+    two-level dirty bits, overlap off (barrier semantics), eager
+    coherence (legacy all-pairs reconciliation), all translator
     optimizations on, the equal-split schedule with default controller
     knobs. *)
+
+val lazy_coherence : t -> bool
+(** [coherence = Lazy] and more than one GPU (with a single replica the
+    eager and lazy protocols coincide, so the lazy bookkeeping is
+    skipped). *)

@@ -35,3 +35,118 @@ let plan_for t (loop : Mgacc_analysis.Loop_info.t) =
 
 let all_plans t = t.order
 let loop_count t = List.length t.order
+
+(* ---------------- consumer lookahead (lazy coherence) ---------------- *)
+
+module Access = Mgacc_analysis.Access
+module Affine = Mgacc_analysis.Affine
+module Loop_info = Mgacc_analysis.Loop_info
+
+type window = Whole_array | Affine_window of { coeff : int; cmin : int; cmax : int }
+
+type lookahead = No_future_read | Reads_next of { loop_loc : Loc.t; window : window }
+
+(* Plain reads of [acc]'s array minus the reduction self-reads: the
+   Set-form reduction statement [a[c] = a[c] + x] records a read of
+   [a[c]] that the generated kernel never performs (it accumulates into
+   per-GPU partials, see Kernel_compile), so a subscript that matches a
+   reduction-write subscript textually cancels one such read. *)
+let real_reads (acc : Access.array_access) =
+  match acc.Access.reduction_writes with
+  | [] -> acc.Access.reads
+  | rws ->
+      let counts = Hashtbl.create 4 in
+      List.iter
+        (fun e ->
+          let k = Pretty.expr_to_string e in
+          Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+        rws;
+      List.filter
+        (fun e ->
+          let k = Pretty.expr_to_string e in
+          match Hashtbl.find_opt counts k with
+          | Some n when n > 0 ->
+              Hashtbl.replace counts k (n - 1);
+              false
+          | _ -> true)
+        acc.Access.reads
+
+(* Summarize a reader plan's subscripts into a per-GPU window shape:
+   every read must be a literal affine form [coeff*i + const] with one
+   shared coefficient, else the whole array is assumed read. *)
+let summarize_reads (p : Kernel_plan.t) reads =
+  let loop = p.Kernel_plan.loop in
+  let is_uniform = Access.is_uniform_in loop in
+  let literal e =
+    match Affine.of_expr ~loop_var:loop.Loop_info.loop_var ~is_uniform e with
+    | Some a when Affine.is_literal a -> Some a
+    | _ -> None
+  in
+  let forms = List.map literal reads in
+  if List.exists Option.is_none forms then Whole_array
+  else
+    match List.filter_map Fun.id forms with
+    | [] -> Whole_array
+    | f0 :: rest ->
+        if List.exists (fun (f : Affine.t) -> f.Affine.coeff <> f0.Affine.coeff) rest then
+          Whole_array
+        else
+          let consts = List.map (fun (f : Affine.t) -> f.Affine.const) (f0 :: rest) in
+          Affine_window
+            {
+              coeff = f0.Affine.coeff;
+              cmin = List.fold_left min f0.Affine.const consts;
+              cmax = List.fold_left max f0.Affine.const consts;
+            }
+
+(* What the given plan itself reads of [array], as a window — the data
+   loader uses this to pull only the current launch's inputs valid. *)
+let read_window_of (p : Kernel_plan.t) ~array =
+  match Access.find p.Kernel_plan.accesses array with
+  | None -> None
+  | Some acc -> (
+      match real_reads acc with [] -> None | reads -> Some (summarize_reads p reads))
+
+(* The next plan (in cyclic source order after [after], the current plan
+   itself scanned last — iterative applications re-run their loops) that
+   performs real device reads of [array], summarized as a window. Reads
+   under a distributed placement fall back to [Whole_array]: validity
+   intervals only govern replicas, and the transition flushes through
+   the host anyway. *)
+let next_read t ~(after : Loc.t) ~array =
+  let order = Array.of_list t.order in
+  let n = Array.length order in
+  let cur = ref (-1) in
+  Array.iteri
+    (fun i p -> if p.Kernel_plan.loop.Loop_info.loop_loc = after then cur := i)
+    order;
+  let candidate p =
+    match Access.find p.Kernel_plan.accesses array with
+    | None -> None
+    | Some acc -> (
+        match real_reads acc with
+        | [] -> None
+        | reads ->
+            let window =
+              match Kernel_plan.placement_of p array with
+              | Mgacc_analysis.Array_config.Distributed -> Whole_array
+              | Mgacc_analysis.Array_config.Replicated -> summarize_reads p reads
+            in
+            Some (Reads_next { loop_loc = p.Kernel_plan.loop.Loop_info.loop_loc; window }))
+  in
+  if n = 0 then No_future_read
+  else if !cur < 0 then
+    (* Unknown current loop (planned outside [build]): any reader counts. *)
+    match List.find_map candidate t.order with
+    | Some l -> l
+    | None -> No_future_read
+  else begin
+    let found = ref None in
+    let k = ref 1 in
+    while !found = None && !k <= n do
+      let p = order.((!cur + !k) mod n) in
+      found := candidate p;
+      incr k
+    done;
+    match !found with Some l -> l | None -> No_future_read
+  end

@@ -25,3 +25,35 @@ val all_plans : t -> Kernel_plan.t list
 (** Every planned loop, in source order across functions. *)
 
 val loop_count : t -> int
+
+(** {2 Consumer lookahead (lazy coherence)}
+
+    The lazy coherence protocol ships a writer's dirty intervals only to
+    destinations whose {e next read window} covers them; these summaries
+    describe that window statically (docs/COHERENCE.md). *)
+
+type window =
+  | Whole_array  (** conservative: dynamic/non-literal subscripts, mixed
+                     coefficients, or a distributed next reader *)
+  | Affine_window of { coeff : int; cmin : int; cmax : int }
+      (** every read is [coeff*i + c] with [c] in [\[cmin, cmax\]]; a
+          GPU covering iterations [\[lo, hi)] reads
+          [\[coeff*lo + cmin, coeff*(hi-1) + cmax\]] (for positive
+          [coeff]) *)
+
+type lookahead =
+  | No_future_read  (** no plan in the program reads the array on device *)
+  | Reads_next of { loop_loc : Loc.t; window : window }
+
+val read_window_of : Kernel_plan.t -> array:string -> window option
+(** The window of the plan's own real device reads of [array]; [None]
+    when the plan performs none (writes and reduction self-reads only). *)
+
+val next_read : t -> after:Loc.t -> array:string -> lookahead
+(** The next plan in cyclic source order after the loop at [after] (the
+    current loop itself is scanned last, since iterative applications
+    re-enter their own loops) with real device reads of [array].
+    Reduction self-reads — the RHS read recorded for the Set form
+    [a\[c\] = a\[c\] + x] of a [reductiontoarray] statement — are not
+    real reads: the generated kernel accumulates into per-GPU partials
+    and never loads the replica. *)

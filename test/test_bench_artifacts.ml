@@ -1,0 +1,306 @@
+(* Schema validation of the committed BENCH_*.json benchmark artifacts.
+
+   The bench harness (bench/main.ml) writes one JSON file per tracked
+   experiment; these are committed so CI can trend them. A hand-rolled
+   parser (no JSON library in the build) checks every artifact parses and
+   carries the fields its consumers read, so a stale or hand-mangled
+   artifact fails [dune runtest]. The coherence artifact additionally
+   carries the acceptance bars of the lazy-coherence work: a >=30%
+   replicated-traffic cut on at least two of {kmeans, bfs, spmv} at
+   4 GPUs, results matching everywhere, and kmeans no slower under the
+   overlap engine than under barriers. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+(* ---------------- a minimal JSON parser ---------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    (match peek () with Some '"' -> advance () | _ -> fail "expected '\"'");
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char b '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char b '\t';
+              advance ();
+              go ()
+          | Some 'u' ->
+              (* artifacts only carry ASCII; keep the escape verbatim *)
+              Buffer.add_string b "\\u";
+              advance ();
+              go ()
+          | Some c ->
+              Buffer.add_char b c;
+              advance ();
+              go ()
+          | None -> fail "unterminated escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let members = ref [] in
+          let rec member () =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            (match peek () with Some ':' -> advance () | _ -> fail "expected ':'");
+            let v = parse_value () in
+            members := (key, v) :: !members;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                member ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          member ();
+          Obj (List.rev !members)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec item () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                item ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          item ();
+          Arr (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---------------- accessors ---------------- *)
+
+let member file key = function
+  | Obj kvs -> (
+      match List.assoc_opt key kvs with
+      | Some v -> v
+      | None -> Alcotest.failf "%s: missing key %S" file key)
+  | _ -> Alcotest.failf "%s: expected an object around %S" file key
+
+let str file key obj =
+  match member file key obj with
+  | Str s -> s
+  | _ -> Alcotest.failf "%s: %S is not a string" file key
+
+let num file key obj =
+  match member file key obj with
+  | Num f -> f
+  | _ -> Alcotest.failf "%s: %S is not a number" file key
+
+let boolean file key obj =
+  match member file key obj with
+  | Bool b -> b
+  | _ -> Alcotest.failf "%s: %S is not a bool" file key
+
+let arr file key obj =
+  match member file key obj with
+  | Arr items -> items
+  | _ -> Alcotest.failf "%s: %S is not an array" file key
+
+(* ---------------- artifact discovery ---------------- *)
+
+(* Tests execute inside the dune sandbox; the artifacts are declared as
+   test deps, so walking up from the cwd finds the dune-copied versions
+   (and running the binary from a source checkout finds the committed
+   ones). *)
+let find_artifact_dir () =
+  let has_artifacts dir =
+    match Sys.readdir dir with
+    | entries ->
+        Array.exists
+          (fun e -> String.length e > 11 && String.sub e 0 6 = "BENCH_" && Filename.check_suffix e ".json")
+          entries
+    | exception Sys_error _ -> false
+  in
+  let rec walk dir depth =
+    if depth > 8 then None
+    else if has_artifacts dir then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else walk parent (depth + 1)
+  in
+  walk (Sys.getcwd ()) 0
+
+let load name =
+  match find_artifact_dir () with
+  | None -> Alcotest.failf "no BENCH_*.json found walking up from %s" (Sys.getcwd ())
+  | Some dir ->
+      let path = Filename.concat dir name in
+      if not (Sys.file_exists path) then Alcotest.failf "missing artifact %s in %s" name dir;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      (name, parse_json contents)
+
+(* ---------------- schemas ---------------- *)
+
+let test_overlap_artifact () =
+  let file, j = load "BENCH_overlap.json" in
+  check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  let runs = arr file "runs" j in
+  check Alcotest.bool "runs non-empty" true (runs <> []);
+  List.iter
+    (fun run ->
+      ignore (str file "app" run);
+      ignore (str file "machine" run);
+      check Alcotest.bool "gpus >= 2" true (num file "gpus" run >= 2.0);
+      check Alcotest.bool "barrier time > 0" true (num file "barrier_seconds" run > 0.0);
+      check Alcotest.bool "overlap time > 0" true (num file "overlap_seconds" run > 0.0);
+      check Alcotest.bool "hidden >= 0" true (num file "hidden_seconds" run >= 0.0);
+      check Alcotest.bool "prefetch hits >= 0" true (num file "prefetch_hits" run >= 0.0);
+      check Alcotest.bool "results match" true (boolean file "results_match" run))
+    runs
+
+let test_coherence_artifact () =
+  let file, j = load "BENCH_coherence.json" in
+  check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  let runs = arr file "runs" j in
+  check Alcotest.bool "runs non-empty" true (runs <> []);
+  let big_cuts_at_4 = ref [] in
+  List.iter
+    (fun run ->
+      let app = str file "app" run in
+      ignore (str file "machine" run);
+      let gpus = num file "gpus" run in
+      check Alcotest.bool "gpus >= 2" true (gpus >= 2.0);
+      check Alcotest.bool "eager time > 0" true (num file "eager_seconds" run > 0.0);
+      check Alcotest.bool "lazy time > 0" true (num file "lazy_seconds" run > 0.0);
+      let eager = num file "eager_coh_bytes" run and lz = num file "lazy_coh_bytes" run in
+      check Alcotest.bool "coh bytes >= 0" true (eager >= 0.0 && lz >= 0.0);
+      List.iter
+        (fun k -> check Alcotest.bool (k ^ " >= 0") true (num file k run >= 0.0))
+        [
+          "eager_gpu_gpu_bytes";
+          "lazy_gpu_gpu_bytes";
+          "lazy_shipped_bytes";
+          "lazy_deferred_bytes";
+          "lazy_pulled_bytes";
+          "lazy_elided_bytes";
+        ];
+      check Alcotest.bool "lazy never ships more" true (lz <= eager);
+      check Alcotest.bool "results match" true (boolean file "results_match" run);
+      if gpus = 4.0 && List.mem app [ "kmeans"; "bfs"; "spmv" ] && lz <= 0.7 *. eager then
+        big_cuts_at_4 := app :: !big_cuts_at_4)
+    runs;
+  if List.length !big_cuts_at_4 < 2 then
+    Alcotest.failf "%s: <2 of kmeans/bfs/spmv cut >=30%% at 4 GPUs (got: %s)" file
+      (String.concat ", " !big_cuts_at_4);
+  let km = arr file "kmeans_overlap" j in
+  check Alcotest.bool "kmeans overlap runs present" true (km <> []);
+  List.iter
+    (fun run ->
+      let barrier = num file "barrier_seconds" run in
+      let overlap = num file "overlap_seconds" run in
+      check Alcotest.bool "results match" true (boolean file "results_match" run);
+      if overlap > barrier *. 1.0005 then
+        Alcotest.failf "%s: kmeans overlap slower than barrier (%.9gs vs %.9gs) on %s" file
+          overlap barrier (str file "machine" run))
+    km
+
+let test_parser_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match parse_json bad with
+      | exception Bad _ -> ()
+      | _ -> Alcotest.failf "parser accepted %S" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "truex"; "{\"a\":1} extra"; "\"unterminated" ]
+
+let suite =
+  [
+    tc "json parser rejects malformed input" test_parser_rejects_garbage;
+    tc "BENCH_overlap.json: schema + results" test_overlap_artifact;
+    tc "BENCH_coherence.json: schema + acceptance bars" test_coherence_artifact;
+  ]

@@ -20,4 +20,6 @@ let () =
       ("corners", Test_corners.suite);
       ("sched", Test_sched.suite);
       ("overlap", Test_overlap.suite);
+      ("coherence", Test_coherence.suite);
+      ("artifacts", Test_bench_artifacts.suite);
     ]

@@ -247,6 +247,7 @@ for (i = 0; i < n; i++) { a[i] = 1.0; } }|}
     Comm_manager.reconcile cfg plan
       ~get_darray:(fun _ -> da)
       ~reductions:[] ~wrote:(fun _ -> true)
+      ~next_window:(fun _ -> Comm_manager.Cw_all)
   in
   (* Four halo segments refresh: gpu0<-1, gpu1<-0, gpu1<-2, gpu2<-1. *)
   let xfers = Comm_manager.xfers_of result in
