@@ -86,9 +86,9 @@ let coherence_of = function
   | "lazy" -> Ok Mgacc.Rt_config.Lazy
   | other -> Error (Printf.sprintf "unknown coherence mode %S (eager|lazy)" other)
 
-let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_name chunk_kb
-    no_distribution no_layout no_misscheck single_level_dirty dump_arrays show_trace trace_json
-    json_report check_results verbose =
+let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_name
+    collective_name chunk_kb no_distribution no_layout no_misscheck single_level_dirty dump_arrays
+    show_trace trace_json json_report check_results verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
@@ -96,6 +96,7 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
   let* schedule = Mgacc.Sched_policy.of_string schedule_name in
   let* overlap = overlap_of overlap_name in
   let* coherence = coherence_of coherence_name in
+  let* collective = Mgacc.Rt_config.collective_of_string collective_name in
   try
     match variant with
     | "seq" ->
@@ -133,7 +134,7 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
         let config =
           Mgacc.Rt_config.make
             ?num_gpus:(if gpus = 0 then None else Some gpus)
-            ~schedule ~overlap ~coherence
+            ~schedule ~overlap ~coherence ~collective
             ~chunk_bytes:(chunk_kb * 1024)
             ~two_level_dirty:(not single_level_dirty) ~translator machine
         in
@@ -294,6 +295,14 @@ let run_term =
                    each loop; lazy ships only the next reader's window and pulls the rest on \
                    demand")
   in
+  let collective =
+    Arg.(value & opt string "direct"
+         & info [ "collective" ] ~docv:"direct|ring|auto"
+             ~doc:"broadcast-group transfer planning: direct keeps the legacy star/tree \
+                   schedules bit for bit; ring forces node-grouped pipelined rings; auto picks \
+                   direct, ring or hierarchical staging per group from a payload/topology cost \
+                   model")
+  in
   let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
   let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
   let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
@@ -313,10 +322,10 @@ let run_term =
          & info [ "json" ] ~doc:"print the report as one JSON object (includes coherence counters)")
   in
   Term.(
-    const (fun file m v g sch ov coh c nd nl nm sl d tr tj js ck vb ->
-        exits_of (run_cmd file m v g sch ov coh c nd nl nm sl d tr tj js ck vb))
-    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ chunk $ no_dist
-    $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json $ json_report
+    const (fun file m v g sch ov coh col c nd nl nm sl d tr tj js ck vb ->
+        exits_of (run_cmd file m v g sch ov coh col c nd nl nm sl d tr tj js ck vb))
+    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ collective $ chunk
+    $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json $ json_report
     $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)

@@ -20,11 +20,11 @@ let pgi ~machine app =
   let config = Rt_config.make ~num_gpus:1 ~translator:options machine in
   run_acc ~config ~variant:"pgi(1)" ~machine (parse app)
 
-let proposal ?chunk_bytes ?two_level_dirty ?overlap ?schedule ?coherence
+let proposal ?chunk_bytes ?two_level_dirty ?overlap ?schedule ?coherence ?collective
     ?(options = Kernel_plan.default_options) ~num_gpus ~machine app =
   let config =
     Rt_config.make ~num_gpus ?chunk_bytes ?two_level_dirty ?overlap ?schedule ?coherence
-      ~translator:options machine
+      ?collective ~translator:options machine
   in
   run_acc ~config
     ~variant:(Printf.sprintf "proposal(%d)" num_gpus)

@@ -33,6 +33,7 @@ val proposal :
   ?overlap:bool ->
   ?schedule:Sched_policy.t ->
   ?coherence:Rt_config.coherence ->
+  ?collective:Rt_config.collective ->
   ?options:Kernel_plan.options ->
   num_gpus:int ->
   machine:Machine.t ->

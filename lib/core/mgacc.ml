@@ -21,6 +21,9 @@ module Sched_policy = Mgacc_sched.Policy
 module Sched_feedback = Mgacc_sched.Feedback
 module Scheduler = Mgacc_sched.Scheduler
 module Rt_config = Mgacc_runtime.Rt_config
+module Collective = Mgacc_runtime.Collective
+module Comm_manager = Mgacc_runtime.Comm_manager
+module Fabric = Mgacc_gpusim.Fabric
 module Report = Mgacc_runtime.Report
 module Acc_runtime = Mgacc_runtime.Acc_runtime
 module Launch = Mgacc_runtime.Launch

@@ -82,12 +82,16 @@ let transfer_time_alone t dir ~bytes =
   if bytes <= 0 then 0.0
   else latency_of t dir +. (float_of_int bytes /. standalone_bandwidth t dir)
 
+let topology t = t.topology
+let num_gpus t = t.num_gpus
+
 (* One in-flight transfer of the fluid simulation. *)
 type flow = {
   idx : int;
   res : resource list;
   cap : float;
   arrive : float;  (* ready + latency: when bytes start flowing *)
+  total : float;  (* original size; completion threshold is relative to it *)
   mutable remaining : float;
   mutable rate : float;
   mutable fixed : bool;
@@ -202,6 +206,7 @@ let run_batch t reqs =
             res = resources_of t req.direction;
             cap = own_cap t req.direction;
             arrive = req.ready +. latency_of t req.direction;
+            total = float_of_int req.bytes;
             remaining = float_of_int req.bytes;
             rate = 0.0;
             fixed = false;
@@ -240,8 +245,15 @@ let run_batch t reqs =
       let dt = t_next -. !now in
       Bag.iter (fun f -> f.remaining <- f.remaining -. (f.rate *. dt)) active;
       now := t_next;
+      (* The residue below which a flow counts as drained must scale with
+         the flow, or tiny transfers finish early and huge ones drag a
+         fixed byte tail: keep draining while more than 1e-12 of the
+         original payload remains. The absolute floor keeps the threshold
+         above double-precision resolution so the final subtraction can
+         always cross it (a purely relative bound can sit below one ulp of
+         [remaining] and loop forever). *)
       Bag.filter_in_place active
-        ~keep:(fun f -> f.remaining > 1e-6)
+        ~keep:(fun f -> f.remaining > Float.max 1e-9 (1e-12 *. f.total))
         ~removed:(fun f ->
           f.finish_time <- !now;
           completions.(f.idx) <-
@@ -254,7 +266,11 @@ let run_batch t reqs =
          match c with
          | Some c -> c
          | None ->
-             (* Unreachable: every flow either completed or was zero-byte. *)
+             (* Every flow must either have completed or been zero-byte; a
+                hole here means the event loop dropped a request. Failing
+                loudly beats fabricating a zero-duration completion that
+                would silently corrupt downstream schedules. *)
              let req = reqs_arr.(idx) in
-             { req; start = req.ready; finish = req.ready })
+             invalid_arg
+               (Printf.sprintf "Fabric.run_batch: request %d (tag %S) never completed" idx req.tag))
        completions)

@@ -47,8 +47,18 @@ val create : ?topology:topology -> Spec.link -> num_gpus:int -> t
 val node_of : t -> int -> int
 (** The node hosting a GPU. *)
 
+val same_node : t -> int -> int -> bool
+(** Whether two GPUs share a node (always true without a topology). *)
+
+val topology : t -> topology option
+val num_gpus : t -> int
+
 val standalone_bandwidth : t -> direction -> float
 (** Peak rate of a transfer running alone (min of its caps). *)
+
+val latency_of : t -> direction -> float
+(** Per-transfer setup latency (link latency, plus the internode latency
+    for cross-node peer transfers). *)
 
 val transfer_time_alone : t -> direction -> bytes:int -> float
 (** Latency + bytes / standalone rate; the uncontended duration. *)
@@ -57,4 +67,7 @@ val run_batch : t -> request list -> completion list
 (** Simulate the batch under fair sharing. Completions are returned in the
     order of the requests. The fabric is stateless across batches (the BSP
     runtime separates batches with barriers). Zero-byte requests complete
-    instantly at their ready time, with no latency charge. *)
+    instantly at their ready time, with no latency charge.
+    @raise Invalid_argument if a request has negative bytes, or (naming
+    the request's tag) if the event loop ever fails to complete a flow —
+    a simulator invariant violation, never expected in normal use. *)

@@ -52,6 +52,27 @@ let now t = t.clock
 
 type batch_kind = Cpu_gpu | Gpu_gpu
 
+let fabric_of t = t.cfg.Rt_config.machine.Machine.fabric
+
+(* Inter-node traffic of a batch: the share of its bytes that crosses
+   the network wire (0 on single-node machines). *)
+let count_wire_bytes t (reqs : Fabric.request list) =
+  let fabric = fabric_of t in
+  let bytes =
+    List.fold_left
+      (fun acc (r : Fabric.request) ->
+        match r.Fabric.direction with
+        | Fabric.P2p (a, b) when not (Fabric.same_node fabric a b) -> acc + r.Fabric.bytes
+        | Fabric.P2p _ | Fabric.H2d _ | Fabric.D2h _ -> acc)
+      0 reqs
+  in
+  if bytes > 0 then Profiler.add_wire_bytes t.profiler ~bytes
+
+let count_collective_stats t (st : Collective.stats) =
+  Profiler.add_collective t.profiler ~rings:st.Collective.rings
+    ~hierarchies:st.Collective.hierarchies ~direct_groups:st.Collective.direct_groups
+    ~segments:st.Collective.segments
+
 let charge_xfers t ~label ~kind ~ready (xfers : Darray.xfer list) =
   if xfers = [] then ready
   else begin
@@ -61,6 +82,7 @@ let charge_xfers t ~label ~kind ~ready (xfers : Darray.xfer list) =
           { Fabric.direction = x.Darray.dir; bytes = x.Darray.bytes; ready; tag = x.Darray.tag })
         xfers
     in
+    count_wire_bytes t reqs;
     let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label reqs in
     let finish =
       List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) ready
@@ -95,6 +117,7 @@ let account t ~kind ~bytes ~start ~finish =
 let run_batch_overlap t ~label ~kind (reqs : Fabric.request list) =
   if reqs = [] then []
   else begin
+    count_wire_bytes t reqs;
     let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label reqs in
     let start =
       List.fold_left (fun acc (r : Fabric.request) -> Float.min acc r.Fabric.ready) infinity reqs
@@ -477,7 +500,35 @@ and on_parallel_loop_gpu t env loop plan =
       m "loop %d: reconciliation ships %d bytes in %d transfer(s)" loop.Loop_info.loop_id
         (List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 rec_xfers)
         (List.length rec_xfers));
-  let t3 = charge_xfers t ~label:"comm" ~kind:Gpu_gpu ~ready:t2' rec_xfers in
+  let t3 =
+    if not (Rt_config.planned_collectives t.cfg) then
+      charge_xfers t ~label:"comm" ~kind:Gpu_gpu ~ready:t2' rec_xfers
+    else begin
+      (* Collective planning: broadcast groups among the ops reshape into
+         ring / hierarchical / segmented schedules; the whole plan charges
+         as one GPU-GPU phase spanning its wavefront batches. *)
+      let cplan, cstats =
+        Collective.plan ~cfg:t.cfg ~fabric:(fabric_of t) rec_result.Comm_manager.ops
+      in
+      count_collective_stats t cstats;
+      if Array.length cplan = 0 then t2'
+      else begin
+        let bytes = ref 0 in
+        let fin =
+          Collective.execute ~plan:cplan
+            ~base_ready:(fun _ -> t2')
+            ~run:(fun reqs ->
+              bytes :=
+                List.fold_left (fun a (r : Fabric.request) -> a + r.Fabric.bytes) !bytes reqs;
+              count_wire_bytes t reqs;
+              Machine.run_transfers t.cfg.Rt_config.machine ~label:"comm" reqs)
+            ~on_complete:(fun _ _ -> ())
+        in
+        Profiler.add_gpu_gpu t.profiler ~seconds:(Float.max 0.0 (fin -. t2')) ~bytes:!bytes;
+        Float.max t2' fin
+      end
+    end
+  in
   let t4 =
     List.fold_left
       (fun acc (gpu, cost, label) ->
@@ -701,8 +752,56 @@ and on_parallel_loop_gpu_overlap t env loop plan =
         Event.record t.events dst fin
     | _, (Fabric.H2d g | Fabric.D2h g) -> Event.record t.events g fin
   in
-  List.iter2 handle_completion wave1
-    (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:1) wave1));
+  (* Base readiness of a planned item: the op_req logic, applied to the
+     item's actual path. First hops gate like their logical op; forwarded
+     hops are gated by their explicit plan dependencies (a forwarding GPU
+     ships a staged payload, not its own kernel output), with the
+     forwarder's kernel finish kept for broadcast results — mirroring the
+     direct tree, where an edge waits on its source GPU's kernel. *)
+  let planned_ready ~wave (it : Collective.item) =
+    let op = it.Collective.op in
+    let isrc, idst =
+      match it.Collective.dir with
+      | Fabric.P2p (a, b) -> (a, b)
+      | Fabric.H2d g | Fabric.D2h g -> (g, g)
+    in
+    let osrc =
+      match op.Comm_manager.dir with
+      | Fabric.P2p (a, _) -> a
+      | Fabric.H2d g | Fabric.D2h g -> g
+    in
+    let a = op.Comm_manager.array in
+    match op.Comm_manager.kind with
+    | Comm_manager.Dirty_chunk ->
+        if isrc = osrc then kfin.(isrc) +. scan_of isrc a else t.clock
+    | Comm_manager.Miss_ship | Comm_manager.Red_gather -> kfin.(isrc)
+    | Comm_manager.Red_bcast ->
+        let base =
+          match Hashtbl.find_opt combine_fin a with
+          | Some f -> f
+          | None -> (
+              match Hashtbl.find_opt gather_arrival a with Some f -> f | None -> kfin.(osrc))
+        in
+        Float.max base kfin.(isrc)
+    | Comm_manager.Halo_segment ->
+        let base = Float.max kfin.(isrc) kfin.(idst) in
+        if wave = 2 then
+          Float.max base (Option.value ~default:0.0 (Hashtbl.find_opt replay_fin (isrc, a)))
+        else base
+  in
+  let run_planned ~wave ops =
+    let cplan, cstats = Collective.plan ~cfg:t.cfg ~fabric:(fabric_of t) ops in
+    count_collective_stats t cstats;
+    ignore
+      (Collective.execute ~plan:cplan ~base_ready:(planned_ready ~wave)
+         ~run:(run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu)
+         ~on_complete:(fun (it : Collective.item) c -> handle_completion it.Collective.op c))
+  in
+  let planned = Rt_config.planned_collectives t.cfg in
+  if planned then run_planned ~wave:1 wave1
+  else
+    List.iter2 handle_completion wave1
+      (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:1) wave1));
   (* Replay and combine kernels, each gated on its own inputs. *)
   let small_spans = ref [] in
   List.iter
@@ -745,15 +844,20 @@ and on_parallel_loop_gpu_overlap t env loop plan =
      tree edges) only become ready once round [r] completions have been
      recorded. Eager mode puts every op in round 0, reproducing the
      original single batch exactly. *)
-  let wave2_rounds =
-    List.sort_uniq compare (List.map (fun (op : Comm_manager.op) -> op.Comm_manager.round) wave2)
-  in
-  List.iter
-    (fun round ->
-      let ops = List.filter (fun (op : Comm_manager.op) -> op.Comm_manager.round = round) wave2 in
-      List.iter2 handle_completion ops
-        (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:2) ops)))
-    wave2_rounds;
+  if planned then run_planned ~wave:2 wave2
+  else begin
+    let wave2_rounds =
+      List.sort_uniq compare (List.map (fun (op : Comm_manager.op) -> op.Comm_manager.round) wave2)
+    in
+    List.iter
+      (fun round ->
+        let ops =
+          List.filter (fun (op : Comm_manager.op) -> op.Comm_manager.round = round) wave2
+        in
+        List.iter2 handle_completion ops
+          (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:2) ops)))
+      wave2_rounds
+  end;
   (* Phase 4: scalar-reduction partials. Only these block the host — a
      launch with no scalar result returns control immediately, which is
      where the cross-launch overlap comes from. *)

@@ -1,0 +1,438 @@
+module Fabric = Mgacc_gpusim.Fabric
+
+type item = {
+  dir : Fabric.direction;
+  bytes : int;
+  tag : string;
+  level : int;
+  dep : int;
+  dep2 : int;
+  op : Comm_manager.op;
+}
+
+type plan = item array
+
+type stats = {
+  rings : int;
+  hierarchies : int;
+  direct_groups : int;
+  segments : int;
+}
+
+let no_stats = { rings = 0; hierarchies = 0; direct_groups = 0; segments = 0 }
+
+let add_stats a b =
+  {
+    rings = a.rings + b.rings;
+    hierarchies = a.hierarchies + b.hierarchies;
+    direct_groups = a.direct_groups + b.direct_groups;
+    segments = a.segments + b.segments;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Group analysis                                                      *)
+
+type group_shape = {
+  root : int;
+  dsts : int list;  (* distinct, in op order *)
+  payload : int;  (* bytes, identical across the group's ops *)
+  op_of_dst : (int, Comm_manager.op) Hashtbl.t;
+}
+
+let endpoints (op : Comm_manager.op) =
+  match op.Comm_manager.dir with
+  | Fabric.P2p (s, d) -> Some (s, d)
+  | Fabric.H2d _ | Fabric.D2h _ -> None
+
+(* A group is reshapeable iff it is a well-formed broadcast: every op is
+   peer-to-peer with the same byte count, destinations are distinct, and
+   exactly one endpoint (the root) sends without ever receiving. Tree
+   schedules qualify — sources vary but all carry the same payload. *)
+let analyze (gops : Comm_manager.op list) =
+  match gops with
+  | [] -> None
+  | first :: _ -> (
+      match endpoints first with
+      | None -> None
+      | Some _ ->
+          let payload = first.Comm_manager.bytes in
+          let op_of_dst = Hashtbl.create 8 in
+          let dsts = ref [] and srcs = ref [] in
+          let ok = ref true in
+          List.iter
+            (fun (op : Comm_manager.op) ->
+              match endpoints op with
+              | None -> ok := false
+              | Some (s, d) ->
+                  if op.Comm_manager.bytes <> payload then ok := false;
+                  if Hashtbl.mem op_of_dst d then ok := false
+                  else begin
+                    Hashtbl.replace op_of_dst d op;
+                    dsts := d :: !dsts;
+                    srcs := s :: !srcs
+                  end)
+            gops;
+          let dsts = List.rev !dsts in
+          let roots =
+            List.sort_uniq compare !srcs
+            |> List.filter (fun s -> not (Hashtbl.mem op_of_dst s))
+          in
+          if (not !ok) || payload <= 0 then None
+          else
+            match roots with
+            | [ root ] -> Some { root; dsts; payload; op_of_dst }
+            | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model (selection only; timing comes from the simulation)       *)
+
+let num_nodes fabric =
+  match Fabric.topology fabric with
+  | None -> 1
+  | Some t -> (Fabric.num_gpus fabric + t.Fabric.gpus_per_node - 1) / t.Fabric.gpus_per_node
+
+(* Node-grouped chain: root first, then destinations sorted so GPUs
+   sharing the root's node come before other nodes in cyclic order —
+   the chain crosses the wire once per node boundary. *)
+let ring_order fabric shape =
+  let nn = num_nodes fabric in
+  let root_node = Fabric.node_of fabric shape.root in
+  let key d = (((Fabric.node_of fabric d - root_node) + nn) mod nn, d) in
+  shape.root :: List.sort (fun a b -> compare (key a) (key b)) shape.dsts
+
+let segment_sizes payload s =
+  let base = payload / s and extra = payload mod s in
+  Array.init s (fun k -> base + if k < extra then 1 else 0)
+
+(* Candidate segment counts: the configured target plus powers of two,
+   never slicing below 4 KiB segments. *)
+let segment_candidates (cfg : Rt_config.t) payload =
+  let floor_bytes = 4096 in
+  let cap = max 1 (payload / floor_bytes) in
+  let target = (payload + cfg.Rt_config.collective_seg_bytes - 1) / cfg.Rt_config.collective_seg_bytes in
+  [ 1; 2; 4; 8; 16; target ]
+  |> List.map (fun s -> min 16 (min cap (max 1 s)))
+  |> List.sort_uniq compare
+
+(* Pipelined chain estimate: fill the pipe along every hop with one
+   segment, then stream the remaining S-1 segments through the
+   bottleneck hop. Each forwarded segment pays its hop latency (the
+   schedule gates segment k+1 on segment k clearing the edge). *)
+let ring_time fabric order payload s =
+  let seg = float_of_int payload /. float_of_int s in
+  let fill = ref 0.0 and slot = ref 0.0 in
+  let rec hops = function
+    | a :: (b :: _ as rest) ->
+        let dir = Fabric.P2p (a, b) in
+        let lat = Fabric.latency_of fabric dir in
+        let bw = Fabric.standalone_bandwidth fabric dir in
+        fill := !fill +. lat +. (seg /. bw);
+        slot := Float.max !slot (lat +. (seg /. bw));
+        hops rest
+    | _ -> ()
+  in
+  hops order;
+  !fill +. (float_of_int (s - 1) *. !slot)
+
+let best_ring fabric cfg order payload =
+  List.fold_left
+    (fun (bs, bt) s ->
+      let t = ring_time fabric order payload s in
+      if t < bt then (s, t) else (bs, bt))
+    (1, ring_time fabric order payload 1)
+    (segment_candidates cfg payload)
+
+(* Star estimate: every copy leaves the root's egress link back to back;
+   cross-node copies additionally serialize on the node's uplink. *)
+let direct_time fabric shape =
+  let b = float_of_int shape.payload in
+  let lat_max = ref 0.0 and egress = ref 0.0 and remote = ref 0 in
+  List.iter
+    (fun d ->
+      let dir = Fabric.P2p (shape.root, d) in
+      lat_max := Float.max !lat_max (Fabric.latency_of fabric dir);
+      egress := Float.max !egress (Fabric.standalone_bandwidth fabric dir);
+      if not (Fabric.same_node fabric shape.root d) then incr remote)
+    shape.dsts;
+  let copies = float_of_int (List.length shape.dsts) in
+  let egress_time = if !egress > 0.0 then copies *. b /. !egress else infinity in
+  let wire_time =
+    match Fabric.topology fabric with
+    | Some t when !remote > 0 -> float_of_int !remote *. b /. t.Fabric.internode_bandwidth
+    | _ -> 0.0
+  in
+  !lat_max +. Float.max egress_time wire_time
+
+(* Destinations bucketed per node; the root's node first, leaders are the
+   smallest GPU id of each remote bucket. *)
+let node_buckets fabric shape =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun d ->
+      let n = Fabric.node_of fabric d in
+      Hashtbl.replace tbl n (d :: (try Hashtbl.find tbl n with Not_found -> [])))
+    shape.dsts;
+  let root_node = Fabric.node_of fabric shape.root in
+  let locals = try List.rev (Hashtbl.find tbl root_node) with Not_found -> [] in
+  let remotes =
+    Hashtbl.fold (fun n ds acc -> if n = root_node then acc else (n, List.rev ds) :: acc) tbl []
+    |> List.sort compare
+    |> List.map (fun (n, ds) -> (n, List.fold_left min (List.hd ds) ds, ds))
+  in
+  (locals, remotes)
+
+(* Two-stage pipeline estimate: the wire stage pushes one copy per
+   remote node through the uplink, the relay stage fans out on the widest
+   node; segments stream the second behind the first. *)
+let hier_time fabric cfg shape =
+  match Fabric.topology fabric with
+  | None -> (1, infinity)
+  | Some t ->
+      let locals, remotes = node_buckets fabric shape in
+      if remotes = [] then (1, infinity)
+      else
+        let b = float_of_int shape.payload in
+        let n_rem = float_of_int (List.length remotes) in
+        let fanout =
+          List.fold_left
+            (fun m (_, _, ds) -> max m (List.length ds - 1))
+            (List.length locals) remotes
+        in
+        let local_bw, local_lat =
+          let sample =
+            match locals @ List.map (fun (_, l, _) -> l) remotes with
+            | d :: _ -> Fabric.P2p (shape.root, d)
+            | [] -> Fabric.P2p (shape.root, shape.root)
+          in
+          (Fabric.standalone_bandwidth fabric sample, Fabric.latency_of fabric sample)
+        in
+        let wire_lat =
+          (* full cross-node hop latency, matching what the fabric will
+             actually charge (link latency + internode latency) *)
+          match remotes with
+          | (_, leader, _) :: _ -> Fabric.latency_of fabric (Fabric.P2p (shape.root, leader))
+          | [] -> t.Fabric.internode_latency
+        in
+        let time s =
+          let seg = b /. float_of_int s in
+          let wire_slot = wire_lat +. (n_rem *. seg /. t.Fabric.internode_bandwidth) in
+          let relay_slot =
+            if fanout = 0 then 0.0
+            else local_lat +. (float_of_int fanout *. seg /. local_bw)
+          in
+          wire_slot +. relay_slot +. (float_of_int (s - 1) *. Float.max wire_slot relay_slot)
+        in
+        List.fold_left
+          (fun (bs, bt) s ->
+            let ts = time s in
+            if ts < bt then (s, ts) else (bs, bt))
+          (1, time 1)
+          (segment_candidates cfg shape.payload)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule construction                                               *)
+
+type builder = {
+  mutable rev_items : item list;
+  mutable count : int;
+  mutable st : stats;
+}
+
+let push b it =
+  b.rev_items <- it :: b.rev_items;
+  b.count <- b.count + 1;
+  b.count - 1
+
+let passthrough b (op : Comm_manager.op) =
+  ignore
+    (push b
+       {
+         dir = op.Comm_manager.dir;
+         bytes = op.Comm_manager.bytes;
+         tag = op.Comm_manager.tag;
+         level = 0;
+         dep = -1;
+         dep2 = -1;
+         op;
+       })
+
+(* Keep a group's own schedule (star or binomial tree) but make its data
+   dependencies explicit: a tree edge may not leave its source before the
+   item that delivered the payload there has finished. *)
+let direct_group b (gops : Comm_manager.op list) =
+  let delivered = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Comm_manager.op) ->
+      let dep =
+        match endpoints op with
+        | Some (s, _) -> ( try Hashtbl.find delivered s with Not_found -> -1)
+        | None -> -1
+      in
+      let i =
+        push b
+          {
+            dir = op.Comm_manager.dir;
+            bytes = op.Comm_manager.bytes;
+            tag = op.Comm_manager.tag;
+            level = op.Comm_manager.round;
+            dep;
+            dep2 = -1;
+            op;
+          }
+      in
+      match endpoints op with
+      | Some (_, d) -> Hashtbl.replace delivered d i
+      | None -> ())
+    gops;
+  b.st <- add_stats b.st { no_stats with direct_groups = 1 }
+
+(* Wavefront-levelled segmented chain: segment k of hop h sits at level
+   h+k, gated on the same segment's previous hop and on the previous
+   segment clearing this edge. Both gates live exactly one level down,
+   so every level is one independent fabric batch. *)
+let ring_group b shape order s =
+  let sizes = segment_sizes shape.payload s in
+  let hops = List.length order - 1 in
+  let idx = Array.make_matrix s (hops + 1) (-1) in
+  let rec emit h = function
+    | src :: (dst :: _ as rest) ->
+        let op = Hashtbl.find shape.op_of_dst dst in
+        for k = 0 to s - 1 do
+          let dep = if h >= 2 then idx.(k).(h - 1) else -1 in
+          let dep2 = if k >= 1 then idx.(k - 1).(h) else -1 in
+          idx.(k).(h) <-
+            push b
+              {
+                dir = Fabric.P2p (src, dst);
+                bytes = sizes.(k);
+                tag = op.Comm_manager.tag ^ ":ring";
+                level = h - 1 + k;
+                dep;
+                dep2;
+                op;
+              }
+        done;
+        emit (h + 1) rest
+    | _ -> ()
+  in
+  emit 1 order;
+  b.st <- add_stats b.st { no_stats with rings = 1; segments = s }
+
+(* Two-hop tree: the root feeds its local peers and one leader per remote
+   node (level k for segment k); leaders re-broadcast on their node
+   (level k+1, gated on the wire segment's arrival). *)
+let hier_group b fabric shape s =
+  let sizes = segment_sizes shape.payload s in
+  let locals, remotes = node_buckets fabric shape in
+  let chain = Hashtbl.create 8 in
+  (* previous segment's item on each edge, keyed by destination *)
+  let edge ~seg ~level ~dep src dst =
+    let op = Hashtbl.find shape.op_of_dst dst in
+    let dep2 = try Hashtbl.find chain dst with Not_found -> -1 in
+    let i =
+      push b
+        {
+          dir = Fabric.P2p (src, dst);
+          bytes = sizes.(seg);
+          tag = op.Comm_manager.tag ^ ":hier";
+          level;
+          dep;
+          dep2;
+          op;
+        }
+    in
+    Hashtbl.replace chain dst i;
+    i
+  in
+  for k = 0 to s - 1 do
+    List.iter (fun d -> ignore (edge ~seg:k ~level:k ~dep:(-1) shape.root d)) locals;
+    List.iter
+      (fun (_, leader, members) ->
+        let wire = edge ~seg:k ~level:k ~dep:(-1) shape.root leader in
+        List.iter
+          (fun d ->
+            if d <> leader then ignore (edge ~seg:k ~level:(k + 1) ~dep:wire leader d))
+          members)
+      remotes
+  done;
+  b.st <- add_stats b.st { no_stats with hierarchies = 1; segments = s }
+
+(* ------------------------------------------------------------------ *)
+
+let plan_group b cfg fabric (gops : Comm_manager.op list) =
+  match analyze gops with
+  | None -> direct_group b gops
+  | Some shape when List.length shape.dsts < 2 -> direct_group b gops
+  | Some shape -> (
+      let order = ring_order fabric shape in
+      let s_ring, t_ring = best_ring fabric cfg order shape.payload in
+      match cfg.Rt_config.collective with
+      | Rt_config.Direct -> direct_group b gops
+      | Rt_config.Ring -> ring_group b shape order s_ring
+      | Rt_config.Auto ->
+          let t_direct = direct_time fabric shape in
+          let s_hier, t_hier = hier_time fabric cfg shape in
+          if t_hier <= t_ring && t_hier < t_direct then hier_group b fabric shape s_hier
+          else if t_ring < t_direct then ring_group b shape order s_ring
+          else direct_group b gops)
+
+let plan ~cfg ~fabric (ops : Comm_manager.op list) =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Comm_manager.op) ->
+      let g = op.Comm_manager.group in
+      if g >= 0 then
+        Hashtbl.replace groups g (op :: (try Hashtbl.find groups g with Not_found -> [])))
+    ops;
+  let b = { rev_items = []; count = 0; st = no_stats } in
+  let emitted = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Comm_manager.op) ->
+      let g = op.Comm_manager.group in
+      if g < 0 then passthrough b op
+      else if not (Hashtbl.mem emitted g) then begin
+        Hashtbl.replace emitted g ();
+        plan_group b cfg fabric (List.rev (Hashtbl.find groups g))
+      end)
+    ops;
+  (Array.of_list (List.rev b.rev_items), b.st)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let execute ~plan ~base_ready ~run ~on_complete =
+  let n = Array.length plan in
+  let finish = Array.make n neg_infinity in
+  let max_level = Array.fold_left (fun m it -> max m it.level) (-1) plan in
+  for level = 0 to max_level do
+    let idxs = ref [] in
+    for i = n - 1 downto 0 do
+      if plan.(i).level = level then idxs := i :: !idxs
+    done;
+    match !idxs with
+    | [] -> ()
+    | idxs ->
+        let reqs =
+          List.map
+            (fun i ->
+              let it = plan.(i) in
+              let ready = base_ready it in
+              let ready = if it.dep >= 0 then Float.max ready finish.(it.dep) else ready in
+              let ready = if it.dep2 >= 0 then Float.max ready finish.(it.dep2) else ready in
+              { Fabric.direction = it.dir; bytes = it.bytes; ready; tag = it.tag })
+            idxs
+        in
+        let comps = run reqs in
+        List.iter2
+          (fun i (c : Fabric.completion) ->
+            finish.(i) <- c.Fabric.finish;
+            on_complete plan.(i) c)
+          idxs comps
+  done;
+  Array.fold_left Float.max neg_infinity finish
+
+let simulate ~fabric ~plan ~ready =
+  execute ~plan
+    ~base_ready:(fun _ -> ready)
+    ~run:(Fabric.run_batch fabric)
+    ~on_complete:(fun _ _ -> ())

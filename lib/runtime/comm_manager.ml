@@ -15,6 +15,7 @@ type op = {
   array : string;
   kind : op_kind;
   round : int;
+  group : int;
 }
 
 type gpu_kernel = { gpu : int; array : string; cost : Cost.t; label : string }
@@ -48,7 +49,7 @@ let scan_per_chunk_seconds = 20e-9
    staging, a chunk may be in flight while the receiver's kernel still
    runs: the overlap engine only gates the send on the *source's* kernel
    finish plus this array's scan. *)
-let merge_replicated cfg (da : Darray.t) =
+let merge_replicated cfg (da : Darray.t) ~fresh_group =
   let r = Darray.replica_of da in
   let num_gpus = cfg.Rt_config.num_gpus in
   let mem g = (Mgacc_gpusim.Machine.device cfg.Rt_config.machine g).Mgacc_gpusim.Device.memory in
@@ -82,6 +83,9 @@ let merge_replicated cfg (da : Darray.t) =
         if Dirty.any_dirty d then begin
           let bytes = Dirty.transfer_bytes d in
           let runs = Dirty.dirty_runs d in
+          (* Every destination receives the same full dirty payload, so
+             the per-src star is a broadcast the planner may reshape. *)
+          let group = fresh_group () in
           for dst = 0 to num_gpus - 1 do
             if dst <> src then begin
               ops :=
@@ -92,6 +96,7 @@ let merge_replicated cfg (da : Darray.t) =
                   array = da.Darray.name;
                   kind = Dirty_chunk;
                   round = 0;
+                  group;
                 }
                 :: !ops;
               (* Functional merge of exactly the dirty elements. *)
@@ -129,7 +134,7 @@ let merge_replicated cfg (da : Darray.t) =
    on demand if a later consumer shows up. Writers are processed in
    ascending GPU order exactly like the eager path, so overlapping
    writes resolve to the same final values. *)
-let merge_replicated_lazy cfg (da : Darray.t) ~(window : consumer_window) =
+let merge_replicated_lazy cfg (da : Darray.t) ~(window : consumer_window) ~fresh_group =
   let r = Darray.replica_of da in
   let num_gpus = cfg.Rt_config.num_gpus in
   let mem g = (Mgacc_gpusim.Machine.device cfg.Rt_config.machine g).Mgacc_gpusim.Device.memory in
@@ -190,6 +195,17 @@ let merge_replicated_lazy cfg (da : Darray.t) ~(window : consumer_window) =
       done;
       r.Darray.valid.(src) <- Interval.Set.union r.Darray.valid.(src) w;
       let w_bytes = Interval.Set.total_length w * elem_bytes in
+      (* Collective-eligible only when every peer receives the full dirty
+         payload (same content everywhere — a true broadcast). Per-window
+         ships differ per destination and must stay point-to-point. *)
+      let is_broadcast =
+        let ok = ref true in
+        for dst = 0 to num_gpus - 1 do
+          if dst <> src && not (Interval.Set.equal ship.(src).(dst) w) then ok := false
+        done;
+        !ok
+      in
+      let group = if is_broadcast then fresh_group () else -1 in
       for dst = 0 to num_gpus - 1 do
         if dst <> src then begin
           let s = ship.(src).(dst) in
@@ -205,6 +221,7 @@ let merge_replicated_lazy cfg (da : Darray.t) ~(window : consumer_window) =
                 array = da.Darray.name;
                 kind = Dirty_chunk;
                 round = 0;
+                group;
               }
               :: !ops;
             List.iter
@@ -269,6 +286,7 @@ let drain_misses cfg (da : Darray.t) =
                     array = da.Darray.name;
                     kind = Miss_ship;
                     round = 0;
+                    group = -1;
                   }
                   :: !ops;
                 (* The records stage in a system buffer on the owner until
@@ -374,6 +392,7 @@ let halo_exchange cfg (da : Darray.t) =
                     array = da.Darray.name;
                     kind = Halo_segment;
                     round = 0;
+                    group = -1;
                   }
                   :: !ops;
                 (* Functional copy owner -> dst. *)
@@ -412,6 +431,12 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
   let combines = ref [] in
   let scans = ref [] in
   let coh = ref [] in
+  (* Collective group ids, unique within this reconciliation. *)
+  let gid = ref 0 in
+  let fresh_group () =
+    incr gid;
+    !gid
+  in
   let prepend_all dst xs = List.iter (fun x -> dst := x :: !dst) xs in
   let op_bytes xs = List.fold_left (fun acc (o : op) -> acc + o.bytes) 0 xs in
   List.iter
@@ -425,14 +450,14 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
             if cfg.Rt_config.num_gpus > 1 then
               if lazy_mode then begin
                 let x, s, shipped, deferred =
-                  merge_replicated_lazy cfg da ~window:(next_window name)
+                  merge_replicated_lazy cfg da ~window:(next_window name) ~fresh_group
                 in
                 prepend_all ops x;
                 prepend_all scans s;
                 coh := (name, shipped, deferred) :: !coh
               end
               else begin
-                let x, s = merge_replicated cfg da in
+                let x, s = merge_replicated cfg da ~fresh_group in
                 prepend_all ops x;
                 prepend_all scans s;
                 coh := (name, op_bytes x, 0) :: !coh
@@ -449,22 +474,31 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
   List.iter
     (fun (name, red) ->
       let da = get_darray name in
-      let kind_of (x : Darray.xfer) =
-        match x.Darray.dir with Fabric.P2p (_, 0) -> Red_gather | _ -> Red_bcast
+      let kind_of = function Reduction.Gather -> Red_gather | Reduction.Bcast -> Red_bcast in
+      (* Every broadcast edge (star or binomial tree alike) carries the
+         same combined result, so all of an array's Red_bcast ops form
+         one collective group; gathers carry distinct partials. *)
+      let bcast_group = ref (-1) in
+      let group_of = function
+        | Reduction.Gather -> -1
+        | Reduction.Bcast ->
+            if !bcast_group < 0 then bcast_group := fresh_group ();
+            !bcast_group
       in
       if lazy_mode then begin
         let ship = match next_window name with Cw_none -> `Defer | _ -> `Tree in
         let m = Reduction.merge_lazy cfg red da ~ship in
         prepend_all ops
           (List.map
-             (fun ((x : Darray.xfer), round) ->
+             (fun ((x : Darray.xfer), role, round) ->
                {
                  dir = x.Darray.dir;
                  bytes = x.Darray.bytes;
                  tag = x.Darray.tag;
                  array = name;
-                 kind = kind_of x;
+                 kind = kind_of role;
                  round;
+                 group = group_of role;
                })
              m.Reduction.rounds);
         if not (Cost.is_zero m.Reduction.lazy_combine_cost) then
@@ -473,7 +507,7 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
             :: !combines;
         coh :=
           ( name,
-            List.fold_left (fun acc ((x : Darray.xfer), _) -> acc + x.Darray.bytes) 0
+            List.fold_left (fun acc ((x : Darray.xfer), _, _) -> acc + x.Darray.bytes) 0
               m.Reduction.rounds,
             m.Reduction.deferred_bytes )
           :: !coh
@@ -482,14 +516,15 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
         let m = Reduction.merge cfg red da in
         prepend_all ops
           (List.map
-             (fun (x : Darray.xfer) ->
+             (fun ((x : Darray.xfer), role) ->
                {
                  dir = x.Darray.dir;
                  bytes = x.Darray.bytes;
                  tag = x.Darray.tag;
                  array = name;
-                 kind = kind_of x;
+                 kind = kind_of role;
                  round = 0;
+                 group = group_of role;
                })
              m.Reduction.xfers);
         if not (Cost.is_zero m.Reduction.combine_cost) then
@@ -498,7 +533,9 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
             :: !combines;
         coh :=
           ( name,
-            List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 m.Reduction.xfers,
+            List.fold_left
+              (fun acc ((x : Darray.xfer), _) -> acc + x.Darray.bytes)
+              0 m.Reduction.xfers,
             0 )
           :: !coh
       end)

@@ -42,6 +42,15 @@ type op = {
       (** binomial-tree broadcast round for lazy-coherence {!Red_bcast}
           ops (an edge of round [r+1] depends on its source receiving
           round [r]); 0 everywhere else *)
+  group : int;
+      (** collective group id: ops sharing a non-negative [group] carry
+          the {e same payload} from one root to distinct destinations (a
+          logical broadcast), so a planner may reshape them into ring or
+          hierarchical schedules without changing what any destination
+          receives. [-1] marks ops whose payload is unique to their
+          destination (window-filtered ships, misses, halos, gathers) —
+          those must stay point-to-point. Set only where content equality
+          is structurally guaranteed, never inferred from byte counts. *)
 }
 
 type gpu_kernel = {

@@ -140,7 +140,7 @@ let copy_replica_seg t r ~src ~dst (seg : Interval.t) =
           d.(i) <- s.(i)
         done
 
-let pull_valid (_cfg : Rt_config.t) t ~gpu ~(want : Interval.Set.t) =
+let pull_valid (cfg : Rt_config.t) t ~gpu ~(want : Interval.Set.t) =
   match t.state with
   | Replicated r ->
       let missing = Interval.Set.diff want r.valid.(gpu) in
@@ -151,7 +151,21 @@ let pull_valid (_cfg : Rt_config.t) t ~gpu ~(want : Interval.Set.t) =
         let xfers = ref [] in
         let remaining = ref missing in
         let n = Array.length r.bufs in
-        for src = 0 to n - 1 do
+        (* With collective planning on, prefer peers on the puller's own
+           node — any valid copy is equivalent, and a same-node source
+           keeps the pull off the inter-node wire. The direct mode keeps
+           the original lowest-id-first order bit for bit. *)
+        let order =
+          if not (Rt_config.planned_collectives cfg) then List.init n (fun i -> i)
+          else
+            let fabric = cfg.Rt_config.machine.Mgacc_gpusim.Machine.fabric in
+            List.sort
+              (fun a b ->
+                let far g = if Fabric.same_node fabric gpu g then 0 else 1 in
+                compare (far a, a) (far b, b))
+              (List.init n (fun i -> i))
+        in
+        List.iter (fun src ->
           if src <> gpu && not (Interval.Set.is_empty !remaining) then begin
             let grab = Interval.Set.inter r.valid.(src) !remaining in
             List.iter
@@ -166,8 +180,8 @@ let pull_valid (_cfg : Rt_config.t) t ~gpu ~(want : Interval.Set.t) =
                   :: !xfers)
               (Interval.Set.to_list grab);
             remaining := Interval.Set.diff !remaining grab
-          end
-        done;
+          end)
+          order;
         (* The validity invariant (every element valid somewhere)
            guarantees all stale intervals found a source. *)
         if not (Interval.Set.is_empty !remaining) then

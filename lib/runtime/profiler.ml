@@ -10,6 +10,11 @@ type t = {
   mutable overhead : float;
   mutable cpu_gpu_bytes : int;
   mutable gpu_gpu_bytes : int;
+  mutable wire_bytes : int;
+  mutable coll_rings : int;
+  mutable coll_hierarchies : int;
+  mutable coll_direct_groups : int;
+  mutable coll_segments : int;
   mutable launches : int;
   mutable loops : int;
   mutable rebalances : int;
@@ -29,6 +34,11 @@ let create () =
     overhead = 0.0;
     cpu_gpu_bytes = 0;
     gpu_gpu_bytes = 0;
+    wire_bytes = 0;
+    coll_rings = 0;
+    coll_hierarchies = 0;
+    coll_direct_groups = 0;
+    coll_segments = 0;
     launches = 0;
     loops = 0;
     rebalances = 0;
@@ -46,6 +56,14 @@ let add_cpu_gpu t ~seconds ~bytes =
 let add_gpu_gpu t ~seconds ~bytes =
   t.gpu_gpu <- t.gpu_gpu +. seconds;
   t.gpu_gpu_bytes <- t.gpu_gpu_bytes + bytes
+
+let add_wire_bytes t ~bytes = t.wire_bytes <- t.wire_bytes + bytes
+
+let add_collective t ~rings ~hierarchies ~direct_groups ~segments =
+  t.coll_rings <- t.coll_rings + rings;
+  t.coll_hierarchies <- t.coll_hierarchies + hierarchies;
+  t.coll_direct_groups <- t.coll_direct_groups + direct_groups;
+  t.coll_segments <- t.coll_segments + segments
 
 let add_kernel t ~seconds = t.kernel <- t.kernel +. seconds
 let add_overhead t ~seconds = t.overhead <- t.overhead +. seconds
@@ -92,6 +110,11 @@ let overhead_time t = t.overhead
 let total_time t = t.cpu_gpu +. t.gpu_gpu +. t.kernel +. t.overhead
 let cpu_gpu_bytes t = t.cpu_gpu_bytes
 let gpu_gpu_bytes t = t.gpu_gpu_bytes
+let wire_bytes t = t.wire_bytes
+let collective_rings t = t.coll_rings
+let collective_hierarchies t = t.coll_hierarchies
+let collective_direct_groups t = t.coll_direct_groups
+let collective_segments t = t.coll_segments
 let kernel_launches t = t.launches
 let loops_executed t = t.loops
 let rebalances t = t.rebalances

@@ -57,8 +57,22 @@ val total_time : t -> float
 val hidden_time : t -> float
 val prefetch_hits : t -> int
 
+val add_wire_bytes : t -> bytes:int -> unit
+(** Bytes that crossed the inter-node network (always 0 on single-node
+    machines). A subset of whichever byte counter the transfer landed
+    in; the collective planner's whole job is shrinking this. *)
+
+val add_collective : t -> rings:int -> hierarchies:int -> direct_groups:int -> segments:int -> unit
+(** One reconciliation's collective-planner decisions (see
+    {!Collective.stats}). *)
+
 val cpu_gpu_bytes : t -> int
 val gpu_gpu_bytes : t -> int
+val wire_bytes : t -> int
+val collective_rings : t -> int
+val collective_hierarchies : t -> int
+val collective_direct_groups : t -> int
+val collective_segments : t -> int
 val kernel_launches : t -> int
 val loops_executed : t -> int
 val rebalances : t -> int

@@ -60,10 +60,12 @@ let reduce_i t ~gpu i v =
       t.touched.(gpu) <- true
   | Pf _ -> invalid_arg "Reduction.reduce_i: double reduction array"
 
-type merge_result = { xfers : Darray.xfer list; combine_cost : Cost.t }
+type xfer_role = Gather | Bcast
+
+type merge_result = { xfers : (Darray.xfer * xfer_role) list; combine_cost : Cost.t }
 
 type lazy_merge_result = {
-  rounds : (Darray.xfer * int) list;
+  rounds : (Darray.xfer * xfer_role * int) list;
   lazy_combine_cost : Cost.t;
   deferred_bytes : int;
 }
@@ -108,10 +110,10 @@ let merge (cfg : Rt_config.t) t (da : Darray.t) =
   for g = 1 to g_count - 1 do
     if t.touched.(g) then
       xfers :=
-        { Darray.dir = Fabric.P2p (g, 0); bytes; tag = t.name ^ ":red-gather" } :: !xfers
+        ({ Darray.dir = Fabric.P2p (g, 0); bytes; tag = t.name ^ ":red-gather" }, Gather) :: !xfers
   done;
   for g = 1 to g_count - 1 do
-    xfers := { Darray.dir = Fabric.P2p (0, g); bytes; tag = t.name ^ ":red-bcast" } :: !xfers
+    xfers := ({ Darray.dir = Fabric.P2p (0, g); bytes; tag = t.name ^ ":red-bcast" }, Bcast) :: !xfers
   done;
   (* Merge kernel on GPU 0: one combine + one load/store pair per element
      per contributing partial. *)
@@ -167,7 +169,9 @@ let merge_lazy (cfg : Rt_config.t) t (da : Darray.t) ~ship =
   let xfers = ref [] in
   for g = 1 to g_count - 1 do
     if t.touched.(g) then
-      xfers := ({ Darray.dir = Fabric.P2p (g, 0); bytes; tag = t.name ^ ":red-gather" }, 0) :: !xfers
+      xfers :=
+        ({ Darray.dir = Fabric.P2p (g, 0); bytes; tag = t.name ^ ":red-gather" }, Gather, 0)
+        :: !xfers
   done;
   let full = Darray.full_set da in
   let deferred = ref 0 in
@@ -194,7 +198,9 @@ let merge_lazy (cfg : Rt_config.t) t (da : Darray.t) ~ship =
           let dst = src + !span in
           if dst < g_count then
             xfers :=
-              ({ Darray.dir = Fabric.P2p (src, dst); bytes; tag = t.name ^ ":red-bcast" }, !round)
+              ( { Darray.dir = Fabric.P2p (src, dst); bytes; tag = t.name ^ ":red-bcast" },
+                Bcast,
+                !round )
               :: !xfers
         done;
         span := 2 * !span;

@@ -25,8 +25,14 @@ val reduce_f : t -> gpu:int -> int -> float -> unit
 
 val reduce_i : t -> gpu:int -> int -> int -> unit
 
+type xfer_role = Gather | Bcast
+(** Whether a merge transfer carries a partial toward GPU 0 or the
+    combined result back out — explicit, so downstream consumers never
+    have to sniff the destination endpoint. *)
+
 type merge_result = {
-  xfers : Darray.xfer list;  (** gather to GPU 0 + broadcast to replicas *)
+  xfers : (Darray.xfer * xfer_role) list;
+      (** gather to GPU 0 + broadcast to replicas *)
   combine_cost : Mgacc_gpusim.Cost.t;  (** the merge kernel on GPU 0 *)
 }
 
@@ -35,7 +41,7 @@ val merge : Rt_config.t -> t -> Darray.t -> merge_result
     the traffic and merge-kernel cost to charge. Frees the partials. *)
 
 type lazy_merge_result = {
-  rounds : (Darray.xfer * int) list;
+  rounds : (Darray.xfer * xfer_role * int) list;
       (** gathers (round 0) and binomial-tree broadcast edges tagged
           with their tree round, so the overlap DAG can pipeline
           round [r+1] edges behind their round-[r] source arrival *)

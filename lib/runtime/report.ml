@@ -9,6 +9,11 @@ type t = {
   overhead_time : float;
   cpu_gpu_bytes : int;
   gpu_gpu_bytes : int;
+  wire_bytes : int;
+  collective_rings : int;
+  collective_hierarchies : int;
+  collective_direct_groups : int;
+  collective_segments : int;
   loops : int;
   launches : int;
   rebalances : int;
@@ -38,6 +43,11 @@ let of_profiler p ~machine ~variant ~num_gpus =
     overhead_time = Profiler.overhead_time p;
     cpu_gpu_bytes = Profiler.cpu_gpu_bytes p;
     gpu_gpu_bytes = Profiler.gpu_gpu_bytes p;
+    wire_bytes = Profiler.wire_bytes p;
+    collective_rings = Profiler.collective_rings p;
+    collective_hierarchies = Profiler.collective_hierarchies p;
+    collective_direct_groups = Profiler.collective_direct_groups p;
+    collective_segments = Profiler.collective_segments p;
     loops = Profiler.loops_executed p;
     launches = Profiler.kernel_launches p;
     rebalances = Profiler.rebalances p;
@@ -64,6 +74,11 @@ let host_only ~machine ~variant ~seconds =
     overhead_time = 0.0;
     cpu_gpu_bytes = 0;
     gpu_gpu_bytes = 0;
+    wire_bytes = 0;
+    collective_rings = 0;
+    collective_hierarchies = 0;
+    collective_direct_groups = 0;
+    collective_segments = 0;
     loops = 0;
     launches = 0;
     rebalances = 0;
@@ -104,16 +119,17 @@ let to_json t =
          t.coh_arrays)
   in
   Printf.sprintf
-    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}}|}
+    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}}|}
     (json_escape t.machine) (json_escape t.variant) t.num_gpus t.total_time t.kernel_time
-    t.cpu_gpu_time t.gpu_gpu_time t.overhead_time t.cpu_gpu_bytes t.gpu_gpu_bytes t.loops t.launches
-    t.rebalances t.mean_imbalance t.hidden_seconds t.prefetch_hits t.mem_user_bytes
-    t.mem_system_bytes t.coh_shipped_bytes t.coh_deferred_bytes t.coh_pulled_bytes
-    (coh_elided_bytes t) coh_arrays
+    t.cpu_gpu_time t.gpu_gpu_time t.overhead_time t.cpu_gpu_bytes t.gpu_gpu_bytes t.wire_bytes
+    t.loops t.launches t.rebalances t.mean_imbalance t.hidden_seconds t.prefetch_hits
+    t.mem_user_bytes t.mem_system_bytes t.collective_rings t.collective_hierarchies
+    t.collective_direct_groups t.collective_segments t.coh_shipped_bytes t.coh_deferred_bytes
+    t.coh_pulled_bytes (coh_elided_bytes t) coh_arrays
 
 let pp ppf t =
   Format.fprintf ppf
-    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f%t) mem user=%s sys=%s%t"
+    "[%s/%s] total=%.6fs (kernels=%.6f cpu-gpu=%.6f gpu-gpu=%.6f ovh=%.6f%t) mem user=%s sys=%s%t%t"
     t.machine t.variant t.total_time t.kernel_time t.cpu_gpu_time t.gpu_gpu_time t.overhead_time
     (fun ppf -> if t.hidden_seconds > 0.0 then Format.fprintf ppf " hidden=%.6f" t.hidden_seconds)
     (Mgacc_util.Bytesize.to_string t.mem_user_bytes)
@@ -125,3 +141,9 @@ let pp ppf t =
           (Mgacc_util.Bytesize.to_string t.coh_deferred_bytes)
           (Mgacc_util.Bytesize.to_string t.coh_pulled_bytes)
           (Mgacc_util.Bytesize.to_string (coh_elided_bytes t)))
+    (fun ppf ->
+      if t.wire_bytes > 0 then
+        Format.fprintf ppf " wire=%s" (Mgacc_util.Bytesize.to_string t.wire_bytes);
+      if t.collective_rings > 0 || t.collective_hierarchies > 0 then
+        Format.fprintf ppf " coll rings=%d hier=%d direct=%d segs=%d" t.collective_rings
+          t.collective_hierarchies t.collective_direct_groups t.collective_segments)

@@ -12,6 +12,13 @@ type t = {
   overhead_time : float;
   cpu_gpu_bytes : int;
   gpu_gpu_bytes : int;
+  wire_bytes : int;
+      (** bytes that crossed the inter-node network (0 on one node);
+          counted inside whichever byte counter the transfer landed in *)
+  collective_rings : int;  (** broadcast groups lowered to ring schedules *)
+  collective_hierarchies : int;  (** groups lowered to hierarchical staging *)
+  collective_direct_groups : int;  (** eligible groups kept on direct schedules *)
+  collective_segments : int;  (** total pipelining segments across planned groups *)
   loops : int;
   launches : int;
   rebalances : int;  (** adaptive-scheduler re-splits committed *)

@@ -1,4 +1,13 @@
 type coherence = Eager | Lazy
+type collective = Direct | Ring | Auto
+
+let collective_of_string = function
+  | "direct" -> Ok Direct
+  | "ring" -> Ok Ring
+  | "auto" -> Ok Auto
+  | other -> Error (Printf.sprintf "unknown collective mode %S (direct|ring|auto)" other)
+
+let collective_name = function Direct -> "direct" | Ring -> "ring" | Auto -> "auto"
 
 type t = {
   machine : Mgacc_gpusim.Machine.t;
@@ -7,19 +16,23 @@ type t = {
   two_level_dirty : bool;
   overlap : bool;
   coherence : coherence;
+  collective : collective;
+  collective_seg_bytes : int;
   translator : Mgacc_translator.Kernel_plan.options;
   schedule : Mgacc_sched.Policy.t;
   sched_knobs : Mgacc_sched.Feedback.knobs;
 }
 
 let make ?num_gpus ?(chunk_bytes = 1024 * 1024) ?(two_level_dirty = true) ?(overlap = false)
-    ?(coherence = Eager) ?(translator = Mgacc_translator.Kernel_plan.default_options)
+    ?(coherence = Eager) ?(collective = Direct) ?(collective_seg_bytes = 256 * 1024)
+    ?(translator = Mgacc_translator.Kernel_plan.default_options)
     ?(schedule = Mgacc_sched.Policy.Equal)
     ?(sched_knobs = Mgacc_sched.Feedback.default_knobs) machine =
   let available = Mgacc_gpusim.Machine.num_gpus machine in
   let num_gpus = Option.value ~default:available num_gpus in
   if num_gpus < 1 || num_gpus > available then invalid_arg "Rt_config.make: bad num_gpus";
   if chunk_bytes < 8 then invalid_arg "Rt_config.make: chunk_bytes too small";
+  if collective_seg_bytes < 1024 then invalid_arg "Rt_config.make: collective_seg_bytes too small";
   {
     machine;
     num_gpus;
@@ -27,9 +40,12 @@ let make ?num_gpus ?(chunk_bytes = 1024 * 1024) ?(two_level_dirty = true) ?(over
     two_level_dirty;
     overlap;
     coherence;
+    collective;
+    collective_seg_bytes;
     translator;
     schedule;
     sched_knobs;
   }
 
 let lazy_coherence t = t.coherence = Lazy && t.num_gpus > 1
+let planned_collectives t = t.collective <> Direct && t.num_gpus > 1

@@ -8,6 +8,19 @@ type coherence =
           window covers, defer the rest and pull on demand
           (docs/COHERENCE.md) *)
 
+type collective =
+  | Direct  (** every logical transfer ships point-to-point, bit-identical
+                to the original runtime *)
+  | Ring
+      (** broadcast-shaped transfer groups are lowered to node-grouped,
+          segment-pipelined rings (docs/MODEL.md "Collectives") *)
+  | Auto
+      (** per-group NCCL-style cost model picks direct, ring or
+          hierarchical staging from payload size and topology *)
+
+val collective_of_string : string -> (collective, string) result
+val collective_name : collective -> string
+
 type t = {
   machine : Mgacc_gpusim.Machine.t;
   num_gpus : int;  (** devices actually used (<= machine's) *)
@@ -22,6 +35,13 @@ type t = {
       (** replica-reconciliation policy. [Eager] keeps the legacy
           all-pairs exchange bit-for-bit; [Lazy] tracks per-replica
           validity intervals and defers unread chunks. *)
+  collective : collective;
+      (** how broadcast-shaped transfer groups are scheduled on the
+          fabric. [Direct] keeps the legacy point-to-point stars
+          bit-for-bit. *)
+  collective_seg_bytes : int;
+      (** pipelining segment size for ring/hierarchical schedules: each
+          hop forwards segment [k] while segment [k+1] still streams in *)
   translator : Mgacc_translator.Kernel_plan.options;
   schedule : Mgacc_sched.Policy.t;
       (** iteration-partitioning policy (default: the paper's equal split) *)
@@ -35,6 +55,8 @@ val make :
   ?two_level_dirty:bool ->
   ?overlap:bool ->
   ?coherence:coherence ->
+  ?collective:collective ->
+  ?collective_seg_bytes:int ->
   ?translator:Mgacc_translator.Kernel_plan.options ->
   ?schedule:Mgacc_sched.Policy.t ->
   ?sched_knobs:Mgacc_sched.Feedback.knobs ->
@@ -42,11 +64,16 @@ val make :
   t
 (** Defaults: all of the machine's GPUs, 1 MB chunks (the paper's choice),
     two-level dirty bits, overlap off (barrier semantics), eager
-    coherence (legacy all-pairs reconciliation), all translator
-    optimizations on, the equal-split schedule with default controller
-    knobs. *)
+    coherence (legacy all-pairs reconciliation), direct collectives
+    (legacy point-to-point schedules) with 256 KB pipelining segments,
+    all translator optimizations on, the equal-split schedule with
+    default controller knobs. *)
 
 val lazy_coherence : t -> bool
 (** [coherence = Lazy] and more than one GPU (with a single replica the
     eager and lazy protocols coincide, so the lazy bookkeeping is
     skipped). *)
+
+val planned_collectives : t -> bool
+(** [collective <> Direct] and more than one GPU (no collective exists
+    on one device). *)

@@ -290,6 +290,46 @@ let test_coherence_artifact () =
           overlap barrier (str file "machine" run))
     km
 
+let test_collective_artifact () =
+  let file, j = load "BENCH_collective.json" in
+  check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  let runs = arr file "runs" j in
+  check Alcotest.bool "runs non-empty" true (runs <> []);
+  let cluster_wins = ref [] in
+  List.iter
+    (fun run ->
+      let app = str file "app" run in
+      ignore (str file "machine" run);
+      let gpus = num file "gpus" run in
+      check Alcotest.bool "gpus >= 2" true (gpus >= 2.0);
+      check Alcotest.bool "coherence named" true
+        (List.mem (str file "coherence" run) [ "eager"; "lazy" ]);
+      check Alcotest.bool "direct time > 0" true (num file "direct_seconds" run > 0.0);
+      check Alcotest.bool "auto time > 0" true (num file "auto_seconds" run > 0.0);
+      List.iter
+        (fun k -> check Alcotest.bool (k ^ " >= 0") true (num file k run >= 0.0))
+        [
+          "direct_gpu_gpu_seconds";
+          "auto_gpu_gpu_seconds";
+          "gpu_gpu_bytes";
+          "direct_wire_bytes";
+          "auto_wire_bytes";
+          "rings";
+          "hierarchies";
+          "segments";
+        ];
+      let dw = num file "direct_wire_bytes" run and aw = num file "auto_wire_bytes" run in
+      (* the planner reshapes routes; it must never add wire traffic *)
+      check Alcotest.bool "auto never adds wire bytes" true (aw <= dw);
+      check Alcotest.bool "results match" true (boolean file "results_match" run);
+      if gpus = 4.0 && List.mem app [ "kmeans"; "bfs"; "spmv" ] && aw < dw then
+        cluster_wins := app :: !cluster_wins)
+    runs;
+  (* Acceptance bar: on the 4-GPU cluster at least one replica-heavy app
+     must put strictly fewer bytes on the inter-node wire under auto. *)
+  if !cluster_wins = [] then
+    Alcotest.failf "%s: auto beat direct on wire bytes for none of kmeans/bfs/spmv at 4 GPUs" file
+
 let test_parser_rejects_garbage () =
   List.iter
     (fun bad ->
@@ -303,4 +343,5 @@ let suite =
     tc "json parser rejects malformed input" test_parser_rejects_garbage;
     tc "BENCH_overlap.json: schema + results" test_overlap_artifact;
     tc "BENCH_coherence.json: schema + acceptance bars" test_coherence_artifact;
+    tc "BENCH_collective.json: schema + acceptance bars" test_collective_artifact;
   ]

@@ -1,0 +1,333 @@
+(* Tests for the topology-aware collective transfer planner
+   (--collective direct|ring|auto): the direct-mode identity guarantee,
+   functional equivalence of ring/auto schedules on whole applications
+   across machines and coherence modes, and the planner's structural
+   invariants — byte conservation, well-formed pipelining dependencies,
+   node-grouped ring orders that cross the wire once per node boundary,
+   and the cost model preferring topology-shaped schedules for large
+   payloads while keeping latency-bound small groups direct. See
+   docs/MODEL.md, "Collectives". *)
+
+open Mgacc_apps
+module Collective = Mgacc.Collective
+module Comm_manager = Mgacc.Comm_manager
+module Fabric = Mgacc.Fabric
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+let desktop () = Mgacc.Machine.desktop ()
+let supernode () = Mgacc.Machine.supernode ()
+let cluster4 () = Mgacc.Machine.cluster ~nodes:2 ~gpus_per_node:2 ()
+
+let bfs_small = Bfs.app { Bfs.nodes = 12000; max_degree = 10; seed = 5 }
+
+let kmeans_small =
+  Kmeans.app { Kmeans.points = 4000; features = 12; clusters = 5; iterations = 6; seed = 11 }
+
+let md_small = Md.app { Md.atoms = 400; max_neighbors = 8; seed = 17 }
+let spmv_small = Spmv.app { Spmv.rows = 3000; width = 8; iterations = 4; seed = 19 }
+let five_apps =
+  [ bfs_small; kmeans_small; md_small; spmv_small;
+    Montecarlo.app { Montecarlo.paths = 3000; steps = 8; bins = 32; seed = 29 } ]
+
+(* ---------------- direct mode is the identity ---------------- *)
+
+let test_direct_is_the_default () =
+  (* [--collective direct] must be byte-for-byte the pre-planner path: a
+     run with the flag matches a run with no flag at all, down to the
+     exact simulated times, on every machine and coherence mode. *)
+  List.iter
+    (fun (machine, gpus) ->
+      List.iter
+        (fun coherence ->
+          let fresh = machine in
+          let _, r_default =
+            App_common.proposal ~coherence ~num_gpus:gpus ~machine:(fresh ()) kmeans_small
+          in
+          let _, r_direct =
+            App_common.proposal ~coherence ~collective:Mgacc.Rt_config.Direct ~num_gpus:gpus
+              ~machine:(fresh ()) kmeans_small
+          in
+          check Alcotest.bool "identical total" true
+            (Float.equal r_default.Mgacc.Report.total_time r_direct.Mgacc.Report.total_time);
+          check Alcotest.bool "identical gpu-gpu" true
+            (Float.equal r_default.Mgacc.Report.gpu_gpu_time r_direct.Mgacc.Report.gpu_gpu_time);
+          check Alcotest.int "identical gpu-gpu bytes" r_default.Mgacc.Report.gpu_gpu_bytes
+            r_direct.Mgacc.Report.gpu_gpu_bytes;
+          check Alcotest.int "no planned groups" 0
+            (r_direct.Mgacc.Report.collective_rings + r_direct.Mgacc.Report.collective_hierarchies))
+        [ Mgacc.Rt_config.Eager; Mgacc.Rt_config.Lazy ])
+    [ (desktop, 2); (cluster4, 4) ]
+
+(* ---------------- whole-application equivalence ---------------- *)
+
+let test_planned_results_match_sequential () =
+  (* Ring and auto reshape who sends what to whom, but every destination
+     must end with the same payload: all apps match the sequential
+     reference under both execution engines and coherence modes. *)
+  List.iter
+    (fun app ->
+      let reference = App_common.sequential app in
+      List.iter
+        (fun collective ->
+          let env, _ =
+            App_common.proposal ~collective ~num_gpus:4 ~machine:(cluster4 ()) app
+          in
+          App_common.check_exn app ~against:reference env;
+          let env_lazy, _ =
+            App_common.proposal ~collective ~coherence:Mgacc.Rt_config.Lazy ~overlap:true
+              ~num_gpus:4 ~machine:(cluster4 ()) app
+          in
+          App_common.check_exn app ~against:reference env_lazy)
+        [ Mgacc.Rt_config.Ring; Mgacc.Rt_config.Auto ])
+    five_apps
+
+let test_planned_results_single_node () =
+  List.iter
+    (fun app ->
+      let reference = App_common.sequential app in
+      let env, _ =
+        App_common.proposal ~collective:Mgacc.Rt_config.Ring ~overlap:true ~num_gpus:3
+          ~machine:(supernode ()) app
+      in
+      App_common.check_exn app ~against:reference env;
+      let env2, _ =
+        App_common.proposal ~collective:Mgacc.Rt_config.Auto ~coherence:Mgacc.Rt_config.Lazy
+          ~num_gpus:2 ~machine:(desktop ()) app
+      in
+      App_common.check_exn app ~against:reference env2)
+    [ kmeans_small; bfs_small ]
+
+(* ---------------- planner structure ---------------- *)
+
+let mk_op ?(kind = Comm_manager.Dirty_chunk) ?(round = 0) ~group ~bytes src dst =
+  {
+    Comm_manager.dir = Fabric.P2p (src, dst);
+    bytes;
+    tag = "a:chunk";
+    array = "a";
+    kind;
+    round;
+    group;
+  }
+
+let cfg_for machine collective =
+  Mgacc.Rt_config.make ~num_gpus:(Mgacc.Machine.num_gpus machine) ~collective machine
+
+(* Star broadcast group: root 0 to every other GPU. *)
+let star_group ~bytes machine =
+  let n = Mgacc.Machine.num_gpus machine in
+  List.init (n - 1) (fun i -> mk_op ~group:1 ~bytes 0 (i + 1))
+
+let delivered_bytes plan dst =
+  Array.fold_left
+    (fun acc (it : Collective.item) ->
+      match it.Collective.dir with
+      | Fabric.P2p (_, d) when d = dst -> acc + it.Collective.bytes
+      | _ -> acc)
+    0 plan
+
+let total_bytes plan =
+  Array.fold_left (fun acc (it : Collective.item) -> acc + it.Collective.bytes) 0 plan
+
+let wire_crossings fabric plan =
+  Array.fold_left
+    (fun acc (it : Collective.item) ->
+      match it.Collective.dir with
+      | Fabric.P2p (a, b) when not (Fabric.same_node fabric a b) -> acc + it.Collective.bytes
+      | _ -> acc)
+    0 plan
+
+let deps_well_formed (plan : Collective.plan) =
+  let ok = ref true in
+  Array.iteri
+    (fun i (it : Collective.item) ->
+      let dep_ok d =
+        d = -1 || (d >= 0 && d < i && plan.(d).Collective.level < it.Collective.level)
+      in
+      if not (dep_ok it.Collective.dep && dep_ok it.Collective.dep2) then ok := false)
+    plan;
+  !ok
+
+let test_ring_conserves_bytes () =
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let bytes = 8 * 1024 * 1024 in
+  let cfg = cfg_for machine Mgacc.Rt_config.Ring in
+  let plan, stats = Collective.plan ~cfg ~fabric (star_group ~bytes machine) in
+  check Alcotest.int "one ring" 1 stats.Collective.rings;
+  (* p-1 copies in total, exactly one full payload landing per destination *)
+  check Alcotest.int "total bytes = (p-1) * payload" (3 * bytes) (total_bytes plan);
+  for dst = 1 to 3 do
+    check Alcotest.int (Printf.sprintf "gpu %d receives the payload" dst) bytes
+      (delivered_bytes plan dst)
+  done;
+  check Alcotest.bool "pipelining deps well-formed" true (deps_well_formed plan);
+  check Alcotest.bool "segmented" true (stats.Collective.segments >= 1)
+
+let test_ring_minimizes_wire_crossings () =
+  (* Node-grouped chain on a 2x2 cluster: the payload crosses the wire
+     once; the star from GPU 0 crosses once per remote destination. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let bytes = 4 * 1024 * 1024 in
+  let ring_plan, _ =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Ring) ~fabric
+      (star_group ~bytes machine)
+  in
+  let direct_plan, _ =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Direct) ~fabric
+      (star_group ~bytes machine)
+  in
+  check Alcotest.int "ring crosses the wire once" bytes (wire_crossings fabric ring_plan);
+  check Alcotest.int "star crosses once per remote dst" (2 * bytes)
+    (wire_crossings fabric direct_plan)
+
+let test_auto_keeps_small_payloads_direct () =
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let cfg = cfg_for machine Mgacc.Rt_config.Auto in
+  let plan, stats = Collective.plan ~cfg ~fabric (star_group ~bytes:64 machine) in
+  check Alcotest.int "small group stays direct" 1 stats.Collective.direct_groups;
+  check Alcotest.int "no rings" 0 (stats.Collective.rings + stats.Collective.hierarchies);
+  check Alcotest.int "payload untouched" (3 * 64) (total_bytes plan)
+
+let test_auto_beats_direct_on_cluster () =
+  (* For a large replicated payload on the 2x2 cluster, whatever auto
+     picks must simulate faster than the star and put fewer bytes on the
+     inter-node wire. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let bytes = 16 * 1024 * 1024 in
+  let ops = star_group ~bytes machine in
+  let auto_plan, stats =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Auto) ~fabric ops
+  in
+  let direct_plan, _ =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Direct) ~fabric ops
+  in
+  check Alcotest.bool "auto reshapes the group" true
+    (stats.Collective.rings + stats.Collective.hierarchies = 1);
+  let t_auto = Collective.simulate ~fabric ~plan:auto_plan ~ready:0.0 in
+  let t_direct = Collective.simulate ~fabric ~plan:direct_plan ~ready:0.0 in
+  check Alcotest.bool
+    (Printf.sprintf "auto (%.6fs) faster than direct (%.6fs)" t_auto t_direct)
+    true (t_auto < t_direct);
+  check Alcotest.bool "auto puts fewer bytes on the wire" true
+    (wire_crossings fabric auto_plan < wire_crossings fabric direct_plan)
+
+let test_tree_group_keeps_explicit_deps () =
+  (* A binomial-tree broadcast kept direct must encode its rounds as
+     explicit dependencies: the round-1 edge from GPU 1 may not leave
+     before the round-0 edge that delivered to GPU 1 has finished. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let ops =
+    [
+      mk_op ~kind:Comm_manager.Red_bcast ~round:0 ~group:7 ~bytes:64 0 1;
+      mk_op ~kind:Comm_manager.Red_bcast ~round:1 ~group:7 ~bytes:64 0 2;
+      mk_op ~kind:Comm_manager.Red_bcast ~round:1 ~group:7 ~bytes:64 1 3;
+    ]
+  in
+  let plan, stats = Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Auto) ~fabric ops in
+  check Alcotest.int "tiny tree stays direct" 1 stats.Collective.direct_groups;
+  check Alcotest.int "passthrough keeps all edges" 3 (Array.length plan);
+  let edge_1_3 =
+    Array.to_list plan
+    |> List.find (fun (it : Collective.item) -> it.Collective.dir = Fabric.P2p (1, 3))
+  in
+  check Alcotest.bool "round-1 edge depends on its source's arrival" true
+    (edge_1_3.Collective.dep >= 0
+    && plan.(edge_1_3.Collective.dep).Collective.dir = Fabric.P2p (0, 1));
+  check Alcotest.bool "deps well-formed" true (deps_well_formed plan)
+
+let test_non_group_ops_pass_through () =
+  let machine = desktop () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let ops =
+    [
+      mk_op ~kind:Comm_manager.Miss_ship ~group:(-1) ~bytes:100 0 1;
+      mk_op ~kind:Comm_manager.Halo_segment ~group:(-1) ~bytes:200 1 0;
+    ]
+  in
+  let plan, stats = Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Auto) ~fabric ops in
+  check Alcotest.int "two passthrough items" 2 (Array.length plan);
+  check Alcotest.int "no groups at all" 0
+    (stats.Collective.rings + stats.Collective.hierarchies + stats.Collective.direct_groups);
+  Array.iteri
+    (fun i (it : Collective.item) ->
+      check Alcotest.int "level 0" 0 it.Collective.level;
+      check Alcotest.int "no dep" (-1) it.Collective.dep;
+      check Alcotest.int "bytes preserved" (List.nth ops i).Comm_manager.bytes it.Collective.bytes)
+    plan
+
+let test_execute_respects_deps () =
+  (* Simulated finishes must respect the declared gates: no item finishes
+     before the items it depends on. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let bytes = 2 * 1024 * 1024 in
+  let plan, _ =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Ring) ~fabric
+      (star_group ~bytes machine)
+  in
+  let finishes = Array.make (Array.length plan) nan in
+  let i = ref 0 in
+  let seen = Hashtbl.create 16 in
+  ignore
+    (Collective.execute ~plan
+       ~base_ready:(fun _ -> 0.0)
+       ~run:(Fabric.run_batch fabric)
+       ~on_complete:(fun it c ->
+         (* items complete in plan order within each level *)
+         let idx = !i in
+         incr i;
+         ignore idx;
+         Hashtbl.replace seen it c.Fabric.finish));
+  ignore finishes;
+  check Alcotest.int "every item completed" (Array.length plan) (Hashtbl.length seen);
+  Array.iter
+    (fun (it : Collective.item) ->
+      let fin = Hashtbl.find seen it in
+      let gate d = if d >= 0 then Hashtbl.find seen plan.(d) else 0.0 in
+      check Alcotest.bool "finish after dep" true
+        (fin +. 1e-12 >= gate it.Collective.dep && fin +. 1e-12 >= gate it.Collective.dep2))
+    plan
+
+(* ---------------- property: conservation under random groups ---------------- *)
+
+let prop_plan_conserves_bytes (mode_i, payload, dst_count) =
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let mode =
+    match mode_i mod 3 with
+    | 0 -> Mgacc.Rt_config.Direct
+    | 1 -> Mgacc.Rt_config.Ring
+    | _ -> Mgacc.Rt_config.Auto
+  in
+  let dsts = 1 + (dst_count mod 3) in
+  let ops = List.init dsts (fun i -> mk_op ~group:1 ~bytes:payload 0 (i + 1)) in
+  let plan, _ = Collective.plan ~cfg:(cfg_for machine mode) ~fabric ops in
+  total_bytes plan = dsts * payload
+  && List.for_all (fun d -> delivered_bytes plan d = payload) (List.init dsts (fun i -> i + 1))
+  && deps_well_formed plan
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let suite =
+  [
+    tc "direct mode is bit-identical to the default" test_direct_is_the_default;
+    tc "ring/auto results match sequential (cluster)" test_planned_results_match_sequential;
+    tc "ring/auto results match sequential (single node)" test_planned_results_single_node;
+    tc "ring conserves bytes per destination" test_ring_conserves_bytes;
+    tc "ring crosses the wire once per node boundary" test_ring_minimizes_wire_crossings;
+    tc "auto keeps latency-bound groups direct" test_auto_keeps_small_payloads_direct;
+    tc "auto beats direct on the cluster" test_auto_beats_direct_on_cluster;
+    tc "direct-kept trees carry explicit deps" test_tree_group_keeps_explicit_deps;
+    tc "non-group ops pass through untouched" test_non_group_ops_pass_through;
+    tc "execute respects plan dependencies" test_execute_respects_deps;
+    qtest "plans conserve payload bytes"
+      QCheck2.Gen.(triple (int_bound 5) (int_range 1 4_000_000) (int_bound 5))
+      prop_plan_conserves_bytes;
+  ]

@@ -21,5 +21,6 @@ let () =
       ("sched", Test_sched.suite);
       ("overlap", Test_overlap.suite);
       ("coherence", Test_coherence.suite);
+      ("collective", Test_collective.suite);
       ("artifacts", Test_bench_artifacts.suite);
     ]

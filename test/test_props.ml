@@ -173,6 +173,52 @@ let prop_fabric_bounds txs =
          c.Fabric.start >= req.Fabric.ready -. 1e-12 && c.Fabric.finish +. 1e-9 >= lower)
        completions
 
+let reqs_of_txs txs =
+  List.map
+    (fun (kind, bytes, r) ->
+      let direction =
+        match kind with
+        | 0 -> Fabric.H2d (r mod 2)
+        | 1 -> Fabric.D2h (r mod 2)
+        | _ -> Fabric.P2p (r mod 2, 1 - (r mod 2))
+      in
+      { Fabric.direction; bytes; ready = float_of_int r *. 1e-4; tag = "q" })
+    txs
+
+let makespan completions =
+  List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) 0.0 completions
+
+(* A batch of one flow has nothing to share with: it must finish exactly
+   at ready + transfer_time_alone (the completion-threshold fix keeps
+   this exact regardless of the flow's size). *)
+let prop_fabric_lone_flow (kind, bytes, r) =
+  let f = Fabric.create Spec.pcie_gen2_desktop ~num_gpus:2 in
+  match Fabric.run_batch f (reqs_of_txs [ (kind, bytes, r) ]) with
+  | [ c ] ->
+      let req = c.Fabric.req in
+      let expected =
+        req.Fabric.ready +. Fabric.transfer_time_alone f req.Fabric.direction ~bytes
+      in
+      Float.abs (c.Fabric.finish -. expected) <= 1e-9 *. Float.max 1.0 expected
+  | _ -> false
+
+(* Growing any one request can never shrink the batch makespan: a bigger
+   flow occupies its links at least as long and max-min sharing gives the
+   others no more rate than before. *)
+let prop_fabric_makespan_monotone (txs, idx, extra) =
+  let f = Fabric.create Spec.pcie_gen2_desktop ~num_gpus:2 in
+  let reqs = reqs_of_txs txs in
+  let m1 = makespan (Fabric.run_batch f reqs) in
+  let n = List.length reqs in
+  let grown =
+    List.mapi
+      (fun i (r : Fabric.request) ->
+        if i = idx mod n then { r with Fabric.bytes = r.Fabric.bytes + extra } else r)
+      reqs
+  in
+  let m2 = makespan (Fabric.run_batch f grown) in
+  m2 +. 1e-9 *. Float.max 1.0 m1 >= m1
+
 (* ---------------- Affine analysis vs direct evaluation ---------------- *)
 
 (* Random affine-expressible expressions over i and uniforms u, v. *)
@@ -292,6 +338,12 @@ let suite =
     qtest "task split covers and balances" gen_split prop_split_covers;
     qtest "dirty runs equal marked set" gen_dirty prop_dirty_runs_match_marks;
     qtest "fabric respects physics" gen_transfers prop_fabric_bounds;
+    qtest "fabric lone flow finishes exactly alone"
+      QCheck2.Gen.(triple (int_range 0 2) (int_range 1 50_000_000) (int_bound 3))
+      prop_fabric_lone_flow;
+    qtest "fabric makespan monotone in bytes"
+      QCheck2.Gen.(triple gen_transfers (int_bound 9) (int_range 1 10_000_000))
+      prop_fabric_makespan_monotone;
     qtest ~count:500 "affine form evaluates correctly" gen_affine_expr prop_affine_matches_eval;
     qtest ~count:400 "frontend is total on token soup" gen_token_soup prop_frontend_total;
     qtest ~count:400 "pragma parser is total on clause soup" gen_pragma_soup prop_pragma_total;

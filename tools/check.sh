@@ -1,0 +1,22 @@
+#!/bin/sh
+# The repo's verify flow: formatting, build, tests — what CI runs and
+# what a PR must keep green.
+#
+#   tools/check.sh            # check everything
+#   tools/check.sh --fix      # auto-promote dune-file formatting first
+#
+# Formatting is enforced for dune files only (dune-project limits @fmt
+# with `enabled_for dune`): the pinned .ocamlformat records the OCaml
+# style, but the check must pass in environments without the ocamlformat
+# binary installed.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--fix" ]; then
+  dune build @fmt --auto-promote
+else
+  dune build @fmt
+fi
+dune build
+dune runtest
+echo "check.sh: all green"
