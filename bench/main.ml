@@ -964,6 +964,117 @@ let collective_bench scale ~smoke =
      and stay direct under the cost model; single-node machines gain only pipelining.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: multi-tenant job scheduling over a shared simulated cluster  *)
+(* ------------------------------------------------------------------ *)
+
+(* A burst of mixed jobs (all submitted within microseconds) on the
+   4-GPU cluster, replayed under each admission policy with a shared
+   compile-once plan cache. The warmup pass primes the cache's measured
+   durations (feeding SJF) and footprints (feeding the admission
+   ledger); the budget is then squeezed to 2x the largest footprint so
+   warm pools actually evict and spill. *)
+let fleet_bench scale ~smoke =
+  Printf.printf "== Fleet: FIFO vs SJF vs fair-share on the shared cluster (scale: %s%s) ==\n"
+    (scale_name scale)
+    (if smoke then "; smoke" else "");
+  print_endline
+    "(jobs run as re-entrant sessions on one shared machine; admission is gated by a\n\
+     device-memory ledger with warm-pool eviction/spill; see docs/FLEET.md.)\n";
+  let sources =
+    [
+      ("md", (app_of MD scale).App_common.source);
+      ("kmeans", (app_of KMEANS scale).App_common.source);
+      ("bfs", (app_of BFS scale).App_common.source);
+      ("spmv", (Spmv.app Spmv.default_params).App_common.source);
+      ("montecarlo", (Montecarlo.app Montecarlo.default_params).App_common.source);
+    ]
+  in
+  let tenants = [| "alice"; "bob"; "carol"; "dave" |] in
+  let job_count = if smoke then 3 else 20 in
+  let jobs =
+    List.init job_count (fun i ->
+        let name, source = List.nth sources (i mod List.length sources) in
+        Mgacc.Fleet_job.make ~id:i ~tenant:tenants.(i mod Array.length tenants) ~name ~source
+          ~submit:(1e-6 *. float_of_int i))
+  in
+  let fresh () = Machine.cluster ~nodes:2 ~gpus_per_node:2 () in
+  let cache = Mgacc.Plan_cache.create () in
+  (* Warmup: one solo run per distinct program primes measured durations
+     and device footprints in the shared cache. *)
+  List.iter
+    (fun (name, source) ->
+      progress "  [fleet] warmup %s..." name;
+      let config = Mgacc.Fleet.configure ~policy:Mgacc.Fleet.Fifo ~keep_warm:true (fresh ()) in
+      ignore
+        (Mgacc.Fleet.run ~cache config
+           [ Mgacc.Fleet_job.make ~id:0 ~tenant:"warmup" ~name ~source ~submit:0.0 ]))
+    sources;
+  let max_footprint =
+    List.fold_left
+      (fun acc (name, source) ->
+        let entry, _ = Mgacc.Plan_cache.lookup ~name cache source in
+        max acc (Option.value ~default:(16 * 1024 * 1024) entry.Mgacc.Plan_cache.footprint_bytes))
+      1 sources
+  in
+  let budget = 2 * max_footprint in
+  let t =
+    Table.create
+      ~headers:
+        [ "policy"; "mean wait"; "p95 latency"; "throughput"; "makespan"; "fairness"; "cache";
+          "evict"; "spilled" ]
+  in
+  let json_entries = ref [] in
+  List.iter
+    (fun policy ->
+      progress "  [fleet] %d jobs under %s..." job_count (Mgacc.Fleet.policy_name policy);
+      let config =
+        Mgacc.Fleet.configure ~policy ~mem_budget:budget ~keep_warm:true
+          ~watchdog_seconds:3600.0 (fresh ())
+      in
+      let outcome = Mgacc.Fleet.run ~cache config jobs in
+      let s = outcome.Mgacc.Fleet.stats in
+      Table.add_row t
+        [
+          Mgacc.Fleet.policy_name policy;
+          Printf.sprintf "%.6fs" s.Mgacc.Fleet.mean_wait;
+          Printf.sprintf "%.6fs" s.Mgacc.Fleet.p95_latency;
+          Printf.sprintf "%.2f jobs/s" s.Mgacc.Fleet.throughput;
+          Printf.sprintf "%.6fs" s.Mgacc.Fleet.makespan;
+          Printf.sprintf "%.3f" s.Mgacc.Fleet.fairness;
+          Printf.sprintf "%d/%d" s.Mgacc.Fleet.cache_hits
+            (s.Mgacc.Fleet.cache_hits + s.Mgacc.Fleet.cache_misses);
+          string_of_int s.Mgacc.Fleet.evictions;
+          Mgacc_util.Bytesize.to_string s.Mgacc.Fleet.spilled_bytes;
+        ];
+      json_entries := Printf.sprintf "    %s" (Mgacc.Fleet.stats_to_json s) :: !json_entries)
+    [ Mgacc.Fleet.Fifo; Mgacc.Fleet.Sjf; Mgacc.Fleet.Fair ];
+  Table.print t;
+  if smoke then print_endline "\nsmoke configuration: no BENCH_fleet.json written"
+  else begin
+    let oc = open_out "BENCH_fleet.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"scale\": %S,\n\
+      \  \"machine\": \"cluster\",\n\
+      \  \"gpus\": 4,\n\
+      \  \"job_count\": %d,\n\
+      \  \"mem_budget_bytes\": %d,\n\
+      \  \"policies\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (scale_name scale) job_count budget
+      (String.concat ",\n" (List.rev !json_entries));
+    close_out oc;
+    print_endline "\nwrote BENCH_fleet.json"
+  end;
+  print_endline
+    "shape: the burst arrives long-and-short interleaved, so FIFO makes short jobs queue\n\
+     behind long ones; SJF reorders the backlog shortest-first and wins on mean wait at\n\
+     equal throughput (same work, same machine). Fair-share interleaves tenants by\n\
+     accumulated service, trading a little mean wait for a flatter slowdown spread.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel probes                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1014,7 +1125,7 @@ let usage () =
   print_endline
     "usage: main.exe [--scale small|default|paper] [--bechamel] \
      [--smoke] \
-     [all|table1|table2|fig7|fig8|fig9|chunk-sweep|dirty-levels|policy|misscheck|layout|extended|expert|contention|cluster|balance|overlap|coherence|collective|paper-validate]";
+     [all|table1|table2|fig7|fig8|fig9|chunk-sweep|dirty-levels|policy|misscheck|layout|extended|expert|contention|cluster|balance|overlap|coherence|collective|fleet|paper-validate]";
   exit 1
 
 let () =
@@ -1076,7 +1187,8 @@ let () =
             balance ~smoke:!smoke;
             overlap_bench scale ~smoke:!smoke;
             coherence_bench scale ~smoke:!smoke;
-            collective_bench scale ~smoke:!smoke
+            collective_bench scale ~smoke:!smoke;
+            fleet_bench scale ~smoke:!smoke
         | "table1" -> table1 ()
         | "table2" -> table2 scale
         | "fig7" -> fig7 collected
@@ -1095,6 +1207,7 @@ let () =
         | "overlap" -> overlap_bench scale ~smoke:!smoke
         | "coherence" -> coherence_bench scale ~smoke:!smoke
         | "collective" -> collective_bench scale ~smoke:!smoke
+        | "fleet" -> fleet_bench scale ~smoke:!smoke
         | "paper-validate" -> paper_validate ()
         | _ -> usage ())
       targets

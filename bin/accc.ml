@@ -228,6 +228,41 @@ let scale_cmd file machine_name =
   | Mgacc.Launch.Window_violation { array; index; gpu; what } ->
       Error (Printf.sprintf "localaccess violation on GPU %d: array %s index %d (%s)" gpu array index what)
 
+(* ---------------- serve ---------------- *)
+
+(* Replay a job-trace file through the fleet scheduler: each line is
+   "<submit-seconds> <tenant> <program.c>" (paths relative to the trace
+   file). Prints per-job admission results and the fleet summary. *)
+let serve_cmd trace_file machine_name policy_name gpus max_concurrent budget_mb watchdog keep_cold
+    json_out verbose =
+  setup_logs verbose;
+  let ( let* ) = Result.bind in
+  let* fresh_machine = machine_of machine_name in
+  let* policy = Mgacc.Fleet.policy_of_string policy_name in
+  try
+    let jobs = Mgacc.Fleet_job.load_trace trace_file in
+    if jobs = [] then Error (Printf.sprintf "%s: no jobs in trace" trace_file)
+    else begin
+      let machine = fresh_machine () in
+      let config =
+        Mgacc.Fleet.configure ~policy
+          ?num_gpus:(if gpus = 0 then None else Some gpus)
+          ~max_concurrent
+          ?mem_budget:(if budget_mb = 0 then None else Some (budget_mb * 1024 * 1024))
+          ?watchdog_seconds:(if watchdog <= 0.0 then None else Some watchdog)
+          ~keep_warm:(not keep_cold) machine
+      in
+      let outcome = Mgacc.Fleet.run config jobs in
+      if json_out then print_endline (Mgacc.Fleet.to_json outcome)
+      else Format.printf "%a@." Mgacc.Fleet.pp_outcome outcome;
+      Ok ()
+    end
+  with
+  | Mgacc.Loc.Error (loc, msg) -> Error (Printf.sprintf "%s: %s" (Mgacc.Loc.to_string loc) msg)
+  | Mgacc.Fleet.Deadlock { job; reason } ->
+      Error (Printf.sprintf "admission deadlock: job %d: %s" job reason)
+  | Failure msg | Sys_error msg -> Error msg
+
 (* ---------------- check ---------------- *)
 
 let check_cmd file =
@@ -330,6 +365,47 @@ let run_term =
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
 
+let serve_term =
+  let trace_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"job trace: one '<submit-seconds> <tenant> <program.c>' per line")
+  in
+  let machine =
+    Arg.(value & opt string "cluster"
+         & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, desktop-mixed, supernode or cluster")
+  in
+  let policy =
+    Arg.(value & opt string "fifo"
+         & info [ "policy" ] ~docv:"P"
+             ~doc:"admission order: fifo, sjf (shortest job first, roofline-estimated) or fair \
+                   (least-service tenant first)")
+  in
+  let gpus = Arg.(value & opt int 0 & info [ "gpus"; "g" ] ~docv:"N" ~doc:"GPUs per job (default: all)") in
+  let max_concurrent =
+    Arg.(value & opt int 1 & info [ "max-concurrent" ] ~docv:"N" ~doc:"jobs admitted at once")
+  in
+  let budget =
+    Arg.(value & opt int 0
+         & info [ "mem-budget-mb" ] ~docv:"MB"
+             ~doc:"admission memory budget (default: the machine's total device memory)")
+  in
+  let watchdog =
+    Arg.(value & opt float 0.0
+         & info [ "watchdog" ] ~docv:"SECONDS"
+             ~doc:"fail loudly if a job queues past this simulated time (default: effectively off)")
+  in
+  let keep_cold =
+    Arg.(value & flag
+         & info [ "no-warm-pool" ]
+             ~doc:"release device memory at job end instead of keeping warm pools")
+  in
+  let json_out = Arg.(value & flag & info [ "json" ] ~doc:"print the fleet outcome as JSON") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "d" ] ~doc:"debug logging of fleet decisions") in
+  Term.(
+    const (fun tr m p g mc b w kc js vb -> exits_of (serve_cmd tr m p g mc b w kc js vb))
+    $ trace_arg $ machine $ policy $ gpus $ max_concurrent $ budget $ watchdog $ keep_cold
+    $ json_out $ verbose)
+
 let scale_term =
   let machine =
     Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, supernode or cluster")
@@ -340,11 +416,16 @@ let pretty_term = Term.(const (fun file -> exits_of (pretty_cmd file)) $ file_ar
 let () =
   let run = Cmd.v (Cmd.info "run" ~doc:"compile and execute a program") run_term in
   let check = Cmd.v (Cmd.info "check" ~doc:"show the translator's plans") check_term in
+  let serve =
+    Cmd.v
+      (Cmd.info "serve" ~doc:"replay a multi-tenant job trace through the fleet scheduler")
+      serve_term
+  in
   let scale = Cmd.v (Cmd.info "scale" ~doc:"OpenMP baseline + every GPU count, with verification") scale_term in
   let pretty = Cmd.v (Cmd.info "pretty" ~doc:"pretty-print the program") pretty_term in
   let main =
     Cmd.group
       (Cmd.info "accc" ~version:"1.0.0" ~doc:"multi-GPU OpenACC compiler on a simulated machine")
-      [ run; check; scale; pretty ]
+      [ run; check; serve; scale; pretty ]
   in
   exit (Cmd.eval' main)

@@ -21,6 +21,11 @@ module Sched_policy = Mgacc_sched.Policy
 module Sched_feedback = Mgacc_sched.Feedback
 module Scheduler = Mgacc_sched.Scheduler
 module Rt_config = Mgacc_runtime.Rt_config
+module Session = Mgacc_runtime.Session
+module Fleet = Mgacc_fleet.Fleet
+module Fleet_job = Mgacc_fleet.Job
+module Plan_cache = Mgacc_fleet.Plan_cache
+module Admission = Mgacc_fleet.Admission
 module Collective = Mgacc_runtime.Collective
 module Comm_manager = Mgacc_runtime.Comm_manager
 module Fabric = Mgacc_gpusim.Fabric

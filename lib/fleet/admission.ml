@@ -1,0 +1,67 @@
+module Darray = Mgacc_runtime.Darray
+
+type warm = { w_job : int; w_bytes : int; w_spill : unit -> Darray.xfer list }
+
+type t = {
+  budget : int;
+  mutable active : (int * int) list;  (** (job id, reserved bytes), insertion order *)
+  mutable warm : warm list;  (** finished jobs' resident data, oldest first *)
+  mutable evictions : int;
+  mutable spilled_bytes : int;  (** dirty bytes written back by evictions *)
+}
+
+let create ~budget =
+  if budget <= 0 then invalid_arg "Admission.create: budget must be positive";
+  { budget; active = []; warm = []; evictions = 0; spilled_bytes = 0 }
+
+let active_bytes t = List.fold_left (fun acc (_, b) -> acc + b) 0 t.active
+let warm_bytes t = List.fold_left (fun acc w -> acc + w.w_bytes) 0 t.warm
+let reserved t = active_bytes t + warm_bytes t
+let free_bytes t = t.budget - reserved t
+let warm_count t = List.length t.warm
+let evictions t = t.evictions
+let spilled_bytes t = t.spilled_bytes
+
+type decision = Admitted of Darray.xfer list | Must_wait | Impossible
+
+let evict_oldest t =
+  match t.warm with
+  | [] -> []
+  | w :: rest ->
+      t.warm <- rest;
+      t.evictions <- t.evictions + 1;
+      let xfers = w.w_spill () in
+      t.spilled_bytes <-
+        t.spilled_bytes + List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 xfers;
+      xfers
+
+let admit t ~job ~bytes =
+  if bytes < 0 then invalid_arg "Admission.admit: negative footprint";
+  if bytes > t.budget then Impossible
+  else begin
+    (* Evict warm pools oldest-first until the newcomer fits. *)
+    let spills = ref [] in
+    while free_bytes t < bytes && t.warm <> [] do
+      spills := !spills @ evict_oldest t
+    done;
+    if free_bytes t < bytes then Must_wait
+    else begin
+      t.active <- t.active @ [ (job, bytes) ];
+      Admitted !spills
+    end
+  end
+
+let release t ~job ~warm =
+  let bytes =
+    match List.assoc_opt job t.active with
+    | Some b -> b
+    | None -> invalid_arg (Printf.sprintf "Admission.release: job %d not active" job)
+  in
+  t.active <- List.filter (fun (j, _) -> j <> job) t.active;
+  match warm with
+  | None -> ()
+  | Some spill ->
+      (* The reservation converts into a warm-pool entry at its reserved
+         size (the ledger stays conservative even if the job's actual
+         residency came in under the estimate). *)
+      t.warm <- t.warm @ [ { w_job = job; w_bytes = bytes; w_spill = spill } ]

@@ -1,0 +1,48 @@
+type spec = { id : int; tenant : string; name : string; source : string; submit : float }
+
+let make ~id ~tenant ~name ~source ~submit =
+  if submit < 0.0 then invalid_arg "Job.make: negative submit time";
+  { id; tenant; name; source; submit }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* One trace line: "<submit-seconds> <tenant> <program path>". Paths are
+   resolved relative to the trace file's directory; '#' starts a comment. *)
+let parse_trace_line ~dir ~lineno line =
+  let line = match String.index_opt line '#' with Some i -> String.sub line 0 i | None -> line in
+  let line = String.trim line in
+  if line = "" then None
+  else
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ submit; tenant; path ] ->
+        let submit =
+          match float_of_string_opt submit with
+          | Some s when s >= 0.0 -> s
+          | _ -> failwith (Printf.sprintf "trace line %d: bad submit time %S" lineno submit)
+        in
+        let path = if Filename.is_relative path then Filename.concat dir path else path in
+        Some (submit, tenant, path)
+    | _ ->
+        failwith
+          (Printf.sprintf "trace line %d: expected '<submit> <tenant> <program.c>', got %S" lineno
+             line)
+
+let load_trace path =
+  let dir = Filename.dirname path in
+  let contents = read_file path in
+  let lines = String.split_on_char '\n' contents in
+  let specs = ref [] in
+  List.iteri
+    (fun i line ->
+      match parse_trace_line ~dir ~lineno:(i + 1) line with
+      | None -> ()
+      | Some (submit, tenant, src_path) ->
+          let name = Filename.remove_extension (Filename.basename src_path) in
+          let source = read_file src_path in
+          specs := make ~id:(List.length !specs) ~tenant ~name ~source ~submit :: !specs)
+    lines;
+  List.rev !specs

@@ -1,0 +1,19 @@
+(** A fleet job: one program submission by one tenant. *)
+
+type spec = {
+  id : int;  (** unique within a trace; ties in every ordering break on id *)
+  tenant : string;
+  name : string;  (** display name (the program's basename) *)
+  source : string;  (** program text — compiled via the plan cache *)
+  submit : float;  (** simulated arrival time, seconds *)
+}
+
+val make : id:int -> tenant:string -> name:string -> source:string -> submit:float -> spec
+(** Raises [Invalid_argument] on a negative submit time. *)
+
+val load_trace : string -> spec list
+(** Parse a job-trace file: one job per line as
+    ["<submit-seconds> <tenant> <program path>"], [#] comments and blank
+    lines ignored, program paths resolved relative to the trace file.
+    Jobs are numbered in file order. Raises [Failure] on a malformed
+    line and [Sys_error] on unreadable files. *)

@@ -1,0 +1,45 @@
+module Kernel_plan = Mgacc_translator.Kernel_plan
+module Program_plan = Mgacc_translator.Program_plan
+module Parser = Mgacc_minic.Parser
+
+type entry = {
+  key : string;
+  plans : Program_plan.t;
+  mutable measured_seconds : float option;
+  mutable footprint_bytes : int option;
+}
+
+type t = { tbl : (string, entry) Hashtbl.t; mutable hits : int; mutable misses : int }
+
+let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0 }
+
+(* Translator options are part of the plan's identity: the same source
+   compiled with different optimization settings yields different plans. *)
+let fingerprint ~(options : Kernel_plan.options) ~source =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%b|%b|%b|%s" options.Kernel_plan.enable_distribution
+          options.Kernel_plan.enable_layout_transform options.Kernel_plan.enable_miss_check_elim
+          source))
+
+let lookup ?(options = Kernel_plan.default_options) ?(name = "<job>") t source =
+  let key = fingerprint ~options ~source in
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      (e, true)
+  | None ->
+      t.misses <- t.misses + 1;
+      let program = Parser.parse ~file:name source in
+      let plans = Program_plan.build ~options program in
+      let e = { key; plans; measured_seconds = None; footprint_bytes = None } in
+      Hashtbl.replace t.tbl key e;
+      (e, false)
+
+let record_measurement e ~seconds ~footprint_bytes =
+  e.measured_seconds <- Some seconds;
+  if footprint_bytes > 0 then e.footprint_bytes <- Some footprint_bytes
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = Hashtbl.length t.tbl

@@ -251,9 +251,21 @@ let run_batch t reqs =
          original payload remains. The absolute floor keeps the threshold
          above double-precision resolution so the final subtraction can
          always cross it (a purely relative bound can sit below one ulp of
-         [remaining] and loop forever). *)
+         [remaining] and loop forever). The floor must also scale with
+         [rate *. ulp !now]: subtracting [rate *. dt] can leave a residue
+         of that order, and once [remaining /. rate] drops below one ulp
+         of the clock, [!now +. dt] rounds back to [!now], dt collapses to
+         zero and the loop makes no progress. Sessions sharing a machine
+         only ever advance its clock, so late batches hit this where a
+         fresh-machine run never does; bytes a flow cannot move within one
+         representable time step are below the simulation's resolution
+         anyway. *)
+      let time_floor (f : flow) =
+        f.rate *. (8.0 *. epsilon_float *. Float.max 1.0 (Float.abs !now))
+      in
       Bag.filter_in_place active
-        ~keep:(fun f -> f.remaining > Float.max 1e-9 (1e-12 *. f.total))
+        ~keep:(fun f ->
+          f.remaining > Float.max (time_floor f) (Float.max 1e-9 (1e-12 *. f.total)))
         ~removed:(fun f ->
           f.finish_time <- !now;
           completions.(f.idx) <-

@@ -12,41 +12,15 @@ let log_src = Logs.Src.create "mgacc.runtime" ~doc:"multi-GPU OpenACC runtime"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type t = {
-  cfg : Rt_config.t;
-  plans : Program_plan.t;
-  profiler : Profiler.t;
-  scheduler : Mgacc_sched.Scheduler.t;
-  darrays : (string, Darray.t) Hashtbl.t;
-  compiled : (Loc.t, Launch.compiled) Hashtbl.t;
-  events : Event.t;  (** overlap mode: per-GPU data-readiness timelines *)
-  seen_ranges : (Loc.t, Task_map.range array) Hashtbl.t;
-      (** lazy coherence: last-observed iteration split per loop, used to
-          resolve the lookahead's affine windows into concrete per-GPU
-          element ranges (iterative apps re-run loops with stable bounds) *)
-  mutable clock : float;  (** host program-order time *)
-  mutable horizon : float;  (** overlap mode: makespan over everything issued *)
-}
+(* All mutable execution state lives in the explicit [Session.t]; this
+   module is the single-job driver over it. *)
+open Session
 
-let create cfg plans =
-  {
-    cfg;
-    plans;
-    profiler = Profiler.create ();
-    scheduler =
-      Mgacc_sched.Scheduler.create ~machine:cfg.Rt_config.machine
-        ~num_gpus:cfg.Rt_config.num_gpus ~policy:cfg.Rt_config.schedule
-        ~knobs:cfg.Rt_config.sched_knobs;
-    darrays = Hashtbl.create 16;
-    compiled = Hashtbl.create 16;
-    events = Event.create ~num_gpus:cfg.Rt_config.num_gpus;
-    seen_ranges = Hashtbl.create 16;
-    clock = 0.0;
-    horizon = 0.0;
-  }
+type t = Session.t
 
-let profiler t = t.profiler
-let now t = t.clock
+let create cfg plans = Session.create cfg plans
+let profiler = Session.profiler
+let now = Session.now
 
 (* ---------------- transfer charging ---------------- *)
 
@@ -212,6 +186,17 @@ let on_data_enter t env clauses =
     (fun ((kind : Ast.data_kind), (sub : Ast.subarray)) ->
       let da = get_darray t env sub.Ast.sub_array in
       da.Darray.region_depth <- da.Darray.region_depth + 1;
+      (* Warm-pool mode keeps device storage alive across regions, but
+         the host may have written between them — reload on re-entry so
+         the device never computes on stale values. *)
+      if
+        t.cfg.Rt_config.keep_resident
+        && da.Darray.region_depth = 1
+        && da.Darray.state <> Darray.Unallocated
+      then begin
+        let xfers = Darray.load_from_host t.cfg da in
+        charge_host_xfers t ~label:(sub.Ast.sub_array ^ ":re-enter") xfers
+      end;
       match kind with
       | Ast.Copy | Ast.Copyout -> da.Darray.needs_copyout <- true
       | Ast.Copyin | Ast.Create -> ()
@@ -230,11 +215,20 @@ let on_data_exit t env clauses =
       | Ast.Copy | Ast.Copyout -> da.Darray.needs_copyout <- true
       | Ast.Copyin | Ast.Create | Ast.Present -> ());
       da.Darray.region_depth <- da.Darray.region_depth - 1;
-      if da.Darray.region_depth <= 0 then begin
-        let xfers = Darray.release t.cfg da in
-        charge_host_xfers t ~label:(sub.Ast.sub_array ^ ":copyout") xfers;
-        Hashtbl.remove t.darrays sub.Ast.sub_array
-      end)
+      if da.Darray.region_depth <= 0 then
+        if t.cfg.Rt_config.keep_resident then begin
+          (* Warm-pool mode: satisfy the copyout contract but keep the
+             device storage allocated for a possible next region; the
+             fleet's admission controller evicts it under pressure. *)
+          let xfers = if da.Darray.needs_copyout then Darray.flush_to_host t.cfg da else [] in
+          da.Darray.needs_copyout <- false;
+          charge_host_xfers t ~label:(sub.Ast.sub_array ^ ":copyout") xfers
+        end
+        else begin
+          let xfers = Darray.release t.cfg da in
+          charge_host_xfers t ~label:(sub.Ast.sub_array ^ ":copyout") xfers;
+          Hashtbl.remove t.darrays sub.Ast.sub_array
+        end)
     (subarrays_of_clauses clauses)
 
 let on_update_host t env subs =
@@ -914,26 +908,62 @@ let hooks t =
     Host_interp.on_parallel_loop = (fun env loop -> on_parallel_loop t env loop);
     on_data_enter = (fun env clauses -> on_data_enter t env clauses);
     on_data_exit = (fun env clauses -> on_data_exit t env clauses);
+
     on_update_host = (fun env subs -> on_update_host t env subs);
     on_update_device = (fun env subs -> on_update_device t env subs);
   }
 
-let finish t =
-  Hashtbl.iter
-    (fun name da ->
-      (* Arrays that never sat in a data region flush their results back so
-         host code can read them after the program. *)
-      da.Darray.needs_copyout <- da.Darray.needs_copyout || da.Darray.device_fresh;
-      let xfers = Darray.release t.cfg da in
-      charge_host_xfers t ~label:(name ^ ":final") xfers)
-    t.darrays;
-  Hashtbl.reset t.darrays;
+let finish ?(keep_resident = false) t =
+  if keep_resident then
+    (* Warm-pool finish: flush what must reach the host, keep everything
+       allocated. The session's present table survives as the fleet's
+       warm entry — the admission controller spills it under pressure. *)
+    Hashtbl.iter
+      (fun name da ->
+        if da.Darray.needs_copyout then begin
+          let xfers = Darray.flush_to_host t.cfg da in
+          da.Darray.needs_copyout <- false;
+          charge_host_xfers t ~label:(name ^ ":final") xfers
+        end)
+      t.darrays
+  else begin
+    Hashtbl.iter
+      (fun name da ->
+        (* Arrays that never sat in a data region flush their results back so
+           host code can read them after the program. *)
+        da.Darray.needs_copyout <- da.Darray.needs_copyout || da.Darray.device_fresh;
+        let xfers = Darray.release t.cfg da in
+        charge_host_xfers t ~label:(name ^ ":final") xfers)
+      t.darrays;
+    Hashtbl.reset t.darrays
+  end;
   (* In overlap mode the program ends when the last in-flight op lands. *)
   if t.cfg.Rt_config.overlap then t.clock <- Float.max t.clock t.horizon;
   Profiler.record_memory_peaks t.profiler t.cfg.Rt_config.machine ~num_gpus:t.cfg.Rt_config.num_gpus
 
+let execute t program =
+  let env = Host_interp.run_program ~hooks:(hooks t) program in
+  finish ~keep_resident:t.cfg.Rt_config.keep_resident t;
+  env
+
+let report ?variant t =
+  let variant =
+    match variant with
+    | Some v -> v
+    | None -> Printf.sprintf "proposal(%d)" t.cfg.Rt_config.num_gpus
+  in
+  let r =
+    Report.of_profiler t.profiler ~machine:t.cfg.Rt_config.machine.Machine.name ~variant
+      ~num_gpus:t.cfg.Rt_config.num_gpus
+  in
+  Report.with_queue r ~seconds:(Session.queue_seconds t)
+
 let run ?config ?variant ~machine program =
   let cfg = match config with Some c -> c | None -> Rt_config.make machine in
+  (* A reused machine carries timeline availability from earlier runs;
+     reset so back-to-back runs in one process match fresh-process runs
+     (shared-machine contention is the fleet's job, not [run]'s). *)
+  Machine.reset cfg.Rt_config.machine;
   let plans = Program_plan.build ~options:cfg.Rt_config.translator program in
   let t = create cfg plans in
   let env = Host_interp.run_program ~hooks:(hooks t) program in

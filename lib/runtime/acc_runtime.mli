@@ -21,16 +21,29 @@ val run :
 (** Compile (plan) and execute a program on the simulated machine with the
     OpenACC multi-GPU runtime; returns the final host environment (for
     result inspection) and the run report. [config] defaults to all GPUs
-    with the paper's settings; [variant] labels the report. *)
+    with the paper's settings; [variant] labels the report. The machine is
+    reset first, so back-to-back runs in one process match fresh-process
+    runs bit for bit. *)
 
-type t
-(** An open runtime instance, for callers that need to drive the host
-    interpreter themselves. *)
+type t = Session.t
+(** An open runtime session, for callers that need to drive the host
+    interpreter themselves (the fleet creates these directly with
+    [Session.create ~tenant ~start] on a shared machine). *)
 
 val create : Rt_config.t -> Mgacc_translator.Program_plan.t -> t
 val hooks : t -> Mgacc_exec.Host_interp.hooks
-val finish : t -> unit
-(** Flush and free every remaining device array; charge the transfers. *)
+
+val finish : ?keep_resident:bool -> t -> unit
+(** Flush and free every remaining device array; charge the transfers.
+    With [keep_resident] (fleet warm-pool mode) only copyout data is
+    flushed and allocations stay live for {!Session.spill_all}. *)
+
+val execute : t -> Mgacc_minic.Ast.program -> Mgacc_exec.Host_interp.env
+(** Drive one program through an existing session ([hooks] + interpret +
+    [finish], honoring the session's [keep_resident] config). *)
+
+val report : ?variant:string -> t -> Report.t
+(** Snapshot the session's profiler into a report (queue wait included). *)
 
 val profiler : t -> Profiler.t
 val now : t -> float

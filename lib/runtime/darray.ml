@@ -433,6 +433,23 @@ let release cfg t =
   t.device_fresh <- false;
   xfers
 
+(* Eviction under fleet memory pressure: write dirty data back to the
+   host view and free the device storage. A clean array evicts for free
+   (writeback-cache semantics — only the D2h of dirty data costs wire
+   time); the array stays usable, a later [ensure_*] reloads it. The
+   flush descriptors are retagged ":spill" so eviction traffic is
+   distinguishable from program copyout in traces. *)
+let spill_to_host cfg t =
+  let retag (x : xfer) =
+    match String.index_opt x.tag ':' with
+    | Some i when String.sub x.tag i (String.length x.tag - i) = ":flush" ->
+        { x with tag = String.sub x.tag 0 i ^ ":spill" }
+    | _ -> x
+  in
+  let xfers = List.map retag (flush_to_host cfg t) in
+  free_state cfg t;
+  xfers
+
 let mark_device_written t =
   t.device_fresh <- true;
   t.written_since_halo_sync <- true

@@ -98,6 +98,13 @@ val load_from_host : Rt_config.t -> t -> xfer list
 val release : Rt_config.t -> t -> xfer list
 (** Flush (if needed and [needs_copyout]) and free all device storage. *)
 
+val spill_to_host : Rt_config.t -> t -> xfer list
+(** Evict under memory pressure: flush dirty data back to the host view
+    (descriptors retagged ["<name>:spill"]) and free all device storage.
+    Clean arrays evict for free (writeback semantics). The darray stays
+    usable — a later [ensure_replicated]/[ensure_distributed] reloads
+    the values from the host copy. *)
+
 val mark_device_written : t -> unit
 (** Called after a kernel that wrote the array on any GPU. *)
 

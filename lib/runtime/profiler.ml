@@ -23,6 +23,8 @@ type t = {
   mutable hidden : float;
   mutable prefetch_hits : int;
   mutable mem : memory_report;
+  mutable spilled_bytes : int;
+  mutable spills : int;
 }
 
 let create () =
@@ -47,6 +49,8 @@ let create () =
     hidden = 0.0;
     prefetch_hits = 0;
     mem = { user_bytes = 0; system_bytes = 0 };
+    spilled_bytes = 0;
+    spills = 0;
   }
 
 let add_cpu_gpu t ~seconds ~bytes =
@@ -77,6 +81,13 @@ let add_imbalance t ~ratio =
 
 let add_hidden t ~seconds = t.hidden <- t.hidden +. seconds
 let add_prefetch_hits t ~count = t.prefetch_hits <- t.prefetch_hits + count
+
+(* Fleet memory pressure: one eviction of this session's warm data,
+   writing [bytes] of dirty device data back to the host (0 when the
+   evicted arrays were clean — writeback semantics). *)
+let add_spill t ~bytes =
+  t.spills <- t.spills + 1;
+  t.spilled_bytes <- t.spilled_bytes + bytes
 
 let coh_cell t array =
   match Hashtbl.find_opt t.coh array with
@@ -120,6 +131,8 @@ let loops_executed t = t.loops
 let rebalances t = t.rebalances
 let hidden_time t = t.hidden
 let prefetch_hits t = t.prefetch_hits
+let spilled_bytes t = t.spilled_bytes
+let spills t = t.spills
 
 let mean_imbalance t =
   if t.imbalance_samples = 0 then 0.0 else t.imbalance_sum /. float_of_int t.imbalance_samples

@@ -57,6 +57,14 @@ val total_time : t -> float
 val hidden_time : t -> float
 val prefetch_hits : t -> int
 
+val add_spill : t -> bytes:int -> unit
+(** Fleet memory pressure: one eviction of this session's warm device
+    data, with [bytes] of dirty data written back to the host (0 when
+    everything evicted was clean — writeback semantics). *)
+
+val spilled_bytes : t -> int
+val spills : t -> int
+
 val add_wire_bytes : t -> bytes:int -> unit
 (** Bytes that crossed the inter-node network (always 0 on single-node
     machines). A subset of whichever byte counter the transfer landed

@@ -26,6 +26,9 @@ type t = {
   coh_deferred_bytes : int;
   coh_pulled_bytes : int;
   coh_arrays : (string * int * int * int) list;
+  queue_seconds : float;
+  spills : int;
+  spilled_bytes : int;
 }
 
 let of_profiler p ~machine ~variant ~num_gpus =
@@ -60,6 +63,9 @@ let of_profiler p ~machine ~variant ~num_gpus =
     coh_deferred_bytes = sum (fun (_, _, d, _) -> d);
     coh_pulled_bytes = sum (fun (_, _, _, p) -> p);
     coh_arrays;
+    queue_seconds = 0.0;
+    spills = Profiler.spills p;
+    spilled_bytes = Profiler.spilled_bytes p;
   }
 
 let host_only ~machine ~variant ~seconds =
@@ -91,8 +97,12 @@ let host_only ~machine ~variant ~seconds =
     coh_deferred_bytes = 0;
     coh_pulled_bytes = 0;
     coh_arrays = [];
+    queue_seconds = 0.0;
+    spills = 0;
+    spilled_bytes = 0;
   }
 
+let with_queue t ~seconds = { t with queue_seconds = Float.max 0.0 seconds }
 let speedup_vs t ~baseline = baseline.total_time /. t.total_time
 let coh_elided_bytes t = max 0 (t.coh_deferred_bytes - t.coh_pulled_bytes)
 
@@ -119,13 +129,13 @@ let to_json t =
          t.coh_arrays)
   in
   Printf.sprintf
-    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}}|}
+    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"queue_seconds":%.9g,"spills":%d,"spilled_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}}|}
     (json_escape t.machine) (json_escape t.variant) t.num_gpus t.total_time t.kernel_time
     t.cpu_gpu_time t.gpu_gpu_time t.overhead_time t.cpu_gpu_bytes t.gpu_gpu_bytes t.wire_bytes
     t.loops t.launches t.rebalances t.mean_imbalance t.hidden_seconds t.prefetch_hits
-    t.mem_user_bytes t.mem_system_bytes t.collective_rings t.collective_hierarchies
-    t.collective_direct_groups t.collective_segments t.coh_shipped_bytes t.coh_deferred_bytes
-    t.coh_pulled_bytes (coh_elided_bytes t) coh_arrays
+    t.mem_user_bytes t.mem_system_bytes t.queue_seconds t.spills t.spilled_bytes
+    t.collective_rings t.collective_hierarchies t.collective_direct_groups t.collective_segments
+    t.coh_shipped_bytes t.coh_deferred_bytes t.coh_pulled_bytes (coh_elided_bytes t) coh_arrays
 
 let pp ppf t =
   Format.fprintf ppf
@@ -146,4 +156,8 @@ let pp ppf t =
         Format.fprintf ppf " wire=%s" (Mgacc_util.Bytesize.to_string t.wire_bytes);
       if t.collective_rings > 0 || t.collective_hierarchies > 0 then
         Format.fprintf ppf " coll rings=%d hier=%d direct=%d segs=%d" t.collective_rings
-          t.collective_hierarchies t.collective_direct_groups t.collective_segments)
+          t.collective_hierarchies t.collective_direct_groups t.collective_segments;
+      if t.queue_seconds > 0.0 then Format.fprintf ppf " queued=%.6fs" t.queue_seconds;
+      if t.spills > 0 then
+        Format.fprintf ppf " spills=%d (%s)" t.spills
+          (Mgacc_util.Bytesize.to_string t.spilled_bytes))

@@ -34,12 +34,20 @@ type t = {
   coh_pulled_bytes : int;  (** deferred bytes later pulled on demand *)
   coh_arrays : (string * int * int * int) list;
       (** per-array (name, shipped, deferred, pulled), sorted by name *)
+  queue_seconds : float;
+      (** fleet mode: simulated time the job waited in the admission
+          queue before execution started (0 for direct runs) *)
+  spills : int;  (** fleet mode: warm-pool evictions of this job's data *)
+  spilled_bytes : int;  (** dirty bytes those evictions wrote back *)
 }
 
 val of_profiler : Profiler.t -> machine:string -> variant:string -> num_gpus:int -> t
 
 val host_only : machine:string -> variant:string -> seconds:float -> t
 (** A CPU-baseline report: all time in [total_time]/[kernel_time]. *)
+
+val with_queue : t -> seconds:float -> t
+(** The same report with [queue_seconds] set (clamped at 0). *)
 
 val speedup_vs : t -> baseline:t -> float
 (** [baseline.total /. t.total]. *)

@@ -21,13 +21,17 @@ type t = {
   translator : Mgacc_translator.Kernel_plan.options;
   schedule : Mgacc_sched.Policy.t;
   sched_knobs : Mgacc_sched.Feedback.knobs;
+  keep_resident : bool;
+      (** fleet warm-pool mode: keep device allocations alive across data
+          regions and at session finish (flushing only copyout data), so a
+          later eviction pays real spill traffic *)
 }
 
 let make ?num_gpus ?(chunk_bytes = 1024 * 1024) ?(two_level_dirty = true) ?(overlap = false)
     ?(coherence = Eager) ?(collective = Direct) ?(collective_seg_bytes = 256 * 1024)
     ?(translator = Mgacc_translator.Kernel_plan.default_options)
     ?(schedule = Mgacc_sched.Policy.Equal)
-    ?(sched_knobs = Mgacc_sched.Feedback.default_knobs) machine =
+    ?(sched_knobs = Mgacc_sched.Feedback.default_knobs) ?(keep_resident = false) machine =
   let available = Mgacc_gpusim.Machine.num_gpus machine in
   let num_gpus = Option.value ~default:available num_gpus in
   if num_gpus < 1 || num_gpus > available then invalid_arg "Rt_config.make: bad num_gpus";
@@ -45,6 +49,7 @@ let make ?num_gpus ?(chunk_bytes = 1024 * 1024) ?(two_level_dirty = true) ?(over
     translator;
     schedule;
     sched_knobs;
+    keep_resident;
   }
 
 let lazy_coherence t = t.coherence = Lazy && t.num_gpus > 1

@@ -47,6 +47,12 @@ type t = {
       (** iteration-partitioning policy (default: the paper's equal split) *)
   sched_knobs : Mgacc_sched.Feedback.knobs;
       (** damping/hysteresis of the adaptive controller *)
+  keep_resident : bool;
+      (** fleet warm-pool mode: keep device allocations alive across data
+          regions and at session finish (flushing only copyout data), so
+          the fleet's admission controller can later evict them with real
+          spill traffic. [false] keeps the classic release-at-region-exit
+          semantics bit-for-bit. *)
 }
 
 val make :
@@ -60,6 +66,7 @@ val make :
   ?translator:Mgacc_translator.Kernel_plan.options ->
   ?schedule:Mgacc_sched.Policy.t ->
   ?sched_knobs:Mgacc_sched.Feedback.knobs ->
+  ?keep_resident:bool ->
   Mgacc_gpusim.Machine.t ->
   t
 (** Defaults: all of the machine's GPUs, 1 MB chunks (the paper's choice),

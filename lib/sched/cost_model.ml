@@ -95,6 +95,15 @@ let quantize ?(grid = 64) weights =
   done;
   Array.map (fun u -> float_of_int u /. float_of_int grid) units
 
+(* Roofline duration estimate for one launch if the loop were split
+   perfectly across the devices: total iterations over the summed device
+   rates. This is what the fleet's shortest-job-first policy ranks
+   un-measured jobs by — relative ordering is all that matters. *)
+let estimate_launch_seconds machine ~num_gpus ~iterations ~threads_per_iter ~iter_cost =
+  let rates = device_rates machine ~num_gpus ~iterations ~threads_per_iter ~iter_cost in
+  let total_rate = Array.fold_left ( +. ) 0.0 rates in
+  float_of_int (max 1 iterations) /. Float.max total_rate 1e-12
+
 let seed_weights machine ~num_gpus ~iterations ~threads_per_iter ~iter_cost =
   if homogeneous machine ~num_gpus then uniform num_gpus
   else

@@ -43,6 +43,18 @@ val seed_weights :
 (** Normalized and {!quantize}d {!device_rates}; exactly {!uniform} on a
     homogeneous machine. *)
 
+val estimate_launch_seconds :
+  Mgacc_gpusim.Machine.t ->
+  num_gpus:int ->
+  iterations:int ->
+  threads_per_iter:int ->
+  iter_cost:Mgacc_gpusim.Cost.t ->
+  float
+(** Roofline duration of one launch under a perfect split: iterations
+    over the summed {!device_rates}. The fleet's shortest-job-first
+    policy ranks un-measured jobs by the sum of these over a program's
+    kernels — only the relative order matters. *)
+
 val normalize : ?min_share:float -> float array -> float array
 (** Scale nonnegative weights to sum to 1, clamping each share to at least
     [min_share] (default 0.01) so no device starves out of the feedback

@@ -330,6 +330,53 @@ let test_collective_artifact () =
   if !cluster_wins = [] then
     Alcotest.failf "%s: auto beat direct on wire bytes for none of kmeans/bfs/spmv at 4 GPUs" file
 
+let test_fleet_artifact () =
+  let file, j = load "BENCH_fleet.json" in
+  check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check Alcotest.string "runs on the cluster" "cluster" (str file "machine" j);
+  check Alcotest.bool "gpus >= 2" true (num file "gpus" j >= 2.0);
+  let jobs = num file "job_count" j in
+  check (Alcotest.float 0.0) "the tracked trace is 20 jobs" 20.0 jobs;
+  check Alcotest.bool "budget > 0" true (num file "mem_budget_bytes" j > 0.0);
+  let policies = arr file "policies" j in
+  let find name =
+    match List.find_opt (fun p -> str file "policy" p = name) policies with
+    | Some p -> p
+    | None -> Alcotest.failf "%s: no %S entry in policies" file name
+  in
+  let fifo = find "fifo" and sjf = find "sjf" and fair = find "fair" in
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0) "all jobs completed" jobs (num file "job_count" p);
+      check Alcotest.bool "makespan > 0" true (num file "makespan_seconds" p > 0.0);
+      check Alcotest.bool "mean wait > 0" true (num file "mean_wait_seconds" p > 0.0);
+      check Alcotest.bool "p95 latency > 0" true (num file "p95_latency_seconds" p > 0.0);
+      check Alcotest.bool "throughput > 0" true (num file "throughput_jobs_per_s" p > 0.0);
+      let fairness = num file "fairness" p in
+      check Alcotest.bool "fairness in (0, 1]" true (fairness > 0.0 && fairness <= 1.0 +. 1e-9);
+      check Alcotest.bool "every job hit or missed the cache" true
+        (num file "cache_hits" p +. num file "cache_misses" p = jobs);
+      check Alcotest.bool "evictions >= 0" true (num file "evictions" p >= 0.0);
+      check Alcotest.bool "spilled bytes >= 0" true (num file "spilled_bytes" p >= 0.0))
+    [ fifo; sjf; fair ];
+  (* Acceptance bar: a backlog-aware policy must beat FIFO on mean queue
+     wait without giving up throughput (within 5%). *)
+  let fifo_wait = num file "mean_wait_seconds" fifo in
+  let best_wait =
+    Float.min (num file "mean_wait_seconds" sjf) (num file "mean_wait_seconds" fair)
+  in
+  if best_wait >= fifo_wait then
+    Alcotest.failf "%s: neither sjf nor fair beats fifo on mean wait (%.9g vs %.9g)" file
+      best_wait fifo_wait;
+  let fifo_tp = num file "throughput_jobs_per_s" fifo in
+  List.iter
+    (fun p ->
+      let tp = num file "throughput_jobs_per_s" p in
+      if Float.abs (tp -. fifo_tp) > 0.05 *. fifo_tp then
+        Alcotest.failf "%s: %s throughput %.9g strays >5%% from fifo's %.9g" file
+          (str file "policy" p) tp fifo_tp)
+    [ sjf; fair ]
+
 let test_parser_rejects_garbage () =
   List.iter
     (fun bad ->
@@ -344,4 +391,5 @@ let suite =
     tc "BENCH_overlap.json: schema + results" test_overlap_artifact;
     tc "BENCH_coherence.json: schema + acceptance bars" test_coherence_artifact;
     tc "BENCH_collective.json: schema + acceptance bars" test_collective_artifact;
+    tc "BENCH_fleet.json: schema + acceptance bars" test_fleet_artifact;
   ]

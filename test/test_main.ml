@@ -22,5 +22,6 @@ let () =
       ("overlap", Test_overlap.suite);
       ("coherence", Test_coherence.suite);
       ("collective", Test_collective.suite);
+      ("fleet", Test_fleet.suite);
       ("artifacts", Test_bench_artifacts.suite);
     ]

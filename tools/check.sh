@@ -19,4 +19,8 @@ else
 fi
 dune build
 dune runtest
+# Fleet smoke: replay a 3-job trace through every scheduling policy. The
+# fleet's simulated-time watchdog makes an admission deadlock fail loudly
+# (Fleet.Deadlock names the wedged job id) instead of hanging CI.
+dune exec bench/main.exe -- --smoke --scale small fleet
 echo "check.sh: all green"
