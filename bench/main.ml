@@ -703,7 +703,15 @@ let overlap_bench scale ~smoke =
     apps;
   Table.print t;
   let oc = open_out "BENCH_overlap.json" in
-  Printf.fprintf oc "{\n  \"scale\": %S,\n  \"runs\": [\n%s\n  ]\n}\n" (scale_name scale)
+  Printf.fprintf oc
+    "{\n\
+    \  \"scale\": %S,\n\
+    \  \"flags\": {\"overlap\": \"off-vs-on\", \"coherence\": \"eager\", \"collective\": \"direct\"},\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (scale_name scale)
     (String.concat ",\n" (List.rev !json_entries));
   close_out oc;
   print_endline "\nwrote BENCH_overlap.json";
@@ -839,7 +847,17 @@ let coherence_bench scale ~smoke =
   Table.print kt;
   let oc = open_out "BENCH_coherence.json" in
   Printf.fprintf oc
-    "{\n  \"scale\": %S,\n  \"runs\": [\n%s\n  ],\n  \"kmeans_overlap\": [\n%s\n  ]\n}\n"
+    "{\n\
+    \  \"scale\": %S,\n\
+    \  \"flags\": {\"coherence\": \"eager-vs-lazy\", \"overlap\": \"off\", \"collective\": \
+     \"direct\", \"kmeans_overlap_section\": \"lazy, overlap off-vs-on\"},\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"kmeans_overlap\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
     (scale_name scale)
     (String.concat ",\n" (List.rev !json_entries))
     (String.concat ",\n" (List.rev !km_entries));
@@ -953,7 +971,16 @@ let collective_bench scale ~smoke =
     apps;
   Table.print t;
   let oc = open_out "BENCH_collective.json" in
-  Printf.fprintf oc "{\n  \"scale\": %S,\n  \"runs\": [\n%s\n  ]\n}\n" (scale_name scale)
+  Printf.fprintf oc
+    "{\n\
+    \  \"scale\": %S,\n\
+    \  \"flags\": {\"collective\": \"direct-vs-auto\", \"coherence\": \"eager-and-lazy\", \
+     \"overlap\": \"off\"},\n\
+    \  \"runs\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (scale_name scale)
     (String.concat ",\n" (List.rev !json_entries));
   close_out oc;
   print_endline "\nwrote BENCH_collective.json";
@@ -1055,6 +1082,7 @@ let fleet_bench scale ~smoke =
     Printf.fprintf oc
       "{\n\
       \  \"scale\": %S,\n\
+      \  \"flags\": {\"policy\": \"fifo-vs-sjf-vs-fair\", \"keep_warm\": true},\n\
       \  \"machine\": \"cluster\",\n\
       \  \"gpus\": 4,\n\
       \  \"job_count\": %d,\n\

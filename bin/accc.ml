@@ -88,7 +88,7 @@ let coherence_of = function
 
 let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_name
     collective_name chunk_kb no_distribution no_layout no_misscheck single_level_dirty dump_arrays
-    show_trace trace_json json_report check_results verbose =
+    show_trace trace_json blame json_report check_results verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
@@ -138,9 +138,12 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
             ~chunk_bytes:(chunk_kb * 1024)
             ~two_level_dirty:(not single_level_dirty) ~translator machine
         in
-        let env, report = Mgacc.run_acc ~config ~machine program in
+        let env, report = Mgacc.run_acc ~config ~with_blame:blame ~machine program in
         if json_report then print_endline (Mgacc.Report.to_json report)
-        else Format.printf "%a@." Mgacc.Report.pp report;
+        else begin
+          Format.printf "%a@." Mgacc.Report.pp report;
+          if blame then Format.printf "@.%a@." Mgacc.Report.pp_blame report
+        end;
         List.iter
           (fun name ->
             match Mgacc.Host_interp.find_array_opt env name with
@@ -233,8 +236,10 @@ let scale_cmd file machine_name =
 (* Replay a job-trace file through the fleet scheduler: each line is
    "<submit-seconds> <tenant> <program.c>" (paths relative to the trace
    file). Prints per-job admission results and the fleet summary. *)
+let write_file path contents = Out_channel.with_open_bin path (fun oc -> output_string oc contents)
+
 let serve_cmd trace_file machine_name policy_name gpus max_concurrent budget_mb watchdog keep_cold
-    json_out verbose =
+    json_out metrics_out events_out trace_json verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* fresh_machine = machine_of machine_name in
@@ -254,7 +259,31 @@ let serve_cmd trace_file machine_name policy_name gpus max_concurrent budget_mb 
       in
       let outcome = Mgacc.Fleet.run config jobs in
       if json_out then print_endline (Mgacc.Fleet.to_json outcome)
-      else Format.printf "%a@." Mgacc.Fleet.pp_outcome outcome;
+      else begin
+        Format.printf "%a@." Mgacc.Fleet.pp_outcome outcome;
+        if verbose then
+          List.iter
+            (fun (r : Mgacc.Fleet.job_result) ->
+              Format.printf "job %2d %a@." r.Mgacc.Fleet.spec.Mgacc.Fleet_job.id Mgacc.Report.pp
+                r.Mgacc.Fleet.report)
+            outcome.Mgacc.Fleet.jobs
+      end;
+      (match metrics_out with
+      | Some path ->
+          write_file path (Mgacc.Metrics.to_prometheus outcome.Mgacc.Fleet.metrics);
+          Format.eprintf "metrics written to %s@." path
+      | None -> ());
+      (match events_out with
+      | Some path ->
+          write_file path (Mgacc.Metrics.events_to_jsonl outcome.Mgacc.Fleet.metrics);
+          Format.eprintf "events written to %s@." path
+      | None -> ());
+      (match trace_json with
+      | Some path ->
+          write_file path
+            (Mgacc.Trace.to_chrome_json ~process_name:"mgacc fleet" outcome.Mgacc.Fleet.trace);
+          Format.eprintf "fleet trace written to %s (load in chrome://tracing or perfetto)@." path
+      | None -> ());
       Ok ()
     end
   with
@@ -349,6 +378,12 @@ let run_term =
   let trace_json =
     Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"FILE" ~doc:"write a Chrome trace-event file")
   in
+  let blame =
+    Arg.(value & flag
+         & info [ "blame" ]
+             ~doc:"print the critical-path blame tables: per-category exposed/hidden time and \
+                   the top (category, label) rows of the makespan (included in --json)")
+  in
   let check_results =
     Arg.(value & flag & info [ "check" ] ~doc:"validate results against the sequential reference")
   in
@@ -357,11 +392,11 @@ let run_term =
          & info [ "json" ] ~doc:"print the report as one JSON object (includes coherence counters)")
   in
   Term.(
-    const (fun file m v g sch ov coh col c nd nl nm sl d tr tj js ck vb ->
-        exits_of (run_cmd file m v g sch ov coh col c nd nl nm sl d tr tj js ck vb))
+    const (fun file m v g sch ov coh col c nd nl nm sl d tr tj bl js ck vb ->
+        exits_of (run_cmd file m v g sch ov coh col c nd nl nm sl d tr tj bl js ck vb))
     $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ collective $ chunk
-    $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json $ json_report
-    $ check_results $ verbose)
+    $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json $ blame
+    $ json_report $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
 
@@ -400,11 +435,33 @@ let serve_term =
              ~doc:"release device memory at job end instead of keeping warm pools")
   in
   let json_out = Arg.(value & flag & info [ "json" ] ~doc:"print the fleet outcome as JSON") in
-  let verbose = Arg.(value & flag & info [ "verbose"; "d" ] ~doc:"debug logging of fleet decisions") in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"write fleet metrics (queue depth, resident bytes, per-tenant service, \
+                   evictions) as Prometheus text exposition")
+  in
+  let events_out =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:"write the admission-loop event log (submit/admit/finish) as JSONL")
+  in
+  let trace_json =
+    Arg.(value & opt (some string) None
+         & info [ "trace-json" ] ~docv:"FILE"
+             ~doc:"write a fleet-level Chrome trace-event Gantt: one row per tenant (queued and \
+                   run spans) and one per GPU")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "d" ]
+             ~doc:"debug logging of fleet decisions, plus one report line per completed job")
+  in
   Term.(
-    const (fun tr m p g mc b w kc js vb -> exits_of (serve_cmd tr m p g mc b w kc js vb))
+    const (fun tr m p g mc b w kc js mo eo tj vb ->
+        exits_of (serve_cmd tr m p g mc b w kc js mo eo tj vb))
     $ trace_arg $ machine $ policy $ gpus $ max_concurrent $ budget $ watchdog $ keep_cold
-    $ json_out $ verbose)
+    $ json_out $ metrics_out $ events_out $ trace_json $ verbose)
 
 let scale_term =
   let machine =

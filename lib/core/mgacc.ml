@@ -17,6 +17,9 @@ module Cuda = Mgacc_gpusim.Cuda
 module Cost = Mgacc_gpusim.Cost
 module Memory = Mgacc_gpusim.Memory
 module Trace = Mgacc_sim.Trace
+module Metrics = Mgacc_obs.Metrics
+module Critical_path = Mgacc_obs.Critical_path
+module Blame = Mgacc_obs.Blame
 module Sched_policy = Mgacc_sched.Policy
 module Sched_feedback = Mgacc_sched.Feedback
 module Scheduler = Mgacc_sched.Scheduler
@@ -53,7 +56,8 @@ let run_sequential program = Host_interp.run_program program
 
 let run_openmp ?threads ~machine program = Openmp.run ?threads ~machine program
 
-let run_acc ?config ?variant ~machine program = Acc_runtime.run ?config ?variant ~machine program
+let run_acc ?config ?variant ?with_blame ~machine program =
+  Acc_runtime.run ?config ?variant ?with_blame ~machine program
 
 let float_results env name = View.snapshot_f (Host_interp.find_array env name)
 let int_results env name = View.snapshot_i (Host_interp.find_array env name)

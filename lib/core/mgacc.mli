@@ -39,6 +39,9 @@ module Cuda = Mgacc_gpusim.Cuda
 module Cost = Mgacc_gpusim.Cost
 module Memory = Mgacc_gpusim.Memory
 module Trace = Mgacc_sim.Trace
+module Metrics = Mgacc_obs.Metrics
+module Critical_path = Mgacc_obs.Critical_path
+module Blame = Mgacc_obs.Blame
 module Sched_policy = Mgacc_sched.Policy
 module Sched_feedback = Mgacc_sched.Feedback
 module Scheduler = Mgacc_sched.Scheduler
@@ -81,11 +84,14 @@ val run_openmp :
 val run_acc :
   ?config:Rt_config.t ->
   ?variant:string ->
+  ?with_blame:bool ->
   machine:Machine.t ->
   Ast.program ->
   Host_interp.env * Report.t
 (** The multi-GPU OpenACC runtime (the paper's proposal). [config] selects
-    GPU count, dirty-bit chunk size and the ablation switches. *)
+    GPU count, dirty-bit chunk size and the ablation switches.
+    [with_blame] attaches the critical-path blame summary to the report
+    (see {!Report.pp_blame}); it never changes the timings. *)
 
 val float_results : Host_interp.env -> string -> float array
 (** Snapshot a host array after a run (raises [Not_found] if absent). *)

@@ -13,6 +13,8 @@ module Kernel_plan = Mgacc_translator.Kernel_plan
 module Loop_info = Mgacc_analysis.Loop_info
 module Cost_model = Mgacc_sched.Cost_model
 module Ast = Mgacc_minic.Ast
+module Metrics = Mgacc_obs.Metrics
+module Trace = Mgacc_sim.Trace
 
 let log_src = Logs.Src.create "mgacc.fleet" ~doc:"multi-tenant fleet scheduler"
 
@@ -125,7 +127,47 @@ type stats = {
   spilled_bytes : int;
 }
 
-type outcome = { config : config; stats : stats; tenants : tenant_row list; jobs : job_result list }
+type outcome = {
+  config : config;
+  stats : stats;
+  tenants : tenant_row list;
+  jobs : job_result list;
+  metrics : Metrics.t;
+  trace : Trace.t;
+}
+
+(* Fleet-level Gantt: one row per tenant (queued span, then run span,
+   linked by a flow edge) plus one row per GPU occupied by each job. The
+   spans are rebuilt from the job results, so the fleet trace is a
+   schedule view — per-op detail stays in the machine trace. *)
+let fleet_trace config jobs =
+  let tr = Trace.create () in
+  List.iter
+    (fun r ->
+      let row = "tenant:" ^ r.spec.Job.tenant in
+      let tag = Printf.sprintf "%s#%d" r.spec.Job.name r.spec.Job.id in
+      let queued =
+        if r.admit_time > r.spec.Job.submit then
+          Some
+            (Trace.record tr ~resource:row ~category:Trace.Overhead ~label:("queued:" ^ tag)
+               ~start:r.spec.Job.submit ~finish:r.admit_time ~bytes:0 ())
+        else None
+      in
+      let run_id =
+        Trace.record tr
+          ~causes:(Option.to_list queued)
+          ~resource:row ~category:Trace.Kernel ~label:("run:" ^ tag) ~start:r.admit_time
+          ~finish:r.finish_time ~bytes:0 ()
+      in
+      for g = 0 to config.num_gpus - 1 do
+        ignore
+          (Trace.record tr ~causes:[ run_id ]
+             ~resource:(Printf.sprintf "gpu%d" g)
+             ~category:Trace.Kernel ~label:tag ~start:r.admit_time ~finish:r.finish_time ~bytes:0
+             ())
+      done)
+    jobs;
+  tr
 
 (* Jain's fairness index J(x) = (Σx)² / (n·Σx²): 1 when all tenants see
    the same mean slowdown, 1/n when one tenant absorbs all of it. *)
@@ -200,6 +242,45 @@ let run ?cache config (specs : Job.spec list) =
         Some (List.fold_left (fun best j -> if key j < key best then j else best) first rest)
   in
   let adm = Admission.create ~budget:config.mem_budget in
+  (* Observability: a metrics registry sampled on admission-loop events.
+     Everything here observes the schedule — it never influences it. *)
+  let m = Metrics.create () in
+  let g_queue = Metrics.gauge m ~help:"Jobs waiting for admission" "fleet_queue_depth" in
+  let h_queue =
+    Metrics.histogram m ~help:"Queue depth sampled at admission-loop events"
+      ~buckets:[| 0.; 1.; 2.; 5.; 10.; 20.; 50. |] "fleet_queue_depth_samples"
+  in
+  let g_resident =
+    Metrics.gauge m ~help:"Device bytes reserved (running jobs + warm pools)" "fleet_resident_bytes"
+  in
+  let h_wait = Metrics.histogram m ~help:"Seconds jobs waited before admission" "fleet_wait_seconds" in
+  let c_evict =
+    Metrics.counter m ~help:"Warm pools evicted under memory pressure" "fleet_evictions_total"
+  in
+  let c_spill =
+    Metrics.counter m ~help:"Dirty bytes evictions wrote back to the host" "fleet_spilled_bytes_total"
+  in
+  let c_done = Metrics.counter m ~help:"Jobs run to completion" "fleet_jobs_completed_total" in
+  let service_counter tenant =
+    Metrics.counter m ~help:"Execution seconds consumed per tenant"
+      ~labels:[ ("tenant", tenant) ] "fleet_tenant_service_seconds_total"
+  in
+  let sample_ledger () =
+    Metrics.set g_resident (float_of_int (Admission.active_bytes adm + Admission.warm_bytes adm))
+  in
+  let sample_queue () =
+    let d = float_of_int (List.length !queue) in
+    Metrics.set g_queue d;
+    Metrics.observe h_queue d
+  in
+  let prev_evictions = ref 0 and prev_spilled = ref 0 in
+  let sync_evictions () =
+    let e = Admission.evictions adm and s = Admission.spilled_bytes adm in
+    Metrics.inc c_evict (float_of_int (e - !prev_evictions));
+    Metrics.inc c_spill (float_of_int (s - !prev_spilled));
+    prev_evictions := e;
+    prev_spilled := s
+  in
   let charge_spills xfers =
     if xfers <> [] then begin
       let reqs =
@@ -221,6 +302,7 @@ let run ?cache config (specs : Job.spec list) =
     let finish = Session.now session in
     let exec_seconds = finish -. !now in
     Hashtbl.replace service j.Job.tenant (service_of j.Job.tenant +. exec_seconds);
+    Metrics.inc (service_counter j.Job.tenant) exec_seconds;
     Plan_cache.record_measurement entry ~seconds:exec_seconds
       ~footprint_bytes:(if config.keep_warm then Session.resident_bytes session else 0);
     Log.debug (fun m ->
@@ -261,6 +343,13 @@ let run ?cache config (specs : Job.spec list) =
               let r = execute j entry in
               queue := List.filter (fun (q : Job.spec) -> q.Job.id <> j.Job.id) !queue;
               running := r :: !running;
+              Metrics.event m ~time:!now
+                ~fields:[ ("job", float_of_int j.Job.id); ("wait", !now -. j.Job.submit) ]
+                "admit";
+              Metrics.observe h_wait (!now -. j.Job.submit);
+              sync_evictions ();
+              sample_ledger ();
+              sample_queue ();
               admit_ready ())
   in
   let rec step () =
@@ -268,6 +357,11 @@ let run ?cache config (specs : Job.spec list) =
     let due, later = List.partition (fun (j : Job.spec) -> j.Job.submit <= !now) !arrivals in
     arrivals := later;
     queue := !queue @ due;
+    List.iter
+      (fun (j : Job.spec) ->
+        Metrics.event m ~time:j.Job.submit ~fields:[ ("job", float_of_int j.Job.id) ] "submit")
+      due;
+    if due <> [] then sample_queue ();
     admit_ready ();
     (* simulated-time watchdog: a job queued past the limit means the
        service is wedged — fail loudly with the job id *)
@@ -325,6 +419,11 @@ let run ?cache config (specs : Job.spec list) =
               else None
             in
             Admission.release adm ~job:r.r_spec.Job.id ~warm;
+            Metrics.event m ~time:r.r_finish
+              ~fields:[ ("job", float_of_int r.r_spec.Job.id) ]
+              "finish";
+            Metrics.inc c_done 1.0;
+            sample_ledger ();
             done_jobs := r :: !done_jobs)
           (List.sort (fun a b -> compare (a.r_finish, a.r_spec.Job.id) (b.r_finish, b.r_spec.Job.id))
              completed);
@@ -389,7 +488,9 @@ let run ?cache config (specs : Job.spec list) =
       spilled_bytes = Admission.spilled_bytes adm;
     }
   in
-  { config; stats; tenants; jobs }
+  sync_evictions ();
+  sample_ledger ();
+  { config; stats; tenants; jobs; metrics = m; trace = fleet_trace config jobs }
 
 (* ---------------- rendering ---------------- *)
 

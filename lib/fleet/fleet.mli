@@ -85,7 +85,19 @@ type stats = {
   spilled_bytes : int;
 }
 
-type outcome = { config : config; stats : stats; tenants : tenant_row list; jobs : job_result list }
+type outcome = {
+  config : config;
+  stats : stats;
+  tenants : tenant_row list;
+  jobs : job_result list;
+  metrics : Mgacc_obs.Metrics.t;
+      (** fleet-level registry sampled on admission-loop events: queue
+          depth, resident bytes, per-tenant service seconds, eviction and
+          spill counters, plus the JSONL event log (submit/admit/finish) *)
+  trace : Mgacc_sim.Trace.t;
+      (** fleet-level Gantt: one row per tenant (queued span flowing into
+          the run span) and one per GPU, rebuilt from the job results *)
+}
 
 val run : ?cache:Plan_cache.t -> config -> Job.spec list -> outcome
 (** Replay the job list to completion (the machine is reset first). Pass

@@ -64,25 +64,26 @@ let device t i =
   if i < 0 || i >= num_gpus t then invalid_arg (Printf.sprintf "Machine.device: %d" i);
   t.devices.(i)
 
-let launch_kernel t ~dev ~ready ~threads ~label cost =
+let launch_kernel_span ?causes t ~dev ~ready ~threads ~label cost =
   let d = device t dev in
   let start, finish = Device.launch d ~ready ~threads cost in
-  Trace.add t.trace
-    {
-      Trace.resource = Printf.sprintf "gpu%d" dev;
-      category = Trace.Kernel;
-      label;
-      start;
-      finish;
-      bytes = 0;
-    };
+  let id =
+    Trace.record t.trace ?causes
+      ~resource:(Printf.sprintf "gpu%d" dev)
+      ~category:Trace.Kernel ~label ~start ~finish ~bytes:0 ()
+  in
+  (start, finish, id)
+
+let launch_kernel t ~dev ~ready ~threads ~label cost =
+  let start, finish, _ = launch_kernel_span t ~dev ~ready ~threads ~label cost in
   (start, finish)
 
 let host_compute t ~ready ~threads ~label cost =
   let duration = Cpu_model.duration t.cpu ~threads cost in
   let start = ready and finish = ready +. duration in
-  Trace.add t.trace
-    { Trace.resource = "cpu"; category = Trace.Host_compute; label; start; finish; bytes = 0 };
+  ignore
+    (Trace.record t.trace ~resource:"cpu" ~category:Trace.Host_compute ~label ~start ~finish
+       ~bytes:0 ());
   (start, finish)
 
 let category_of_direction = function
@@ -95,48 +96,53 @@ let resource_of_direction = function
   | Fabric.D2h i -> Printf.sprintf "pcie:d2h%d" i
   | Fabric.P2p (i, j) -> Printf.sprintf "pcie:p2p%d-%d" i j
 
+let run_transfers_spans t ~label reqs =
+  let completions = Fabric.run_batch t.fabric (List.map fst reqs) in
+  (* Fabric.run_batch preserves request order, so completions pair up with
+     the submitted (request, causes) list positionally. *)
+  List.map2
+    (fun (_, causes) (c : Fabric.completion) ->
+      let span =
+        if c.req.bytes > 0 then
+          Some
+            (Trace.record t.trace ~causes
+               ~resource:(resource_of_direction c.req.direction)
+               ~category:(category_of_direction c.req.direction)
+               ~label:(Printf.sprintf "%s:%s" label c.req.tag)
+               ~start:c.start ~finish:c.finish ~bytes:c.req.bytes ())
+        else None
+      in
+      (c, span))
+    reqs completions
+
 let run_transfers t ~label reqs =
-  let completions = Fabric.run_batch t.fabric reqs in
-  List.iter
-    (fun (c : Fabric.completion) ->
-      if c.req.bytes > 0 then
-        Trace.add t.trace
-          {
-            Trace.resource = resource_of_direction c.req.direction;
-            category = category_of_direction c.req.direction;
-            label = Printf.sprintf "%s:%s" label c.req.tag;
-            start = c.start;
-            finish = c.finish;
-            bytes = c.req.bytes;
-          })
-    completions;
-  completions
+  List.map fst (run_transfers_spans t ~label (List.map (fun r -> (r, [])) reqs))
 
 let transfer_sync t ~ready direction ~bytes ~label =
   if bytes = 0 then ready
   else begin
     let duration = Fabric.transfer_time_alone t.fabric direction ~bytes in
     let finish = ready +. duration in
-    Trace.add t.trace
-      {
-        Trace.resource = resource_of_direction direction;
-        category = category_of_direction direction;
-        label;
-        start = ready;
-        finish;
-        bytes;
-      };
+    ignore
+      (Trace.record t.trace
+         ~resource:(resource_of_direction direction)
+         ~category:(category_of_direction direction)
+         ~label ~start:ready ~finish ~bytes ());
     finish
   end
 
-let overhead t ~ready ~seconds ~label =
-  if seconds <= 0.0 then ready
+let overhead_span ?causes t ~ready ~seconds ~label =
+  if seconds <= 0.0 then (ready, None)
   else begin
     let finish = ready +. seconds in
-    Trace.add t.trace
-      { Trace.resource = "cpu"; category = Trace.Overhead; label; start = ready; finish; bytes = 0 };
-    finish
+    let id =
+      Trace.record t.trace ?causes ~resource:"cpu" ~category:Trace.Overhead ~label ~start:ready
+        ~finish ~bytes:0 ()
+    in
+    (finish, Some id)
   end
+
+let overhead t ~ready ~seconds ~label = fst (overhead_span t ~ready ~seconds ~label)
 
 let reset t =
   Trace.clear t.trace;

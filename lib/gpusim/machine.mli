@@ -51,6 +51,13 @@ val launch_kernel : t -> dev:int -> ready:float -> threads:int -> label:string -
 (** Run a kernel on device [dev]; records a [Kernel] span; returns
     [(start, finish)]. *)
 
+val launch_kernel_span :
+  ?causes:int list ->
+  t -> dev:int -> ready:float -> threads:int -> label:string -> Cost.t -> float * float * int
+(** Like {!launch_kernel} but threads causal edges: [causes] are producer
+    span ids the launch was gated on, and the returned third component is
+    the kernel's own span id. *)
+
 val host_compute : t -> ready:float -> threads:int -> label:string -> Cost.t -> float * float
 (** Run a parallel loop on the host CPU model; records a [Host_compute]
     span. *)
@@ -59,11 +66,26 @@ val run_transfers : t -> label:string -> Fabric.request list -> Fabric.completio
 (** Run a batch of transfers under fair bandwidth sharing; records one span
     per non-empty transfer with the right category. *)
 
+val run_transfers_spans :
+  t ->
+  label:string ->
+  (Fabric.request * int list) list ->
+  (Fabric.completion * int option) list
+(** Causal variant of {!run_transfers}: each request carries the producer
+    span ids that gated it, and each completion comes back with its span
+    id ([None] for zero-byte requests, which record no span). Completions
+    are returned in request order. *)
+
 val transfer_sync : t -> ready:float -> Fabric.direction -> bytes:int -> label:string -> float
 (** One uncontended transfer; records its span; returns the finish time. *)
 
 val overhead : t -> ready:float -> seconds:float -> label:string -> float
 (** Charge fixed runtime bookkeeping time on the host; returns finish. *)
+
+val overhead_span :
+  ?causes:int list -> t -> ready:float -> seconds:float -> label:string -> float * int option
+(** Like {!overhead} but returns the recorded span id ([None] when
+    [seconds <= 0], which records nothing). *)
 
 val reset : t -> unit
 (** Clear the trace and all device timelines/memory peaks. *)

@@ -1,0 +1,65 @@
+(** Critical-path blame: per-span exposed/hidden attribution that
+    reconciles exactly with the profiler's Fig. 8 category breakdown.
+
+    The runtime records one {e epoch} per profiler charge (the same
+    exposed/hidden seconds it adds to a category, plus the span ids the
+    charge covered). Summarizing a ledger therefore reproduces the
+    profiler's per-category totals by construction, while the span ids
+    let each makespan second be blamed on a concrete (category,
+    array/kernel label) pair and the trace DAG yields the critical
+    path. *)
+
+type category = Kernel | Cpu_gpu | Gpu_gpu | Overhead
+(** The profiler's Fig. 8 categories (H2D and D2H fold into [Cpu_gpu]). *)
+
+val category_label : category -> string
+
+type epoch = {
+  e_category : category;
+  e_label : string;  (** phase label, e.g. ["comm"] or ["wait:kernels"] *)
+  e_exposed : float;  (** seconds charged to the makespan *)
+  e_hidden : float;  (** seconds overlapped behind other work *)
+  e_spans : int list;  (** trace span ids covered by this charge *)
+}
+
+type t
+(** A blame ledger; one per runtime session. *)
+
+val create : unit -> t
+val clear : t -> unit
+
+val charge :
+  t -> category -> label:string -> exposed:float -> hidden:float -> spans:int list -> unit
+(** Record one epoch. Call exactly where the profiler is charged, with
+    the same seconds, so the ledger and profiler cannot drift. *)
+
+val epochs : t -> epoch list
+(** In recording order. *)
+
+type row = {
+  r_category : category;
+  r_label : string;  (** span label truncated to its first two [':']-separated components *)
+  r_exposed : float;
+  r_hidden : float;
+  r_spans : int;  (** number of spans aggregated into this row *)
+}
+
+type summary = {
+  s_makespan : float;
+  s_categories : (category * float * float) list;
+      (** (category, exposed, hidden) — exact epoch sums, fixed order
+          [Kernel; Cpu_gpu; Gpu_gpu; Overhead] *)
+  s_rows : row list;  (** per-(category, label) blame, sorted by exposed desc *)
+  s_path : Mgacc_sim.Trace.span list;  (** critical path through the trace DAG *)
+  s_path_seconds : float;
+}
+
+val summarize : t -> trace:Mgacc_sim.Trace.t -> summary
+(** Epoch seconds are split across the epoch's spans proportionally to
+    span duration (equally when all durations are zero); epochs with no
+    spans — pure waits — become rows under the epoch label itself. *)
+
+val pp : ?top:int -> Format.formatter -> summary -> unit
+(** Render the category table and the [top] (default 10) blame rows. *)
+
+val to_json : summary -> string

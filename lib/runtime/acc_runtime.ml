@@ -47,25 +47,38 @@ let count_collective_stats t (st : Collective.stats) =
     ~hierarchies:st.Collective.hierarchies ~direct_groups:st.Collective.direct_groups
     ~segments:st.Collective.segments
 
-let charge_xfers t ~label ~kind ~ready (xfers : Darray.xfer list) =
-  if xfers = [] then ready
+let blame_of_kind = function
+  | Cpu_gpu -> Mgacc_obs.Blame.Cpu_gpu
+  | Gpu_gpu -> Mgacc_obs.Blame.Gpu_gpu
+
+let charge_xfers ?(causes = fun (_ : Darray.xfer) -> []) t ~label ~kind ~ready
+    (xfers : Darray.xfer list) =
+  if xfers = [] then begin
+    t.last_xfer_spans <- [];
+    ready
+  end
   else begin
     let reqs =
       List.map
         (fun (x : Darray.xfer) ->
-          { Fabric.direction = x.Darray.dir; bytes = x.Darray.bytes; ready; tag = x.Darray.tag })
+          ( { Fabric.direction = x.Darray.dir; bytes = x.Darray.bytes; ready; tag = x.Darray.tag },
+            causes x ))
         xfers
     in
-    count_wire_bytes t reqs;
-    let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label reqs in
+    count_wire_bytes t (List.map fst reqs);
+    let completions = Machine.run_transfers_spans t.cfg.Rt_config.machine ~label reqs in
     let finish =
-      List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) ready
+      List.fold_left (fun acc ((c : Fabric.completion), _) -> Float.max acc c.Fabric.finish) ready
         completions
     in
     let bytes = List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 xfers in
     (match kind with
     | Cpu_gpu -> Profiler.add_cpu_gpu t.profiler ~seconds:(finish -. ready) ~bytes
     | Gpu_gpu -> Profiler.add_gpu_gpu t.profiler ~seconds:(finish -. ready) ~bytes);
+    let spans = List.filter_map snd completions in
+    Mgacc_obs.Blame.charge t.ledger (blame_of_kind kind) ~label ~exposed:(finish -. ready)
+      ~hidden:0.0 ~spans;
+    t.last_xfer_spans <- spans;
     finish
   end
 
@@ -76,9 +89,13 @@ let charge_xfers t ~label ~kind ~ready (xfers : Darray.xfer list) =
    machine sat waiting on a host-side dependency (a dirty-bit scan) and is
    charged as overhead. The invariant "category times sum to the makespan"
    makes Fig. 8-style breakdowns read as a critical path. *)
-let account t ~kind ~bytes ~start ~finish =
+let account t ~label ~spans ~kind ~bytes ~start ~finish =
   let gap = Float.max 0.0 (start -. t.horizon) in
-  if gap > 0.0 then Profiler.add_overhead t.profiler ~seconds:gap;
+  if gap > 0.0 then begin
+    Profiler.add_overhead t.profiler ~seconds:gap;
+    Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Overhead ~label:("wait:" ^ label) ~exposed:gap
+      ~hidden:0.0 ~spans:[]
+  end;
   let exposed = Float.max 0.0 (finish -. Float.max t.horizon start) in
   let hidden = Float.max 0.0 (finish -. start -. exposed) in
   (match kind with
@@ -86,24 +103,42 @@ let account t ~kind ~bytes ~start ~finish =
   | `Gpu_gpu -> Profiler.add_gpu_gpu t.profiler ~seconds:exposed ~bytes
   | `Kernel -> Profiler.add_kernel t.profiler ~seconds:exposed);
   if hidden > 0.0 then Profiler.add_hidden t.profiler ~seconds:hidden;
+  let cat =
+    match kind with
+    | `Cpu_gpu -> Mgacc_obs.Blame.Cpu_gpu
+    | `Gpu_gpu -> Mgacc_obs.Blame.Gpu_gpu
+    | `Kernel -> Mgacc_obs.Blame.Kernel
+  in
+  Mgacc_obs.Blame.charge t.ledger cat ~label ~exposed ~hidden ~spans;
   if finish > t.horizon then t.horizon <- finish
 
-let run_batch_overlap t ~label ~kind (reqs : Fabric.request list) =
+let run_batch_overlap t ~label ~kind (reqs : (Fabric.request * int list) list) =
   if reqs = [] then []
   else begin
-    count_wire_bytes t reqs;
-    let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label reqs in
+    count_wire_bytes t (List.map fst reqs);
+    let completions = Machine.run_transfers_spans t.cfg.Rt_config.machine ~label reqs in
     let start =
-      List.fold_left (fun acc (r : Fabric.request) -> Float.min acc r.Fabric.ready) infinity reqs
+      List.fold_left
+        (fun acc ((r : Fabric.request), _) -> Float.min acc r.Fabric.ready)
+        infinity reqs
     in
     let finish =
-      List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) start
+      List.fold_left (fun acc ((c : Fabric.completion), _) -> Float.max acc c.Fabric.finish) start
         completions
     in
-    let bytes = List.fold_left (fun acc (r : Fabric.request) -> acc + r.Fabric.bytes) 0 reqs in
-    account t ~kind ~bytes ~start ~finish;
+    let bytes = List.fold_left (fun acc ((r : Fabric.request), _) -> acc + r.Fabric.bytes) 0 reqs in
+    account t ~label ~spans:(List.filter_map snd completions) ~kind ~bytes ~start ~finish;
     completions
   end
+
+(* Overlap mode: advance a GPU's readiness timeline and remember which
+   trace span did it, so downstream gated ops can cite their producer. *)
+let record_ev t g fin sid =
+  if fin > Event.gpu_ready t.events g then
+    t.ev_spans.(g) <- (match sid with Some id -> id | None -> -1);
+  Event.record t.events g fin
+
+let ev_cause t g = if t.ev_spans.(g) >= 0 then [ t.ev_spans.(g) ] else []
 
 (* Deferred intervals pulled on demand carry a ":pull" tag; count their
    bytes into the per-array coherence counters. *)
@@ -141,10 +176,17 @@ let charge_host_xfers t ~label xfers =
     else begin
       let ready = Float.max t.clock t.horizon in
       let ready = charge_xfers t ~label ~kind:Gpu_gpu ~ready pulls in
+      let pull_spans = t.last_xfer_spans in
       let finish = charge_xfers t ~label ~kind:Cpu_gpu ~ready host in
       t.horizon <- Float.max t.horizon finish;
+      let barrier_span =
+        (* the last span of the drain is what every GPU now waits behind *)
+        match List.fold_left (fun acc id -> max acc id) (-1) (t.last_xfer_spans @ pull_spans) with
+        | -1 -> None
+        | id -> Some id
+      in
       for g = 0 to t.cfg.Rt_config.num_gpus - 1 do
-        Event.record t.events g finish
+        record_ev t g finish barrier_span
       done;
       Event.record_host t.events finish;
       t.clock <- finish
@@ -433,7 +475,9 @@ and on_parallel_loop_gpu t env loop plan =
       s.prep.Data_loader.xfers
   in
   let t1 = charge_xfers t ~label:"load" ~kind:Cpu_gpu ~ready:s.t0 host_xfers in
+  let load_spans = t.last_xfer_spans in
   let t1 = charge_xfers t ~label:"rebalance" ~kind:Gpu_gpu ~ready:t1 repart_xfers in
+  let load_spans = load_spans @ t.last_xfer_spans in
   (* Phase 2: kernels on all GPUs concurrently (KERNELS). *)
   let compiled = compiled_for t env plan in
   let runs, scalar_partials =
@@ -442,22 +486,28 @@ and on_parallel_loop_gpu t env loop plan =
       ~get_darray:(get_darray t env)
       ~get_reduction:(fun name -> List.assoc_opt name reductions)
   in
+  let kspan = Array.make num_gpus (-1) in
   let run_times =
     List.map
       (fun (run : Launch.gpu_run) ->
         assert (run.Launch.iterations > 0);
         Profiler.incr_kernel_launches t.profiler;
-        let _, finish =
-          Machine.launch_kernel t.cfg.Rt_config.machine ~dev:run.Launch.gpu ~ready:t1
+        let _, finish, sid =
+          Machine.launch_kernel_span ~causes:load_spans t.cfg.Rt_config.machine
+            ~dev:run.Launch.gpu ~ready:t1
             ~threads:(run.Launch.iterations * s.thread_multiplier)
             ~label:(Printf.sprintf "loop%d" loop.Loop_info.loop_id)
             run.Launch.cost
         in
+        kspan.(run.Launch.gpu) <- sid;
         (run.Launch.gpu, run.Launch.iterations, finish -. t1))
       runs
   in
+  let kernel_spans = Array.to_list kspan |> List.filter (fun id -> id >= 0) in
   let t2 = List.fold_left (fun acc (_, _, sec) -> Float.max acc (t1 +. sec)) t1 run_times in
   Profiler.add_kernel t.profiler ~seconds:(t2 -. t1);
+  Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Kernel ~label:"kernels" ~exposed:(t2 -. t1)
+    ~hidden:0.0 ~spans:kernel_spans;
   (* Feed the scheduler: per-GPU rates and the launch's imbalance. *)
   (match run_times with
   | _ :: _ :: _ ->
@@ -485,18 +535,31 @@ and on_parallel_loop_gpu t env loop plan =
   in
   count_coh t rec_result;
   let rec_xfers = Comm_manager.xfers_of rec_result in
-  let t2' =
-    Machine.overhead t.cfg.Rt_config.machine ~ready:t2
+  let t2', scan_span =
+    Machine.overhead_span ~causes:kernel_spans t.cfg.Rt_config.machine ~ready:t2
       ~seconds:rec_result.Comm_manager.scan_seconds ~label:"dirty-scan"
   in
   Profiler.add_overhead t.profiler ~seconds:(t2' -. t2);
+  Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Overhead ~label:"dirty-scan"
+    ~exposed:(t2' -. t2) ~hidden:0.0 ~spans:(Option.to_list scan_span);
+  (* Reconciliation transfers are gated (by the barrier) on the writer's
+     kernel and the dirty scan; cite both so the trace DAG shows it. *)
+  let barrier_cause src =
+    (if src >= 0 && src < num_gpus && kspan.(src) >= 0 then [ kspan.(src) ] else [])
+    @ Option.to_list scan_span
+  in
+  let xfer_causes (x : Darray.xfer) =
+    match x.Darray.dir with
+    | Fabric.P2p (a, _) -> barrier_cause a
+    | Fabric.H2d g | Fabric.D2h g -> barrier_cause g
+  in
   Log.debug (fun m ->
       m "loop %d: reconciliation ships %d bytes in %d transfer(s)" loop.Loop_info.loop_id
         (List.fold_left (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes) 0 rec_xfers)
         (List.length rec_xfers));
   let t3 =
     if not (Rt_config.planned_collectives t.cfg) then
-      charge_xfers t ~label:"comm" ~kind:Gpu_gpu ~ready:t2' rec_xfers
+      charge_xfers ~causes:xfer_causes t ~label:"comm" ~kind:Gpu_gpu ~ready:t2' rec_xfers
     else begin
       (* Collective planning: broadcast groups among the ops reshape into
          ring / hierarchical / segmented schedules; the whole plan charges
@@ -508,32 +571,47 @@ and on_parallel_loop_gpu t env loop plan =
       if Array.length cplan = 0 then t2'
       else begin
         let bytes = ref 0 in
+        let comm_spans = ref [] in
         let fin =
           Collective.execute ~plan:cplan
+            ~base_causes:(fun (it : Collective.item) ->
+              match it.Collective.dir with
+              | Fabric.P2p (a, _) -> barrier_cause a
+              | Fabric.H2d g | Fabric.D2h g -> barrier_cause g)
             ~base_ready:(fun _ -> t2')
             ~run:(fun reqs ->
               bytes :=
-                List.fold_left (fun a (r : Fabric.request) -> a + r.Fabric.bytes) !bytes reqs;
-              count_wire_bytes t reqs;
-              Machine.run_transfers t.cfg.Rt_config.machine ~label:"comm" reqs)
-            ~on_complete:(fun _ _ -> ())
+                List.fold_left (fun a ((r : Fabric.request), _) -> a + r.Fabric.bytes) !bytes reqs;
+              count_wire_bytes t (List.map fst reqs);
+              Machine.run_transfers_spans t.cfg.Rt_config.machine ~label:"comm" reqs)
+            ~on_complete:(fun _ _ sid ->
+              match sid with Some id -> comm_spans := id :: !comm_spans | None -> ())
+            ()
         in
         Profiler.add_gpu_gpu t.profiler ~seconds:(Float.max 0.0 (fin -. t2')) ~bytes:!bytes;
+        Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Gpu_gpu ~label:"comm"
+          ~exposed:(Float.max 0.0 (fin -. t2'))
+          ~hidden:0.0 ~spans:(List.rev !comm_spans);
         Float.max t2' fin
       end
     end
   in
+  let replay_spans = ref [] in
   let t4 =
     List.fold_left
       (fun acc (gpu, cost, label) ->
-        let _, finish =
-          Machine.launch_kernel t.cfg.Rt_config.machine ~dev:gpu ~ready:t3 ~threads:1024 ~label cost
+        let _, finish, sid =
+          Machine.launch_kernel_span ~causes:(barrier_cause gpu) t.cfg.Rt_config.machine ~dev:gpu
+            ~ready:t3 ~threads:1024 ~label cost
         in
+        replay_spans := sid :: !replay_spans;
         Float.max acc finish)
       t3
       (Comm_manager.gpu_kernel_costs_of rec_result)
   in
   Profiler.add_gpu_gpu t.profiler ~seconds:(t4 -. t3) ~bytes:0;
+  Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Gpu_gpu ~label:"replay" ~exposed:(t4 -. t3)
+    ~hidden:0.0 ~spans:(List.rev !replay_spans);
   (* Phase 4: fold scalar-reduction partials into the host scalars. *)
   let t5 =
     if scalar_partials = [] then t4
@@ -543,21 +621,26 @@ and on_parallel_loop_gpu t env loop plan =
           (fun (run : Launch.gpu_run) ->
             List.map
               (fun (name, _, _) ->
-                {
-                  Fabric.direction = Fabric.D2h run.Launch.gpu;
-                  bytes = 8;
-                  ready = t4;
-                  tag = name ^ ":scalar-red";
-                })
+                ( {
+                    Fabric.direction = Fabric.D2h run.Launch.gpu;
+                    bytes = 8;
+                    ready = t4;
+                    tag = name ^ ":scalar-red";
+                  },
+                  barrier_cause run.Launch.gpu ))
               scalar_partials)
           runs
       in
-      let completions = Machine.run_transfers t.cfg.Rt_config.machine ~label:"scalar-red" reqs in
+      let completions =
+        Machine.run_transfers_spans t.cfg.Rt_config.machine ~label:"scalar-red" reqs
+      in
       let finish =
-        List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) t4
+        List.fold_left (fun acc ((c : Fabric.completion), _) -> Float.max acc c.Fabric.finish) t4
           completions
       in
       Profiler.add_cpu_gpu t.profiler ~seconds:(finish -. t4) ~bytes:(8 * List.length reqs);
+      Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Cpu_gpu ~label:"scalar-red"
+        ~exposed:(finish -. t4) ~hidden:0.0 ~spans:(List.filter_map snd completions);
       fold_scalar_partials env scalar_partials;
       finish
     end
@@ -586,14 +669,20 @@ and on_parallel_loop_gpu_overlap t env loop plan =
           (Float.max (Event.gpu_ready t.events a) (Event.gpu_ready t.events b))
   in
   let mk_req (x : Darray.xfer) =
-    { Fabric.direction = x.Darray.dir; bytes = x.Darray.bytes; ready = ready_for x; tag = x.Darray.tag }
+    let causes =
+      match x.Darray.dir with
+      | Fabric.H2d g | Fabric.D2h g -> ev_cause t g
+      | Fabric.P2p (a, b) -> List.sort_uniq compare (ev_cause t a @ ev_cause t b)
+    in
+    ( { Fabric.direction = x.Darray.dir; bytes = x.Darray.bytes; ready = ready_for x; tag = x.Darray.tag },
+      causes )
   in
-  let record_endpoints (c : Fabric.completion) =
+  let record_endpoints ((c : Fabric.completion), sid) =
     match c.Fabric.req.Fabric.direction with
-    | Fabric.H2d g | Fabric.D2h g -> Event.record t.events g c.Fabric.finish
+    | Fabric.H2d g | Fabric.D2h g -> record_ev t g c.Fabric.finish sid
     | Fabric.P2p (a, b) ->
-        Event.record t.events a c.Fabric.finish;
-        Event.record t.events b c.Fabric.finish
+        record_ev t a c.Fabric.finish sid;
+        record_ev t b c.Fabric.finish sid
   in
   let repart_xfers, host_xfers =
     List.partition
@@ -615,14 +704,15 @@ and on_parallel_loop_gpu_overlap t env loop plan =
   in
   let kfin = Array.init num_gpus (fun g -> Float.max t.clock (Event.gpu_ready t.events g)) in
   let kstart = Array.copy kfin in
+  let kspan = Array.make num_gpus (-1) in
   let spans =
     List.map
       (fun (run : Launch.gpu_run) ->
         assert (run.Launch.iterations > 0);
         Profiler.incr_kernel_launches t.profiler;
         let g = run.Launch.gpu in
-        let start, finish =
-          Machine.launch_kernel machine ~dev:g
+        let start, finish, sid =
+          Machine.launch_kernel_span ~causes:(ev_cause t g) machine ~dev:g
             ~ready:(Float.max t.clock (Event.gpu_ready t.events g))
             ~threads:(run.Launch.iterations * s.thread_multiplier)
             ~label:(Printf.sprintf "loop%d" loop.Loop_info.loop_id)
@@ -630,7 +720,8 @@ and on_parallel_loop_gpu_overlap t env loop plan =
         in
         kstart.(g) <- start;
         kfin.(g) <- finish;
-        Event.record t.events g finish;
+        kspan.(g) <- sid;
+        record_ev t g finish (Some sid);
         (run, start, finish))
       runs
   in
@@ -639,7 +730,8 @@ and on_parallel_loop_gpu_overlap t env loop plan =
   | _ ->
       let bstart = List.fold_left (fun acc (_, st, _) -> Float.min acc st) infinity spans in
       let bfinish = List.fold_left (fun acc (_, _, fi) -> Float.max acc fi) 0.0 spans in
-      account t ~kind:`Kernel ~bytes:0 ~start:bstart ~finish:bfinish);
+      let kids = Array.to_list kspan |> List.filter (fun id -> id >= 0) in
+      account t ~label:"kernels" ~spans:kids ~kind:`Kernel ~bytes:0 ~start:bstart ~finish:bfinish);
   (* Feed the scheduler from events: per-GPU busy spans, not a shared t1. *)
   (match spans with
   | _ :: _ :: _ ->
@@ -678,9 +770,24 @@ and on_parallel_loop_gpu_overlap t env loop plan =
   let replay_fin = Hashtbl.create 8 in
   let combine_fin = Hashtbl.create 8 in
   let bcast_arrival = Hashtbl.create 8 in
-  let bump tbl key v =
-    match Hashtbl.find_opt tbl key with Some x when x >= v -> () | _ -> Hashtbl.replace tbl key v
+  (* Span mirrors of the arrival tables: the trace span id that set each
+     arrival time, so dependents can cite their actual producer. *)
+  let miss_span = Hashtbl.create 8 in
+  let gather_span = Hashtbl.create 8 in
+  let replay_span = Hashtbl.create 8 in
+  let combine_span = Hashtbl.create 8 in
+  let bcast_span = Hashtbl.create 8 in
+  let bump2 tbl stbl key v sid =
+    match Hashtbl.find_opt tbl key with
+    | Some x when x >= v -> ()
+    | _ ->
+        Hashtbl.replace tbl key v;
+        (match sid with Some id -> Hashtbl.replace stbl key id | None -> Hashtbl.remove stbl key)
   in
+  let span_find stbl key =
+    match Hashtbl.find_opt stbl key with Some id -> [ id ] | None -> []
+  in
+  let kcause g = if kspan.(g) >= 0 then [ kspan.(g) ] else [] in
   let has_replay a =
     List.exists (fun (k : Comm_manager.gpu_kernel) -> k.Comm_manager.array = a) r.Comm_manager.replays
   in
@@ -731,20 +838,46 @@ and on_parallel_loop_gpu_overlap t env loop plan =
     in
     { Fabric.direction = op.Comm_manager.dir; bytes = op.Comm_manager.bytes; ready; tag = op.Comm_manager.tag }
   in
-  let handle_completion (op : Comm_manager.op) (c : Fabric.completion) =
+  (* Span-level mirror of [op_req]'s readiness: the producer spans whose
+     finish times the op's ready instant was computed from. *)
+  let op_causes ~wave (op : Comm_manager.op) =
+    let src, dst =
+      match op.Comm_manager.dir with
+      | Fabric.P2p (a, b) -> (a, b)
+      | Fabric.H2d g | Fabric.D2h g -> (g, g)
+    in
+    let a = op.Comm_manager.array in
+    let causes =
+      match op.Comm_manager.kind with
+      | Comm_manager.Dirty_chunk | Comm_manager.Miss_ship | Comm_manager.Red_gather -> kcause src
+      | Comm_manager.Red_bcast ->
+          let base =
+            match span_find combine_span a with
+            | [] -> ( match span_find gather_span a with [] -> kcause src | l -> l)
+            | l -> l
+          in
+          base @ kcause src @ span_find bcast_span (a, src)
+      | Comm_manager.Halo_segment ->
+          let base = kcause src @ kcause dst in
+          if wave = 2 then base @ span_find replay_span (src, a) else base
+    in
+    List.sort_uniq compare causes
+  in
+  let handle_completion (op : Comm_manager.op) ((c : Fabric.completion), sid) =
     let fin = c.Fabric.finish in
     match (op.Comm_manager.kind, op.Comm_manager.dir) with
-    | Comm_manager.Dirty_chunk, Fabric.P2p (_, dst) -> Event.record t.events dst fin
+    | Comm_manager.Dirty_chunk, Fabric.P2p (_, dst) -> record_ev t dst fin sid
     | Comm_manager.Miss_ship, Fabric.P2p (_, dst) ->
-        bump miss_arrival (dst, op.Comm_manager.array) fin
-    | Comm_manager.Red_gather, Fabric.P2p _ -> bump gather_arrival op.Comm_manager.array fin
+        bump2 miss_arrival miss_span (dst, op.Comm_manager.array) fin sid
+    | Comm_manager.Red_gather, Fabric.P2p _ ->
+        bump2 gather_arrival gather_span op.Comm_manager.array fin sid
     | Comm_manager.Red_bcast, Fabric.P2p (_, dst) ->
-        bump bcast_arrival (op.Comm_manager.array, dst) fin;
-        Event.record t.events dst fin
+        bump2 bcast_arrival bcast_span (op.Comm_manager.array, dst) fin sid;
+        record_ev t dst fin sid
     | Comm_manager.Halo_segment, Fabric.P2p (src, dst) ->
-        Event.record t.events src fin;
-        Event.record t.events dst fin
-    | _, (Fabric.H2d g | Fabric.D2h g) -> Event.record t.events g fin
+        record_ev t src fin sid;
+        record_ev t dst fin sid
+    | _, (Fabric.H2d g | Fabric.D2h g) -> record_ev t g fin sid
   in
   (* Base readiness of a planned item: the op_req logic, applied to the
      item's actual path. First hops gate like their logical op; forwarded
@@ -783,19 +916,54 @@ and on_parallel_loop_gpu_overlap t env loop plan =
           Float.max base (Option.value ~default:0.0 (Hashtbl.find_opt replay_fin (isrc, a)))
         else base
   in
+  (* Span-level mirror of [planned_ready], per hop of the item's path. *)
+  let planned_causes ~wave (it : Collective.item) =
+    let op = it.Collective.op in
+    let isrc, idst =
+      match it.Collective.dir with
+      | Fabric.P2p (a, b) -> (a, b)
+      | Fabric.H2d g | Fabric.D2h g -> (g, g)
+    in
+    let osrc =
+      match op.Comm_manager.dir with
+      | Fabric.P2p (a, _) -> a
+      | Fabric.H2d g | Fabric.D2h g -> g
+    in
+    let a = op.Comm_manager.array in
+    let causes =
+      match op.Comm_manager.kind with
+      | Comm_manager.Dirty_chunk -> if isrc = osrc then kcause isrc else []
+      | Comm_manager.Miss_ship | Comm_manager.Red_gather -> kcause isrc
+      | Comm_manager.Red_bcast ->
+          let base =
+            match span_find combine_span a with
+            | [] -> ( match span_find gather_span a with [] -> kcause osrc | l -> l)
+            | l -> l
+          in
+          base @ kcause isrc
+      | Comm_manager.Halo_segment ->
+          let base = kcause isrc @ kcause idst in
+          if wave = 2 then base @ span_find replay_span (isrc, a) else base
+    in
+    List.sort_uniq compare causes
+  in
   let run_planned ~wave ops =
     let cplan, cstats = Collective.plan ~cfg:t.cfg ~fabric:(fabric_of t) ops in
     count_collective_stats t cstats;
     ignore
-      (Collective.execute ~plan:cplan ~base_ready:(planned_ready ~wave)
+      (Collective.execute ~plan:cplan ~base_causes:(planned_causes ~wave)
+         ~base_ready:(planned_ready ~wave)
          ~run:(run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu)
-         ~on_complete:(fun (it : Collective.item) c -> handle_completion it.Collective.op c))
+         ~on_complete:(fun (it : Collective.item) c sid ->
+           handle_completion it.Collective.op (c, sid))
+         ())
   in
   let planned = Rt_config.planned_collectives t.cfg in
   if planned then run_planned ~wave:1 wave1
   else
     List.iter2 handle_completion wave1
-      (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:1) wave1));
+      (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu
+         (List.map (fun op -> (op_req ~wave:1 op, op_causes ~wave:1 op)) wave1));
   (* Replay and combine kernels, each gated on its own inputs. *)
   let small_spans = ref [] in
   List.iter
@@ -805,13 +973,17 @@ and on_parallel_loop_gpu_overlap t env loop plan =
         Float.max kfin.(g)
           (Option.value ~default:0.0 (Hashtbl.find_opt miss_arrival (g, k.Comm_manager.array)))
       in
-      let start, finish =
-        Machine.launch_kernel machine ~dev:g ~ready ~threads:1024 ~label:k.Comm_manager.label
-          k.Comm_manager.cost
+      let causes =
+        List.sort_uniq compare (kcause g @ span_find miss_span (g, k.Comm_manager.array))
+      in
+      let start, finish, sid =
+        Machine.launch_kernel_span ~causes machine ~dev:g ~ready ~threads:1024
+          ~label:k.Comm_manager.label k.Comm_manager.cost
       in
       Hashtbl.replace replay_fin (g, k.Comm_manager.array) finish;
-      Event.record t.events g finish;
-      small_spans := (start, finish) :: !small_spans)
+      Hashtbl.replace replay_span (g, k.Comm_manager.array) sid;
+      record_ev t g finish (Some sid);
+      small_spans := (start, finish, sid) :: !small_spans)
     r.Comm_manager.replays;
   List.iter
     (fun (k : Comm_manager.gpu_kernel) ->
@@ -820,20 +992,25 @@ and on_parallel_loop_gpu_overlap t env loop plan =
         Float.max kfin.(g)
           (Option.value ~default:0.0 (Hashtbl.find_opt gather_arrival k.Comm_manager.array))
       in
-      let start, finish =
-        Machine.launch_kernel machine ~dev:g ~ready ~threads:1024 ~label:k.Comm_manager.label
-          k.Comm_manager.cost
+      let causes =
+        List.sort_uniq compare (kcause g @ span_find gather_span k.Comm_manager.array)
+      in
+      let start, finish, sid =
+        Machine.launch_kernel_span ~causes machine ~dev:g ~ready ~threads:1024
+          ~label:k.Comm_manager.label k.Comm_manager.cost
       in
       Hashtbl.replace combine_fin k.Comm_manager.array finish;
-      Event.record t.events g finish;
-      small_spans := (start, finish) :: !small_spans)
+      Hashtbl.replace combine_span k.Comm_manager.array sid;
+      record_ev t g finish (Some sid);
+      small_spans := (start, finish, sid) :: !small_spans)
     r.Comm_manager.combines;
   (match !small_spans with
   | [] -> ()
   | spans ->
-      let st = List.fold_left (fun acc (a, _) -> Float.min acc a) infinity spans in
-      let fi = List.fold_left (fun acc (_, b) -> Float.max acc b) 0.0 spans in
-      account t ~kind:`Gpu_gpu ~bytes:0 ~start:st ~finish:fi);
+      let st = List.fold_left (fun acc (a, _, _) -> Float.min acc a) infinity spans in
+      let fi = List.fold_left (fun acc (_, b, _) -> Float.max acc b) 0.0 spans in
+      let ids = List.rev_map (fun (_, _, id) -> id) spans in
+      account t ~label:"replay" ~spans:ids ~kind:`Gpu_gpu ~bytes:0 ~start:st ~finish:fi);
   (* Wave 2 runs in broadcast-round order: ops of round [r+1] (binomial
      tree edges) only become ready once round [r] completions have been
      recorded. Eager mode puts every op in round 0, reproducing the
@@ -849,7 +1026,8 @@ and on_parallel_loop_gpu_overlap t env loop plan =
           List.filter (fun (op : Comm_manager.op) -> op.Comm_manager.round = round) wave2
         in
         List.iter2 handle_completion ops
-          (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu (List.map (op_req ~wave:2) ops)))
+          (run_batch_overlap t ~label:"comm" ~kind:`Gpu_gpu
+             (List.map (fun op -> (op_req ~wave:2 op, op_causes ~wave:2 op)) ops)))
       wave2_rounds
   end;
   (* Phase 4: scalar-reduction partials. Only these block the host — a
@@ -861,19 +1039,21 @@ and on_parallel_loop_gpu_overlap t env loop plan =
         (fun (run : Launch.gpu_run) ->
           List.map
             (fun (name, _, _) ->
-              {
-                Fabric.direction = Fabric.D2h run.Launch.gpu;
-                bytes = 8;
-                ready = kfin.(run.Launch.gpu);
-                tag = name ^ ":scalar-red";
-              })
+              ( {
+                  Fabric.direction = Fabric.D2h run.Launch.gpu;
+                  bytes = 8;
+                  ready = kfin.(run.Launch.gpu);
+                  tag = name ^ ":scalar-red";
+                },
+                kcause run.Launch.gpu ))
             scalar_partials)
         runs
     in
     let completions = run_batch_overlap t ~label:"scalar-red" ~kind:`Cpu_gpu reqs in
     let finish =
-      List.fold_left (fun acc (c : Fabric.completion) -> Float.max acc c.Fabric.finish) t.clock
-        completions
+      List.fold_left
+        (fun acc ((c : Fabric.completion), _) -> Float.max acc c.Fabric.finish)
+        t.clock completions
     in
     fold_scalar_partials env scalar_partials;
     Event.record_host t.events finish;
@@ -946,6 +1126,9 @@ let execute t program =
   finish ~keep_resident:t.cfg.Rt_config.keep_resident t;
   env
 
+let blame t =
+  Mgacc_obs.Blame.summarize t.ledger ~trace:t.cfg.Rt_config.machine.Machine.trace
+
 let report ?variant t =
   let variant =
     match variant with
@@ -958,7 +1141,7 @@ let report ?variant t =
   in
   Report.with_queue r ~seconds:(Session.queue_seconds t)
 
-let run ?config ?variant ~machine program =
+let run ?config ?variant ?(with_blame = false) ~machine program =
   let cfg = match config with Some c -> c | None -> Rt_config.make machine in
   (* A reused machine carries timeline availability from earlier runs;
      reset so back-to-back runs in one process match fresh-process runs
@@ -973,6 +1156,9 @@ let run ?config ?variant ~machine program =
     | Some v -> v
     | None -> Printf.sprintf "proposal(%d)" cfg.Rt_config.num_gpus
   in
-  ( env,
+  let r =
     Report.of_profiler t.profiler ~machine:machine.Machine.name ~variant
-      ~num_gpus:cfg.Rt_config.num_gpus )
+      ~num_gpus:cfg.Rt_config.num_gpus
+  in
+  let r = if with_blame then Report.with_blame r (blame t) else r in
+  (env, r)

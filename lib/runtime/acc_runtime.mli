@@ -15,6 +15,7 @@
 val run :
   ?config:Rt_config.t ->
   ?variant:string ->
+  ?with_blame:bool ->
   machine:Mgacc_gpusim.Machine.t ->
   Mgacc_minic.Ast.program ->
   Mgacc_exec.Host_interp.env * Report.t
@@ -23,7 +24,9 @@ val run :
     result inspection) and the run report. [config] defaults to all GPUs
     with the paper's settings; [variant] labels the report. The machine is
     reset first, so back-to-back runs in one process match fresh-process
-    runs bit for bit. *)
+    runs bit for bit. With [with_blame] the report carries the
+    critical-path blame summary ({!Report.pp_blame}, the [--blame]
+    flag); timings are unaffected. *)
 
 type t = Session.t
 (** An open runtime session, for callers that need to drive the host
@@ -44,6 +47,11 @@ val execute : t -> Mgacc_minic.Ast.program -> Mgacc_exec.Host_interp.env
 
 val report : ?variant:string -> t -> Report.t
 (** Snapshot the session's profiler into a report (queue wait included). *)
+
+val blame : t -> Mgacc_obs.Blame.summary
+(** Summarize the session's blame ledger against the machine trace:
+    critical path, per-category exposed/hidden split (reconciling with
+    the profiler by construction) and the per-label blame rows. *)
 
 val profiler : t -> Profiler.t
 val now : t -> float

@@ -400,9 +400,10 @@ let plan ~cfg ~fabric (ops : Comm_manager.op list) =
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
 
-let execute ~plan ~base_ready ~run ~on_complete =
+let execute ~plan ?(base_causes = fun _ -> []) ~base_ready ~run ~on_complete () =
   let n = Array.length plan in
   let finish = Array.make n neg_infinity in
+  let span = Array.make n None in
   let max_level = Array.fold_left (fun m it -> max m it.level) (-1) plan in
   for level = 0 to max_level do
     let idxs = ref [] in
@@ -419,14 +420,17 @@ let execute ~plan ~base_ready ~run ~on_complete =
               let ready = base_ready it in
               let ready = if it.dep >= 0 then Float.max ready finish.(it.dep) else ready in
               let ready = if it.dep2 >= 0 then Float.max ready finish.(it.dep2) else ready in
-              { Fabric.direction = it.dir; bytes = it.bytes; ready; tag = it.tag })
+              let gate d acc = if d >= 0 then match span.(d) with Some s -> s :: acc | None -> acc else acc in
+              let causes = base_causes it |> gate it.dep |> gate it.dep2 in
+              ({ Fabric.direction = it.dir; bytes = it.bytes; ready; tag = it.tag }, causes))
             idxs
         in
         let comps = run reqs in
         List.iter2
-          (fun i (c : Fabric.completion) ->
+          (fun i ((c : Fabric.completion), sid) ->
             finish.(i) <- c.Fabric.finish;
-            on_complete plan.(i) c)
+            span.(i) <- sid;
+            on_complete plan.(i) c sid)
           idxs comps
   done;
   Array.fold_left Float.max neg_infinity finish
@@ -434,5 +438,6 @@ let execute ~plan ~base_ready ~run ~on_complete =
 let simulate ~fabric ~plan ~ready =
   execute ~plan
     ~base_ready:(fun _ -> ready)
-    ~run:(Fabric.run_batch fabric)
-    ~on_complete:(fun _ _ -> ())
+    ~run:(fun reqs -> List.map (fun c -> (c, None)) (Fabric.run_batch fabric (List.map fst reqs)))
+    ~on_complete:(fun _ _ _ -> ())
+    ()

@@ -1,93 +1,121 @@
+module Metrics = Mgacc_obs.Metrics
+
 type memory_report = { user_bytes : int; system_bytes : int }
 
 type coh_cell = { mutable shipped : int; mutable deferred : int; mutable pulled : int }
 
+(* All scalar counters live in the metrics registry; integer counts are
+   stored as float counters (exact below 2^53, far above anything the
+   simulator produces) and converted back at the getters. The float
+   accumulation order of the time categories is unchanged from the
+   pre-registry profiler, so reports stay bit-identical. *)
 type t = {
+  metrics : Metrics.t;
   coh : (string, coh_cell) Hashtbl.t;
-  mutable cpu_gpu : float;
-  mutable gpu_gpu : float;
-  mutable kernel : float;
-  mutable overhead : float;
-  mutable cpu_gpu_bytes : int;
-  mutable gpu_gpu_bytes : int;
-  mutable wire_bytes : int;
-  mutable coll_rings : int;
-  mutable coll_hierarchies : int;
-  mutable coll_direct_groups : int;
-  mutable coll_segments : int;
-  mutable launches : int;
-  mutable loops : int;
-  mutable rebalances : int;
-  mutable imbalance_sum : float;
-  mutable imbalance_samples : int;
-  mutable hidden : float;
-  mutable prefetch_hits : int;
+  c_cpu_gpu : Metrics.counter;
+  c_gpu_gpu : Metrics.counter;
+  c_kernel : Metrics.counter;
+  c_overhead : Metrics.counter;
+  c_hidden : Metrics.counter;
+  c_cpu_gpu_bytes : Metrics.counter;
+  c_gpu_gpu_bytes : Metrics.counter;
+  c_wire_bytes : Metrics.counter;
+  c_coll_rings : Metrics.counter;
+  c_coll_hierarchies : Metrics.counter;
+  c_coll_direct_groups : Metrics.counter;
+  c_coll_segments : Metrics.counter;
+  c_launches : Metrics.counter;
+  c_loops : Metrics.counter;
+  c_rebalances : Metrics.counter;
+  c_imbalance_sum : Metrics.counter;
+  c_imbalance_samples : Metrics.counter;
+  h_imbalance : Metrics.histogram;
+  c_prefetch_hits : Metrics.counter;
+  c_spilled_bytes : Metrics.counter;
+  c_spills : Metrics.counter;
+  g_mem_user : Metrics.gauge;
+  g_mem_system : Metrics.gauge;
   mutable mem : memory_report;
-  mutable spilled_bytes : int;
-  mutable spills : int;
 }
 
 let create () =
+  let m = Metrics.create () in
   {
+    metrics = m;
     coh = Hashtbl.create 8;
-    cpu_gpu = 0.0;
-    gpu_gpu = 0.0;
-    kernel = 0.0;
-    overhead = 0.0;
-    cpu_gpu_bytes = 0;
-    gpu_gpu_bytes = 0;
-    wire_bytes = 0;
-    coll_rings = 0;
-    coll_hierarchies = 0;
-    coll_direct_groups = 0;
-    coll_segments = 0;
-    launches = 0;
-    loops = 0;
-    rebalances = 0;
-    imbalance_sum = 0.0;
-    imbalance_samples = 0;
-    hidden = 0.0;
-    prefetch_hits = 0;
+    c_cpu_gpu =
+      Metrics.counter m ~help:"exposed host<->device transfer seconds" "rt_cpu_gpu_seconds_total";
+    c_gpu_gpu =
+      Metrics.counter m ~help:"exposed inter-GPU reconciliation seconds" "rt_gpu_gpu_seconds_total";
+    c_kernel = Metrics.counter m ~help:"exposed kernel seconds" "rt_kernel_seconds_total";
+    c_overhead = Metrics.counter m ~help:"runtime bookkeeping seconds" "rt_overhead_seconds_total";
+    c_hidden =
+      Metrics.counter m ~help:"seconds hidden behind the critical path (overlap engine)"
+        "rt_hidden_seconds_total";
+    c_cpu_gpu_bytes = Metrics.counter m ~help:"host<->device bytes" "rt_cpu_gpu_bytes_total";
+    c_gpu_gpu_bytes = Metrics.counter m ~help:"inter-GPU bytes" "rt_gpu_gpu_bytes_total";
+    c_wire_bytes = Metrics.counter m ~help:"bytes across the inter-node wire" "rt_wire_bytes_total";
+    c_coll_rings = Metrics.counter m "rt_collective_rings_total";
+    c_coll_hierarchies = Metrics.counter m "rt_collective_hierarchies_total";
+    c_coll_direct_groups = Metrics.counter m "rt_collective_direct_groups_total";
+    c_coll_segments = Metrics.counter m "rt_collective_segments_total";
+    c_launches = Metrics.counter m ~help:"multi-GPU kernel launches" "rt_kernel_launches_total";
+    c_loops = Metrics.counter m ~help:"parallel loops executed" "rt_loops_total";
+    c_rebalances = Metrics.counter m ~help:"committed scheduler re-splits" "rt_rebalances_total";
+    c_imbalance_sum = Metrics.counter m "rt_imbalance_ratio_sum_total";
+    c_imbalance_samples = Metrics.counter m "rt_imbalance_samples_total";
+    h_imbalance =
+      Metrics.histogram m ~help:"per-launch kernel-time imbalance ratio"
+        ~buckets:[| 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 |]
+        "rt_imbalance_ratio";
+    c_prefetch_hits = Metrics.counter m "rt_prefetch_hits_total";
+    c_spilled_bytes =
+      Metrics.counter m ~help:"dirty bytes written back on fleet evictions" "rt_spilled_bytes_total";
+    c_spills = Metrics.counter m ~help:"fleet evictions of this session" "rt_spills_total";
+    g_mem_user = Metrics.gauge m ~help:"peak user device bytes" "rt_mem_user_bytes";
+    g_mem_system = Metrics.gauge m ~help:"peak system device bytes" "rt_mem_system_bytes";
     mem = { user_bytes = 0; system_bytes = 0 };
-    spilled_bytes = 0;
-    spills = 0;
   }
 
+let metrics t = t.metrics
+let int_count c = int_of_float (Metrics.counter_value c)
+
 let add_cpu_gpu t ~seconds ~bytes =
-  t.cpu_gpu <- t.cpu_gpu +. seconds;
-  t.cpu_gpu_bytes <- t.cpu_gpu_bytes + bytes
+  Metrics.inc t.c_cpu_gpu seconds;
+  Metrics.inc t.c_cpu_gpu_bytes (float_of_int bytes)
 
 let add_gpu_gpu t ~seconds ~bytes =
-  t.gpu_gpu <- t.gpu_gpu +. seconds;
-  t.gpu_gpu_bytes <- t.gpu_gpu_bytes + bytes
+  Metrics.inc t.c_gpu_gpu seconds;
+  Metrics.inc t.c_gpu_gpu_bytes (float_of_int bytes)
 
-let add_wire_bytes t ~bytes = t.wire_bytes <- t.wire_bytes + bytes
+let add_wire_bytes t ~bytes = Metrics.inc t.c_wire_bytes (float_of_int bytes)
 
 let add_collective t ~rings ~hierarchies ~direct_groups ~segments =
-  t.coll_rings <- t.coll_rings + rings;
-  t.coll_hierarchies <- t.coll_hierarchies + hierarchies;
-  t.coll_direct_groups <- t.coll_direct_groups + direct_groups;
-  t.coll_segments <- t.coll_segments + segments
+  Metrics.inc t.c_coll_rings (float_of_int rings);
+  Metrics.inc t.c_coll_hierarchies (float_of_int hierarchies);
+  Metrics.inc t.c_coll_direct_groups (float_of_int direct_groups);
+  Metrics.inc t.c_coll_segments (float_of_int segments)
 
-let add_kernel t ~seconds = t.kernel <- t.kernel +. seconds
-let add_overhead t ~seconds = t.overhead <- t.overhead +. seconds
-let incr_kernel_launches t = t.launches <- t.launches + 1
-let incr_loops t = t.loops <- t.loops + 1
-let incr_rebalances t = t.rebalances <- t.rebalances + 1
+let add_kernel t ~seconds = Metrics.inc t.c_kernel seconds
+let add_overhead t ~seconds = Metrics.inc t.c_overhead seconds
+let incr_kernel_launches t = Metrics.inc t.c_launches 1.
+let incr_loops t = Metrics.inc t.c_loops 1.
+let incr_rebalances t = Metrics.inc t.c_rebalances 1.
 
 let add_imbalance t ~ratio =
-  t.imbalance_sum <- t.imbalance_sum +. ratio;
-  t.imbalance_samples <- t.imbalance_samples + 1
+  Metrics.inc t.c_imbalance_sum ratio;
+  Metrics.inc t.c_imbalance_samples 1.;
+  Metrics.observe t.h_imbalance ratio
 
-let add_hidden t ~seconds = t.hidden <- t.hidden +. seconds
-let add_prefetch_hits t ~count = t.prefetch_hits <- t.prefetch_hits + count
+let add_hidden t ~seconds = Metrics.inc t.c_hidden seconds
+let add_prefetch_hits t ~count = Metrics.inc t.c_prefetch_hits (float_of_int count)
 
 (* Fleet memory pressure: one eviction of this session's warm data,
    writing [bytes] of dirty device data back to the host (0 when the
    evicted arrays were clean — writeback semantics). *)
 let add_spill t ~bytes =
-  t.spills <- t.spills + 1;
-  t.spilled_bytes <- t.spilled_bytes + bytes
+  Metrics.inc t.c_spills 1.;
+  Metrics.inc t.c_spilled_bytes (float_of_int bytes)
 
 let coh_cell t array =
   match Hashtbl.find_opt t.coh array with
@@ -114,28 +142,29 @@ let coh_rows t =
   Hashtbl.fold (fun array c acc -> (array, c.shipped, c.deferred, c.pulled) :: acc) t.coh []
   |> List.sort compare
 
-let cpu_gpu_time t = t.cpu_gpu
-let gpu_gpu_time t = t.gpu_gpu
-let kernel_time t = t.kernel
-let overhead_time t = t.overhead
-let total_time t = t.cpu_gpu +. t.gpu_gpu +. t.kernel +. t.overhead
-let cpu_gpu_bytes t = t.cpu_gpu_bytes
-let gpu_gpu_bytes t = t.gpu_gpu_bytes
-let wire_bytes t = t.wire_bytes
-let collective_rings t = t.coll_rings
-let collective_hierarchies t = t.coll_hierarchies
-let collective_direct_groups t = t.coll_direct_groups
-let collective_segments t = t.coll_segments
-let kernel_launches t = t.launches
-let loops_executed t = t.loops
-let rebalances t = t.rebalances
-let hidden_time t = t.hidden
-let prefetch_hits t = t.prefetch_hits
-let spilled_bytes t = t.spilled_bytes
-let spills t = t.spills
+let cpu_gpu_time t = Metrics.counter_value t.c_cpu_gpu
+let gpu_gpu_time t = Metrics.counter_value t.c_gpu_gpu
+let kernel_time t = Metrics.counter_value t.c_kernel
+let overhead_time t = Metrics.counter_value t.c_overhead
+let total_time t = cpu_gpu_time t +. gpu_gpu_time t +. kernel_time t +. overhead_time t
+let cpu_gpu_bytes t = int_count t.c_cpu_gpu_bytes
+let gpu_gpu_bytes t = int_count t.c_gpu_gpu_bytes
+let wire_bytes t = int_count t.c_wire_bytes
+let collective_rings t = int_count t.c_coll_rings
+let collective_hierarchies t = int_count t.c_coll_hierarchies
+let collective_direct_groups t = int_count t.c_coll_direct_groups
+let collective_segments t = int_count t.c_coll_segments
+let kernel_launches t = int_count t.c_launches
+let loops_executed t = int_count t.c_loops
+let rebalances t = int_count t.c_rebalances
+let hidden_time t = Metrics.counter_value t.c_hidden
+let prefetch_hits t = int_count t.c_prefetch_hits
+let spilled_bytes t = int_count t.c_spilled_bytes
+let spills t = int_count t.c_spills
 
 let mean_imbalance t =
-  if t.imbalance_samples = 0 then 0.0 else t.imbalance_sum /. float_of_int t.imbalance_samples
+  let samples = Metrics.counter_value t.c_imbalance_samples in
+  if samples = 0. then 0.0 else Metrics.counter_value t.c_imbalance_sum /. samples
 
 let record_memory_peaks t machine ~num_gpus =
   let user = ref 0 and system = ref 0 in
@@ -144,7 +173,9 @@ let record_memory_peaks t machine ~num_gpus =
     user := !user + Mgacc_gpusim.Memory.peak_class mem `User;
     system := !system + Mgacc_gpusim.Memory.peak_class mem `System
   done;
-  t.mem <- { user_bytes = max t.mem.user_bytes !user; system_bytes = max t.mem.system_bytes !system }
+  t.mem <- { user_bytes = max t.mem.user_bytes !user; system_bytes = max t.mem.system_bytes !system };
+  Metrics.set t.g_mem_user (float_of_int t.mem.user_bytes);
+  Metrics.set t.g_mem_system (float_of_int t.mem.system_bytes)
 
 let memory t = t.mem
 
@@ -152,9 +183,10 @@ let pp ppf t =
   Format.fprintf ppf
     "time: total=%.6fs kernels=%.6fs cpu-gpu=%.6fs gpu-gpu=%.6fs overhead=%.6fs hidden=%.6fs; \
      bytes: h<->d=%s p2p=%s; launches=%d loops=%d; mem user=%s system=%s"
-    (total_time t) t.kernel t.cpu_gpu t.gpu_gpu t.overhead t.hidden
-    (Mgacc_util.Bytesize.to_string t.cpu_gpu_bytes)
-    (Mgacc_util.Bytesize.to_string t.gpu_gpu_bytes)
-    t.launches t.loops
+    (total_time t) (kernel_time t) (cpu_gpu_time t) (gpu_gpu_time t) (overhead_time t)
+    (hidden_time t)
+    (Mgacc_util.Bytesize.to_string (cpu_gpu_bytes t))
+    (Mgacc_util.Bytesize.to_string (gpu_gpu_bytes t))
+    (kernel_launches t) (loops_executed t)
     (Mgacc_util.Bytesize.to_string t.mem.user_bytes)
     (Mgacc_util.Bytesize.to_string t.mem.system_bytes)

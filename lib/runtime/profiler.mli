@@ -10,6 +10,13 @@ type t
 
 val create : unit -> t
 
+val metrics : t -> Mgacc_obs.Metrics.t
+(** The registry backing every scalar counter of this profiler (names
+    under the [rt_] prefix; see docs/OBSERVABILITY.md). Rendering it with
+    {!Mgacc_obs.Metrics.to_prometheus} exports the run's counters without
+    any extra bookkeeping — the profiler accumulates directly into the
+    registry cells. *)
+
 val add_cpu_gpu : t -> seconds:float -> bytes:int -> unit
 val add_gpu_gpu : t -> seconds:float -> bytes:int -> unit
 val add_kernel : t -> seconds:float -> unit

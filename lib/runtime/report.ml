@@ -29,6 +29,7 @@ type t = {
   queue_seconds : float;
   spills : int;
   spilled_bytes : int;
+  blame : Mgacc_obs.Blame.summary option;
 }
 
 let of_profiler p ~machine ~variant ~num_gpus =
@@ -66,6 +67,7 @@ let of_profiler p ~machine ~variant ~num_gpus =
     queue_seconds = 0.0;
     spills = Profiler.spills p;
     spilled_bytes = Profiler.spilled_bytes p;
+    blame = None;
   }
 
 let host_only ~machine ~variant ~seconds =
@@ -100,9 +102,11 @@ let host_only ~machine ~variant ~seconds =
     queue_seconds = 0.0;
     spills = 0;
     spilled_bytes = 0;
+    blame = None;
   }
 
 let with_queue t ~seconds = { t with queue_seconds = Float.max 0.0 seconds }
+let with_blame t blame = { t with blame = Some blame }
 let speedup_vs t ~baseline = baseline.total_time /. t.total_time
 let coh_elided_bytes t = max 0 (t.coh_deferred_bytes - t.coh_pulled_bytes)
 
@@ -120,6 +124,13 @@ let json_escape s =
   Buffer.contents b
 
 let to_json t =
+  (* The "blame" sub-object is appended only when present, so default
+     reports stay byte-identical with or without observability. *)
+  let blame_json =
+    match t.blame with
+    | None -> ""
+    | Some b -> Printf.sprintf {|,"blame":%s|} (Mgacc_obs.Blame.to_json b)
+  in
   let coh_arrays =
     String.concat ","
       (List.map
@@ -129,13 +140,17 @@ let to_json t =
          t.coh_arrays)
   in
   Printf.sprintf
-    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"queue_seconds":%.9g,"spills":%d,"spilled_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}}|}
+    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"queue_seconds":%.9g,"spills":%d,"spilled_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}%s}|}
     (json_escape t.machine) (json_escape t.variant) t.num_gpus t.total_time t.kernel_time
     t.cpu_gpu_time t.gpu_gpu_time t.overhead_time t.cpu_gpu_bytes t.gpu_gpu_bytes t.wire_bytes
     t.loops t.launches t.rebalances t.mean_imbalance t.hidden_seconds t.prefetch_hits
     t.mem_user_bytes t.mem_system_bytes t.queue_seconds t.spills t.spilled_bytes
     t.collective_rings t.collective_hierarchies t.collective_direct_groups t.collective_segments
     t.coh_shipped_bytes t.coh_deferred_bytes t.coh_pulled_bytes (coh_elided_bytes t) coh_arrays
+    blame_json
+
+let pp_blame ppf t =
+  match t.blame with None -> () | Some b -> Mgacc_obs.Blame.pp ppf b
 
 let pp ppf t =
   Format.fprintf ppf

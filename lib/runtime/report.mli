@@ -39,6 +39,9 @@ type t = {
           queue before execution started (0 for direct runs) *)
   spills : int;  (** fleet mode: warm-pool evictions of this job's data *)
   spilled_bytes : int;  (** dirty bytes those evictions wrote back *)
+  blame : Mgacc_obs.Blame.summary option;
+      (** critical-path blame attribution ([--blame]); [None] by default
+          so existing report output is byte-identical *)
 }
 
 val of_profiler : Profiler.t -> machine:string -> variant:string -> num_gpus:int -> t
@@ -48,6 +51,14 @@ val host_only : machine:string -> variant:string -> seconds:float -> t
 
 val with_queue : t -> seconds:float -> t
 (** The same report with [queue_seconds] set (clamped at 0). *)
+
+val with_blame : t -> Mgacc_obs.Blame.summary -> t
+(** The same report carrying a critical-path blame summary; [to_json]
+    gains a ["blame"] sub-object and {!pp_blame} renders the table. *)
+
+val pp_blame : Format.formatter -> t -> unit
+(** Render the blame tables when present; prints nothing otherwise
+    (kept separate from {!pp} so the one-line report stays stable). *)
 
 val speedup_vs : t -> baseline:t -> float
 (** [baseline.total /. t.total]. *)

@@ -24,6 +24,14 @@ type t = {
           element ranges (iterative apps re-run loops with stable bounds) *)
   tenant : string;  (** owning tenant, for fleet-level accounting *)
   start : float;  (** simulated admission instant the clocks started from *)
+  ledger : Mgacc_obs.Blame.t;
+      (** one epoch per profiler charge, carrying the covered span ids —
+          the critical-path blame attribution (docs/OBSERVABILITY.md) *)
+  ev_spans : int array;
+      (** overlap mode: trace span id that last advanced each GPU's event
+          timeline (-1 when unknown), so gated ops can cite their producer *)
+  mutable last_xfer_spans : int list;
+      (** span ids recorded by the most recent transfer batch charge *)
   mutable queue_seconds : float;  (** time spent queued before admission *)
   mutable clock : float;  (** host program-order time *)
   mutable horizon : float;  (** overlap mode: makespan over everything issued *)
@@ -45,6 +53,9 @@ let create ?(tenant = "default") ?(start = 0.0) cfg plans =
     seen_ranges = Hashtbl.create 16;
     tenant;
     start;
+    ledger = Mgacc_obs.Blame.create ();
+    ev_spans = Array.make cfg.Rt_config.num_gpus (-1);
+    last_xfer_spans = [];
     queue_seconds = 0.0;
     clock = start;
     horizon = start;

@@ -24,6 +24,14 @@ type t = {
       (** lazy coherence: last-observed iteration split per loop *)
   tenant : string;  (** owning tenant, for fleet-level accounting *)
   start : float;  (** simulated admission instant the clocks started from *)
+  ledger : Mgacc_obs.Blame.t;
+      (** one epoch per profiler charge, carrying the covered span ids —
+          the critical-path blame attribution (docs/OBSERVABILITY.md) *)
+  ev_spans : int array;
+      (** overlap mode: trace span id that last advanced each GPU's event
+          timeline (-1 when unknown), so gated ops can cite their producer *)
+  mutable last_xfer_spans : int list;
+      (** span ids recorded by the most recent transfer batch charge *)
   mutable queue_seconds : float;  (** time spent queued before admission *)
   mutable clock : float;  (** host program-order time *)
   mutable horizon : float;  (** overlap mode: makespan over everything issued *)

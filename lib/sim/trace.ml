@@ -9,6 +9,8 @@ let category_label = function
   | Overhead -> "OVERHEAD"
 
 type span = {
+  id : int;
+  causes : int list;
   resource : string;
   category : category;
   label : string;
@@ -25,6 +27,11 @@ let add t span =
   if span.finish < span.start then invalid_arg "Trace.add: finish < start";
   t.spans <- span :: t.spans;
   t.count <- t.count + 1
+
+let record t ?(causes = []) ~resource ~category ~label ~start ~finish ~bytes () =
+  let id = t.count in
+  add t { id; causes; resource; category; label; start; finish; bytes };
+  id
 
 let spans t = List.rev t.spans
 
@@ -69,9 +76,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_chrome_json t =
+let to_chrome_json ?(process_name = "mgacc simulated machine") t =
   let spans = spans t in
   let tids = Hashtbl.create 8 in
+  let order = ref [] in
   let next = ref 0 in
   let tid_of resource =
     match Hashtbl.find_opt tids resource with
@@ -80,8 +88,11 @@ let to_chrome_json t =
         let id = !next in
         incr next;
         Hashtbl.replace tids resource id;
+        order := resource :: !order;
         id
   in
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[\n";
   let first = ref true in
@@ -93,22 +104,59 @@ let to_chrome_json t =
   List.iter
     (fun s ->
       let tid = tid_of s.resource in
+      let causes =
+        match s.causes with
+        | [] -> ""
+        | cs -> Printf.sprintf ",\"causes\":[%s]" (String.concat "," (List.map string_of_int cs))
+      in
       emit
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%d,\"span\":%d%s}}"
            (json_escape s.label)
            (json_escape (category_label s.category))
            (s.start *. 1e6)
            ((s.finish -. s.start) *. 1e6)
-           tid s.bytes))
+           tid s.bytes s.id causes))
     spans;
-  Hashtbl.iter
-    (fun resource tid ->
+  (* Flow events: one s/f pair per recorded producer->consumer edge, bound
+     to the producer's finish and the consumer's start so Perfetto renders
+     the causal DAG as arrows between slices. Dangling cause ids (e.g. a
+     producer elided as a zero-cost op) are skipped. *)
+  let flow = ref 0 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt by_id c with
+          | None -> ()
+          | Some p ->
+              let fid = !flow in
+              incr flow;
+              emit
+                (Printf.sprintf
+                   "{\"name\":\"dep\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"span\":%d}}"
+                   fid (p.finish *. 1e6) (tid_of p.resource) p.id);
+              emit
+                (Printf.sprintf
+                   "{\"name\":\"dep\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"span\":%d}}"
+                   fid (s.start *. 1e6) (tid_of s.resource) s.id))
+        s.causes)
+    spans;
+  emit
+    (Printf.sprintf "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"%s\"}}"
+       (json_escape process_name));
+  List.iter
+    (fun resource ->
+      let tid = Hashtbl.find tids resource in
       emit
         (Printf.sprintf
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
-           tid (json_escape resource)))
-    tids;
+           tid (json_escape resource));
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"sort_index\":%d}}"
+           tid tid))
+    (List.rev !order);
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 

@@ -16,6 +16,10 @@ type category =
 val category_label : category -> string
 
 type span = {
+  id : int;  (** unique within one trace; allocated by {!record} *)
+  causes : int list;
+      (** ids of producer spans this span waited on (event gating); empty
+          when the span started unconditionally *)
   resource : string;
   category : category;
   label : string;
@@ -27,7 +31,26 @@ type span = {
 type t
 
 val create : unit -> t
+
 val add : t -> span -> unit
+(** Append a caller-built span verbatim (tests build DAGs this way).
+    Production code should use {!record}, which allocates the id. *)
+
+val record :
+  t ->
+  ?causes:int list ->
+  resource:string ->
+  category:category ->
+  label:string ->
+  start:float ->
+  finish:float ->
+  bytes:int ->
+  unit ->
+  int
+(** Append a span with a freshly allocated id (the insertion index) and
+    return that id, so the caller can thread it as a cause of downstream
+    spans. [causes] must reference earlier spans of the same trace. *)
+
 val spans : t -> span list
 (** In insertion order. *)
 
@@ -47,7 +70,14 @@ val busy_union : t -> (category -> bool) -> float
 val pp_gantt : ?width:int -> Format.formatter -> t -> unit
 (** Render one row per resource with time on the horizontal axis. *)
 
-val to_chrome_json : t -> string
+val to_chrome_json : ?process_name:string -> t -> string
 (** Serialize as a Chrome trace-event JSON array (load it in
     chrome://tracing or https://ui.perfetto.dev): one complete event per
-    span, one row per resource, timestamps in microseconds. *)
+    span, one row per resource, timestamps in microseconds. Causal edges
+    between spans are emitted as Perfetto flow events ([ph:"s"]/[ph:"f"])
+    so the dependency DAG renders as arrows, and metadata ([ph:"M"])
+    events name the process and each resource row. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON literal (no surrounding
+    quotes added). Shared by the other exporters in this tree. *)

@@ -227,9 +227,25 @@ let load name =
 
 (* ---------------- schemas ---------------- *)
 
+(* Every artifact must record the runtime-flag configuration that
+   produced it, so a trend reader never has to guess which switches a
+   historical data point was measured under. *)
+let check_flags file j keys =
+  match member file "flags" j with
+  | Obj kvs ->
+      check Alcotest.bool "flags non-empty" true (kvs <> []);
+      List.iter
+        (fun k ->
+          if not (List.mem_assoc k kvs) then
+            Alcotest.failf "%s: flags missing %S (has: %s)" file k
+              (String.concat ", " (List.map fst kvs)))
+        keys
+  | _ -> Alcotest.failf "%s: \"flags\" is not an object" file
+
 let test_overlap_artifact () =
   let file, j = load "BENCH_overlap.json" in
   check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check_flags file j [ "overlap"; "coherence"; "collective" ];
   let runs = arr file "runs" j in
   check Alcotest.bool "runs non-empty" true (runs <> []);
   List.iter
@@ -247,6 +263,7 @@ let test_overlap_artifact () =
 let test_coherence_artifact () =
   let file, j = load "BENCH_coherence.json" in
   check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check_flags file j [ "coherence"; "overlap"; "collective" ];
   let runs = arr file "runs" j in
   check Alcotest.bool "runs non-empty" true (runs <> []);
   let big_cuts_at_4 = ref [] in
@@ -293,6 +310,7 @@ let test_coherence_artifact () =
 let test_collective_artifact () =
   let file, j = load "BENCH_collective.json" in
   check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check_flags file j [ "collective"; "coherence"; "overlap" ];
   let runs = arr file "runs" j in
   check Alcotest.bool "runs non-empty" true (runs <> []);
   let cluster_wins = ref [] in
@@ -333,6 +351,7 @@ let test_collective_artifact () =
 let test_fleet_artifact () =
   let file, j = load "BENCH_fleet.json" in
   check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check_flags file j [ "policy"; "keep_warm" ];
   check Alcotest.string "runs on the cluster" "cluster" (str file "machine" j);
   check Alcotest.bool "gpus >= 2" true (num file "gpus" j >= 2.0);
   let jobs = num file "job_count" j in

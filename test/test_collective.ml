@@ -277,13 +277,15 @@ let test_execute_respects_deps () =
   ignore
     (Collective.execute ~plan
        ~base_ready:(fun _ -> 0.0)
-       ~run:(Fabric.run_batch fabric)
-       ~on_complete:(fun it c ->
+       ~run:(fun reqs ->
+         List.map (fun c -> (c, None)) (Fabric.run_batch fabric (List.map fst reqs)))
+       ~on_complete:(fun it c _ ->
          (* items complete in plan order within each level *)
          let idx = !i in
          incr i;
          ignore idx;
-         Hashtbl.replace seen it c.Fabric.finish));
+         Hashtbl.replace seen it c.Fabric.finish)
+       ());
   ignore finishes;
   check Alcotest.int "every item completed" (Array.length plan) (Hashtbl.length seen);
   Array.iter

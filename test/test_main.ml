@@ -24,4 +24,5 @@ let () =
       ("collective", Test_collective.suite);
       ("fleet", Test_fleet.suite);
       ("artifacts", Test_bench_artifacts.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -65,7 +65,7 @@ let test_timeline_invalid () =
       ignore (Timeline.reserve t ~ready:0.0 ~duration:(-1.0)))
 
 let span resource category start finish bytes =
-  { Trace.resource; category; label = "t"; start; finish; bytes }
+  { Trace.id = 0; causes = []; resource; category; label = "t"; start; finish; bytes }
 
 let test_trace_totals () =
   let t = Trace.create () in

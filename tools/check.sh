@@ -23,4 +23,17 @@ dune runtest
 # fleet's simulated-time watchdog makes an admission deadlock fail loudly
 # (Fleet.Deadlock names the wedged job id) instead of hanging CI.
 dune exec bench/main.exe -- --smoke --scale small fleet
+# Observability smoke: a traced run and a metered fleet replay, with the
+# emitted artifacts validated for internal consistency (the trace parses
+# and every flow event references a recorded span; every Prometheus
+# series carries a # TYPE).
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+dune exec bin/accc.exe -- run samples/heat2d.c --machine cluster --overlap on \
+  --trace-json "$obs_tmp/run_trace.json" --blame > /dev/null
+dune exec bin/accc.exe -- serve samples/fleet.trace \
+  --metrics "$obs_tmp/fleet.prom" --trace-json "$obs_tmp/fleet_trace.json" > /dev/null
+dune exec tools/validate_obs/validate_obs.exe -- trace "$obs_tmp/run_trace.json"
+dune exec tools/validate_obs/validate_obs.exe -- trace "$obs_tmp/fleet_trace.json"
+dune exec tools/validate_obs/validate_obs.exe -- metrics "$obs_tmp/fleet.prom"
 echo "check.sh: all green"
