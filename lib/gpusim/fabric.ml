@@ -1,3 +1,6 @@
+module Bag = Mgacc_sim.Bag
+module Event_queue = Mgacc_sim.Event_queue
+
 type topology = {
   gpus_per_node : int;
   internode_bandwidth : float;
@@ -12,7 +15,41 @@ type request = { direction : direction; bytes : int; ready : float; tag : string
 
 type completion = { req : request; start : float; finish : float }
 
-type t = { link : Spec.link; num_gpus : int; topology : topology option }
+type t = {
+  link : Spec.link;
+  num_gpus : int;
+  topology : topology option;
+  nodes : int;
+  (* Resources interned to dense ids so the event loop can keep
+     per-resource capacity/count state in flat arrays instead of
+     rebuilding hashtables on every event:
+       [0, G)            Down g
+       [G, 2G)           Up g
+       [2G, 2G+M)        Host_aggregate n
+       [2G+M, 2G+2M)     Net_up n
+       [2G+2M, 2G+3M)    Net_down n *)
+  caps : float array;
+  mutable use_reference : bool;
+}
+
+let node_of t g =
+  match t.topology with None -> 0 | Some topo -> g / topo.gpus_per_node
+
+let capacity t = function
+  | Down _ -> t.link.Spec.h2d_bandwidth
+  | Up _ -> t.link.Spec.d2h_bandwidth
+  | Host_aggregate _ -> t.link.Spec.host_aggregate_bandwidth
+  | Net_up _ | Net_down _ -> (
+      match t.topology with
+      | Some topo -> topo.internode_bandwidth
+      | None -> infinity)
+
+let rid_of t = function
+  | Down g -> g
+  | Up g -> t.num_gpus + g
+  | Host_aggregate n -> (2 * t.num_gpus) + n
+  | Net_up n -> (2 * t.num_gpus) + t.nodes + n
+  | Net_down n -> (2 * t.num_gpus) + (2 * t.nodes) + n
 
 let create ?topology link ~num_gpus =
   if num_gpus <= 0 then invalid_arg "Fabric.create: num_gpus <= 0";
@@ -20,10 +57,34 @@ let create ?topology link ~num_gpus =
   | Some t when t.gpus_per_node <= 0 || t.internode_bandwidth <= 0.0 ->
       invalid_arg "Fabric.create: bad topology"
   | _ -> ());
-  { link; num_gpus; topology }
+  let nodes =
+    match topology with
+    | None -> 1
+    | Some topo -> (num_gpus + topo.gpus_per_node - 1) / topo.gpus_per_node
+  in
+  let t =
+    {
+      link;
+      num_gpus;
+      topology;
+      nodes;
+      caps = Array.make ((2 * num_gpus) + (3 * nodes)) 0.0;
+      use_reference = false;
+    }
+  in
+  for g = 0 to num_gpus - 1 do
+    t.caps.(rid_of t (Down g)) <- capacity t (Down g);
+    t.caps.(rid_of t (Up g)) <- capacity t (Up g)
+  done;
+  for n = 0 to nodes - 1 do
+    t.caps.(rid_of t (Host_aggregate n)) <- capacity t (Host_aggregate n);
+    t.caps.(rid_of t (Net_up n)) <- capacity t (Net_up n);
+    t.caps.(rid_of t (Net_down n)) <- capacity t (Net_down n)
+  done;
+  t
 
-let node_of t g =
-  match t.topology with None -> 0 | Some topo -> g / topo.gpus_per_node
+let set_reference_allocator t flag = t.use_reference <- flag
+let reference_allocator t = t.use_reference
 
 let check_dev t i =
   if i < 0 || i >= t.num_gpus then invalid_arg (Printf.sprintf "Fabric: device %d out of range" i)
@@ -46,15 +107,6 @@ let resources_of t = function
            network: D2H on the source node, the wire, H2D on the
            destination node. *)
         [ Up i; Net_up ni; Net_down nj; Down j; Host_aggregate ni; Host_aggregate nj ]
-
-let capacity t = function
-  | Down _ -> t.link.Spec.h2d_bandwidth
-  | Up _ -> t.link.Spec.d2h_bandwidth
-  | Host_aggregate _ -> t.link.Spec.host_aggregate_bandwidth
-  | Net_up _ | Net_down _ -> (
-      match t.topology with
-      | Some topo -> topo.internode_bandwidth
-      | None -> infinity)
 
 let same_node t i j = node_of t i = node_of t j
 
@@ -88,7 +140,8 @@ let num_gpus t = t.num_gpus
 (* One in-flight transfer of the fluid simulation. *)
 type flow = {
   idx : int;
-  res : resource list;
+  res : resource list;  (* used by the reference allocator *)
+  rids : int array;  (* same resources, interned, same order *)
   cap : float;
   arrive : float;  (* ready + latency: when bytes start flowing *)
   total : float;  (* original size; completion threshold is relative to it *)
@@ -99,56 +152,86 @@ type flow = {
   mutable finish_time : float;
 }
 
-(* Active flows live in a growable array so the event loop admits
-   arrivals in O(1) amortized instead of the former quadratic
-   [active := !active @ arrived]. The water-filling allocation is
-   numerically order-dependent (it drains [remcap] in visit order), so
-   iteration must mirror the list version exactly: admission order,
-   with completed flows removed by a stable in-place compaction. *)
-module Bag = struct
-  type 'a t = { mutable arr : 'a array; mutable len : int }
+let make_flows t reqs_arr completions =
+  let flows = ref [] in
+  Array.iteri
+    (fun idx (req : request) ->
+      if req.bytes < 0 then invalid_arg "Fabric.run_batch: negative bytes";
+      if req.bytes = 0 then
+        completions.(idx) <- Some { req; start = req.ready; finish = req.ready }
+      else begin
+        let res = resources_of t req.direction in
+        flows :=
+          {
+            idx;
+            res;
+            rids = Array.of_list (List.map (rid_of t) res);
+            cap = own_cap t req.direction;
+            arrive = req.ready +. latency_of t req.direction;
+            total = float_of_int req.bytes;
+            remaining = float_of_int req.bytes;
+            rate = 0.0;
+            fixed = false;
+            start_time = req.ready;
+            finish_time = nan;
+          }
+          :: !flows
+      end)
+    reqs_arr;
+  List.rev !flows
 
-  let create () = { arr = [||]; len = 0 }
-  let is_empty b = b.len = 0
+(* The residue below which a flow counts as drained must scale with
+   the flow, or tiny transfers finish early and huge ones drag a
+   fixed byte tail: keep draining while more than 1e-12 of the
+   original payload remains. The absolute floor keeps the threshold
+   above double-precision resolution so the final subtraction can
+   always cross it (a purely relative bound can sit below one ulp of
+   [remaining] and loop forever). The floor must also scale with
+   [rate *. ulp now]: subtracting [rate *. dt] can leave a residue
+   of that order, and once [remaining /. rate] drops below one ulp
+   of the clock, [now +. dt] rounds back to [now], dt collapses to
+   zero and the loop makes no progress. Sessions sharing a machine
+   only ever advance its clock, so late batches hit this where a
+   fresh-machine run never does; bytes a flow cannot move within one
+   representable time step are below the simulation's resolution
+   anyway. *)
+let time_floor ~now (f : flow) = f.rate *. (8.0 *. epsilon_float *. Float.max 1.0 (Float.abs now))
 
-  let push b x =
-    if b.len = Array.length b.arr then begin
-      let grown = Array.make (Int.max 8 (2 * b.len)) x in
-      Array.blit b.arr 0 grown 0 b.len;
-      b.arr <- grown
-    end;
-    b.arr.(b.len) <- x;
-    b.len <- b.len + 1
+let drained ~now (f : flow) =
+  f.remaining <= Float.max (time_floor ~now f) (Float.max 1e-9 (1e-12 *. f.total))
 
-  let iter f b =
-    for i = 0 to b.len - 1 do
-      f b.arr.(i)
-    done
+let collect t reqs_arr completions =
+  Array.to_list
+    (Array.mapi
+       (fun idx c ->
+         match c with
+         | Some c -> c
+         | None ->
+             (* Every flow must either have completed or been zero-byte; a
+                hole here means the event loop dropped a request. Failing
+                loudly beats fabricating a zero-duration completion that
+                would silently corrupt downstream schedules. *)
+             let req = reqs_arr.(idx) in
+             invalid_arg
+               (Printf.sprintf "Fabric.run_batch: request %d (tag %S) never completed" idx req.tag))
+       completions)
+  |> fun l ->
+  ignore t;
+  l
 
-  let fold f init b =
-    let acc = ref init in
-    for i = 0 to b.len - 1 do
-      acc := f !acc b.arr.(i)
-    done;
-    !acc
-
-  (* Stable partition: drop elements failing [keep] (passing each to
-     [removed]) while preserving the relative order of the survivors. *)
-  let filter_in_place b ~keep ~removed =
-    let w = ref 0 in
-    for r = 0 to b.len - 1 do
-      let x = b.arr.(r) in
-      if keep x then begin
-        b.arr.(!w) <- x;
-        incr w
-      end
-      else removed x
-    done;
-    b.len <- !w
-end
+(* ------------------------------------------------------------------ *)
+(* Reference path: the from-scratch allocator.                         *)
+(*                                                                     *)
+(* This is the pre-incremental event loop, kept verbatim: it rebuilds  *)
+(* the water-filling state (fresh hashtables, full fixed point) on     *)
+(* every event and min-scans the active set for the next completion.   *)
+(* It exists as the equivalence oracle for the incremental path (the   *)
+(* QCheck property in test_props pins bit-identical completions) and   *)
+(* as the baseline the `bench sim` speedup is measured against.        *)
+(* ------------------------------------------------------------------ *)
 
 (* Max-min fair allocation by water filling over the active flows. *)
-let assign_rates t active =
+let assign_rates_reference t active =
   Bag.iter
     (fun f ->
       f.fixed <- false;
@@ -161,7 +244,7 @@ let assign_rates t active =
     Hashtbl.replace count r (1 + Option.value ~default:0 (Hashtbl.find_opt count r))
   in
   Bag.iter (fun f -> List.iter touch f.res) active;
-  let unfixed = ref active.Bag.len in
+  let unfixed = ref (Bag.length active) in
   while !unfixed > 0 do
     let bound f =
       List.fold_left
@@ -189,33 +272,12 @@ let assign_rates t active =
       active
   done
 
-let run_batch t reqs =
+let run_batch_reference t reqs =
   let reqs_arr = Array.of_list reqs in
   let n = Array.length reqs_arr in
   let completions = Array.make n None in
-  let flows = ref [] in
-  Array.iteri
-    (fun idx req ->
-      if req.bytes < 0 then invalid_arg "Fabric.run_batch: negative bytes";
-      if req.bytes = 0 then
-        completions.(idx) <- Some { req; start = req.ready; finish = req.ready }
-      else
-        flows :=
-          {
-            idx;
-            res = resources_of t req.direction;
-            cap = own_cap t req.direction;
-            arrive = req.ready +. latency_of t req.direction;
-            total = float_of_int req.bytes;
-            remaining = float_of_int req.bytes;
-            rate = 0.0;
-            fixed = false;
-            start_time = req.ready;
-            finish_time = nan;
-          }
-          :: !flows)
-    reqs_arr;
-  let pending = ref (List.sort (fun a b -> compare a.arrive b.arrive) (List.rev !flows)) in
+  let flows = make_flows t reqs_arr completions in
+  let pending = ref (List.sort (fun a b -> compare a.arrive b.arrive) flows) in
   let active = Bag.create () in
   let now = ref 0.0 in
   (match !pending with [] -> () | f :: _ -> now := f.arrive);
@@ -235,7 +297,7 @@ let run_batch t reqs =
       | [] -> ()
     end
     else begin
-      assign_rates t active;
+      assign_rates_reference t active;
       (* Next event: earliest completion among active, or next arrival. *)
       let next_completion =
         Bag.fold (fun acc f -> Float.min acc (!now +. (f.remaining /. f.rate))) infinity active
@@ -245,44 +307,182 @@ let run_batch t reqs =
       let dt = t_next -. !now in
       Bag.iter (fun f -> f.remaining <- f.remaining -. (f.rate *. dt)) active;
       now := t_next;
-      (* The residue below which a flow counts as drained must scale with
-         the flow, or tiny transfers finish early and huge ones drag a
-         fixed byte tail: keep draining while more than 1e-12 of the
-         original payload remains. The absolute floor keeps the threshold
-         above double-precision resolution so the final subtraction can
-         always cross it (a purely relative bound can sit below one ulp of
-         [remaining] and loop forever). The floor must also scale with
-         [rate *. ulp !now]: subtracting [rate *. dt] can leave a residue
-         of that order, and once [remaining /. rate] drops below one ulp
-         of the clock, [!now +. dt] rounds back to [!now], dt collapses to
-         zero and the loop makes no progress. Sessions sharing a machine
-         only ever advance its clock, so late batches hit this where a
-         fresh-machine run never does; bytes a flow cannot move within one
-         representable time step are below the simulation's resolution
-         anyway. *)
-      let time_floor (f : flow) =
-        f.rate *. (8.0 *. epsilon_float *. Float.max 1.0 (Float.abs !now))
-      in
       Bag.filter_in_place active
-        ~keep:(fun f ->
-          f.remaining > Float.max (time_floor f) (Float.max 1e-9 (1e-12 *. f.total)))
+        ~keep:(fun f -> not (drained ~now:!now f))
         ~removed:(fun f ->
           f.finish_time <- !now;
           completions.(f.idx) <-
             Some { req = reqs_arr.(f.idx); start = f.start_time; finish = f.finish_time })
     end
   done;
-  Array.to_list
-    (Array.mapi
-       (fun idx c ->
-         match c with
-         | Some c -> c
-         | None ->
-             (* Every flow must either have completed or been zero-byte; a
-                hole here means the event loop dropped a request. Failing
-                loudly beats fabricating a zero-duration completion that
-                would silently corrupt downstream schedules. *)
-             let req = reqs_arr.(idx) in
-             invalid_arg
-               (Printf.sprintf "Fabric.run_batch: request %d (tag %S) never completed" idx req.tag))
-       completions)
+  collect t reqs_arr completions
+
+(* ------------------------------------------------------------------ *)
+(* Incremental path.                                                   *)
+(*                                                                     *)
+(* Same fluid simulation, same floats, near-constant per-event work:   *)
+(*  - resources are dense ints; capacity lives in [t.caps], and the    *)
+(*    active-flow count per resource is maintained incrementally on    *)
+(*    admit/complete instead of being rebuilt from the whole active    *)
+(*    set each event;                                                  *)
+(*  - the water filling runs over flat scratch arrays with no          *)
+(*    allocation, visiting flows in admission order so every float     *)
+(*    lands in the same place as the reference's hashtable walk;       *)
+(*  - when the flows added/removed by an event share no resource with  *)
+(*    the rest of the active set, the surviving rates are provably     *)
+(*    unchanged and the global refill is skipped (admissions get a     *)
+(*    fill over just themselves);                                      *)
+(*  - arrivals sit in a bulk-heapified Event_queue, and the per-event  *)
+(*    sweeps (completion min-scan, drain + compaction) are fused,      *)
+(*    allocation-free array passes.                                    *)
+(* See docs/PERF.md for the invariants and the bench methodology.      *)
+(* ------------------------------------------------------------------ *)
+
+(* Water filling over [active[lo..hi)] against the persistent per-rid
+   [count], using [remcap]/[workcount] as per-run scratch. Bit-for-bit
+   the same arithmetic as [assign_rates_reference]: same flow visit
+   order, same per-resource visit order, same Float.min folds. *)
+let waterfill t ~count ~remcap ~workcount active lo hi =
+  Array.blit t.caps 0 remcap 0 (Array.length t.caps);
+  Array.blit count 0 workcount 0 (Array.length count);
+  for k = lo to hi - 1 do
+    let f = Bag.get active k in
+    f.fixed <- false;
+    f.rate <- 0.0
+  done;
+  let bound (f : flow) =
+    let b = ref f.cap in
+    let rids = f.rids in
+    for q = 0 to Array.length rids - 1 do
+      let r = Array.unsafe_get rids q in
+      let share = Array.unsafe_get remcap r /. float_of_int (Array.unsafe_get workcount r) in
+      b := Float.min !b share
+    done;
+    !b
+  in
+  let unfixed = ref (hi - lo) in
+  while !unfixed > 0 do
+    let lambda = ref infinity in
+    for k = lo to hi - 1 do
+      let f = Bag.get active k in
+      if not f.fixed then lambda := Float.min !lambda (bound f)
+    done;
+    let lambda = !lambda in
+    let eps = lambda *. 1e-9 in
+    for k = lo to hi - 1 do
+      let f = Bag.get active k in
+      if (not f.fixed) && bound f <= lambda +. eps then begin
+        f.fixed <- true;
+        f.rate <- Float.max lambda 1.0 (* avoid zero rates from degenerate caps *);
+        decr unfixed;
+        let rids = f.rids in
+        for q = 0 to Array.length rids - 1 do
+          let r = Array.unsafe_get rids q in
+          remcap.(r) <- Float.max 0.0 (remcap.(r) -. f.rate);
+          workcount.(r) <- workcount.(r) - 1
+        done
+      end
+    done
+  done
+
+let run_batch_incremental t reqs =
+  let reqs_arr = Array.of_list reqs in
+  let n = Array.length reqs_arr in
+  let completions = Array.make n None in
+  let flows = make_flows t reqs_arr completions in
+  let nres = Array.length t.caps in
+  let count = Array.make nres 0 in
+  let remcap = Array.make nres 0.0 in
+  let workcount = Array.make nres 0 in
+  (* O(n) bulk heapify; (arrive, request order) matches the reference's
+     stable sort, so ties admit in the same order. *)
+  let pending = Event_queue.of_list (List.map (fun f -> (f.arrive, f)) flows) in
+  let active = Bag.create () in
+  let now = ref 0.0 in
+  if not (Event_queue.is_empty pending) then now := Event_queue.next_time pending;
+  (* Rates in [active] are valid when they bitwise equal what a global
+     refill over the current active set would produce. Any admit or
+     complete that shares a resource with the survivors invalidates. *)
+  let rates_valid = ref false in
+  while (not (Event_queue.is_empty pending)) || not (Bag.is_empty active) do
+    (* Admit due arrivals (next_time is infinity when empty). *)
+    let admit_lo = Bag.length active in
+    while Event_queue.next_time pending <= !now +. 1e-15 do
+      Bag.push active (Event_queue.pop_min pending)
+    done;
+    let admit_hi = Bag.length active in
+    if admit_hi > admit_lo then begin
+      (* Disjointness check must see pre-admission counts, so count the
+         batch in a second pass. Intra-batch sharing is fine: the fill
+         over [admit_lo, admit_hi) handles it. *)
+      let disjoint = ref true in
+      for k = admit_lo to admit_hi - 1 do
+        let rids = (Bag.get active k).rids in
+        for q = 0 to Array.length rids - 1 do
+          if count.(Array.unsafe_get rids q) <> 0 then disjoint := false
+        done
+      done;
+      for k = admit_lo to admit_hi - 1 do
+        let rids = (Bag.get active k).rids in
+        for q = 0 to Array.length rids - 1 do
+          let r = Array.unsafe_get rids q in
+          count.(r) <- count.(r) + 1
+        done
+      done;
+      if !rates_valid && !disjoint then
+        (* The newcomers touch only idle resources: everyone else's rate
+           is unchanged, so fill over just the new flows. *)
+        waterfill t ~count ~remcap ~workcount active admit_lo admit_hi
+      else rates_valid := false
+    end;
+    if Bag.is_empty active then begin
+      if not (Event_queue.is_empty pending) then now := Event_queue.next_time pending
+    end
+    else begin
+      if not !rates_valid then begin
+        waterfill t ~count ~remcap ~workcount active 0 (Bag.length active);
+        rates_valid := true
+      end;
+      (* Next event: earliest completion among active, or next arrival.
+         Same scan as the reference — projected finishes must be computed
+         from the current (now, remaining) so the stepped float
+         arithmetic stays bit-identical. *)
+      let next_completion = ref infinity in
+      for k = 0 to Bag.length active - 1 do
+        let f = Bag.get active k in
+        next_completion := Float.min !next_completion (!now +. (f.remaining /. f.rate))
+      done;
+      let next_arrival = Event_queue.next_time pending in
+      let t_next = Float.min !next_completion next_arrival in
+      let dt = t_next -. !now in
+      now := t_next;
+      (* Fused drain + compaction: subtract this interval's payload and
+         drop drained flows in one stable pass (per-flow arithmetic is
+         independent, so fusing the reference's two passes is exact).
+         Completed flows release their resource counts; if any released
+         resource is still in use by a survivor, the survivors' rates
+         changed and the next iteration refills. *)
+      let all_private = ref true in
+      let any_removed = ref false in
+      Bag.filter_in_place active
+        ~keep:(fun f ->
+          f.remaining <- f.remaining -. (f.rate *. dt);
+          not (drained ~now:!now f))
+        ~removed:(fun f ->
+          f.finish_time <- !now;
+          completions.(f.idx) <-
+            Some { req = reqs_arr.(f.idx); start = f.start_time; finish = f.finish_time };
+          any_removed := true;
+          let rids = f.rids in
+          for q = 0 to Array.length rids - 1 do
+            let r = Array.unsafe_get rids q in
+            count.(r) <- count.(r) - 1;
+            if count.(r) <> 0 then all_private := false
+          done);
+      if !any_removed && not !all_private then rates_valid := false
+    end
+  done;
+  collect t reqs_arr completions
+
+let run_batch t reqs =
+  if t.use_reference then run_batch_reference t reqs else run_batch_incremental t reqs

@@ -71,3 +71,17 @@ val run_batch : t -> request list -> completion list
     @raise Invalid_argument if a request has negative bytes, or (naming
     the request's tag) if the event loop ever fails to complete a flow —
     a simulator invariant violation, never expected in normal use. *)
+
+val run_batch_reference : t -> request list -> completion list
+(** The from-scratch allocator: rebuilds the water-filling state on every
+    event instead of maintaining it incrementally. Same contract — and
+    bit-identical completions — as {!run_batch}; kept as the equivalence
+    oracle for the incremental fast path and as the baseline that
+    [bench sim] measures its speedup against. *)
+
+val set_reference_allocator : t -> bool -> unit
+(** When set, {!run_batch} routes through {!run_batch_reference}. For
+    benchmarking and differential testing only. *)
+
+val reference_allocator : t -> bool
+(** Whether the reference allocator is selected. *)

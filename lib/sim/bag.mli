@@ -1,0 +1,31 @@
+(** Growable array for simulator hot loops: O(1) amortized append,
+    index access, in-order iteration, and stable in-place filtering.
+
+    Element order is part of the contract (the fabric's water-filling
+    allocation is numerically order-dependent): [push] appends, [iter]/
+    [fold]/[get] see push order, and [filter_in_place] preserves the
+    relative order of survivors. Removed elements are not retained:
+    vacated backing-array slots are cleared. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** [get b i] is the [i]th element in push order.
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append an element (O(1) amortized). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
+
+val filter_in_place : 'a t -> keep:('a -> bool) -> removed:('a -> unit) -> unit
+(** Stable partition: drop elements failing [keep] (passing each to
+    [removed]) while preserving the relative order of the survivors. *)
+
+val clear : 'a t -> unit
+(** Empty the bag, clearing every slot (keeps the backing capacity). *)

@@ -1,26 +1,56 @@
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  dummy : 'a entry;
+}
 
-let create () = { heap = [||]; size = 0; next_seq = 0 }
+(* The dummy's value is an immediate (int 0) masquerading as ['a]; it is
+   never read back — slots at index >= size are invisible to the API —
+   and the GC treats immediates as non-pointers, so this is safe for any
+   'a. It exists so that popped entries do not stay referenced by the
+   backing array: before the fix, a popped slot kept its value live for
+   the queue's lifetime. *)
+let make_dummy () = { time = nan; seq = -1; value = Obj.magic 0 }
+
+let create () = { heap = [||]; size = 0; next_seq = 0; dummy = make_dummy () }
 let is_empty t = t.size = 0
 let size t = t.size
 
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t entry =
+let grow t =
   let cap = Array.length t.heap in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let heap = Array.make ncap entry in
+    let heap = Array.make ncap t.dummy in
     Array.blit t.heap 0 heap 0 t.size;
     t.heap <- heap
   end
 
+let sift_down t i0 =
+  let i = ref i0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+  done
+
 let push t ~time value =
   let entry = { time; seq = t.next_seq; value } in
   t.next_seq <- t.next_seq + 1;
-  grow t entry;
+  grow t;
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
   (* Sift up. *)
@@ -38,31 +68,48 @@ let push t ~time value =
     i := parent
   done
 
+(* Shared removal: extract the root, refill from the last slot, clear the
+   vacated slot so the popped value (and, once the queue drains, the last
+   value too) is collectable. *)
+let remove_top t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- t.dummy;
+    sift_down t 0
+  end
+  else t.heap.(0) <- t.dummy;
+  top
+
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.heap.(0) <- t.heap.(t.size);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t.heap.(l) t.heap.(!smallest) then smallest := l;
-        if r < t.size && less t.heap.(r) t.heap.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.heap.(!smallest) in
-          t.heap.(!smallest) <- t.heap.(!i);
-          t.heap.(!i) <- tmp;
-          i := !smallest
-        end
-      done
-    end;
+    let top = remove_top t in
     Some (top.time, top.value)
   end
 
+let pop_min t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_min: empty";
+  (remove_top t).value
+
 let peek_time t = if t.size = 0 then None else Some t.heap.(0).time
+let next_time t = if t.size = 0 then infinity else t.heap.(0).time
+
+let of_list entries =
+  let n = List.length entries in
+  let t = create () in
+  if n > 0 then begin
+    let heap = Array.make (max 16 n) t.dummy in
+    List.iteri (fun i (time, value) -> heap.(i) <- { time; seq = i; value }) entries;
+    t.heap <- heap;
+    t.size <- n;
+    t.next_seq <- n;
+    (* Floyd's bottom-up heapify: O(n) instead of n pushes' O(n log n).
+       The (time, seq) key is a total order, so the pop sequence is the
+       same as push-one-by-one: sorted by time, FIFO among ties. *)
+    for i = (n / 2) - 1 downto 0 do
+      sift_down t i
+    done
+  end;
+  t

@@ -2,7 +2,8 @@
 
     Ties are broken by insertion order, so the simulation is deterministic:
     two events scheduled for the same instant fire in the order they were
-    scheduled. *)
+    scheduled. Popped entries are cleared from the backing array, so the
+    queue never pins removed values live. *)
 
 type 'a t
 
@@ -13,9 +14,22 @@ val size : 'a t -> int
 val push : 'a t -> time:float -> 'a -> unit
 (** Insert an element with the given key. *)
 
+val of_list : (float * 'a) list -> 'a t
+(** Build a queue from [(time, value)] pairs in one O(n) bulk heapify
+    (Floyd's algorithm) instead of n O(log n) pushes. Equal keys pop in
+    list order, exactly as if pushed one by one. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the element with the smallest key (FIFO among equal
     keys), or [None] if empty. *)
 
+val pop_min : 'a t -> 'a
+(** Like {!pop} but returns the value alone, without allocating.
+    @raise Invalid_argument if the queue is empty. *)
+
 val peek_time : 'a t -> float option
 (** The smallest key without removing it. *)
+
+val next_time : 'a t -> float
+(** The smallest key, or [infinity] if the queue is empty — the natural
+    form for next-event selection in a simulator loop; allocation-free. *)

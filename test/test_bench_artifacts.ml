@@ -396,6 +396,51 @@ let test_fleet_artifact () =
           (str file "policy" p) tp fifo_tp)
     [ sjf; fair ]
 
+let test_sim_artifact () =
+  let file, j = load "BENCH_sim.json" in
+  check_flags file j [ "allocator"; "storm" ];
+  check Alcotest.string "runs on the cluster" "cluster" (str file "machine" j);
+  let nodes = num file "nodes" j and gpn = num file "gpus_per_node" j in
+  let gpus = num file "gpus" j in
+  check (Alcotest.float 0.0) "gpus = nodes x gpus_per_node" (nodes *. gpn) gpus;
+  (* The tracked storm is the 64-GPU configuration: that's the scale the
+     tentpole speedup claim is made at. *)
+  check (Alcotest.float 0.0) "tracked storm is 64 GPUs" 64.0 gpus;
+  let flows = num file "flows" j in
+  check Alcotest.bool "flows > 0" true (flows > 0.0);
+  check Alcotest.bool "waves > 0" true (num file "waves" j > 0.0);
+  check (Alcotest.float 0.0) "events = 2 x flows (arrival + completion)" (2.0 *. flows)
+    (num file "events" j);
+  check Alcotest.bool "iterations >= 3" true (num file "iterations" j >= 3.0);
+  let side name =
+    let s = member file name j in
+    let median = num file "median_seconds" s in
+    let spread = num file "spread_seconds" s in
+    let eps = num file "events_per_second" s in
+    check Alcotest.bool (name ^ " median > 0") true (median > 0.0);
+    check Alcotest.bool (name ^ " spread >= 0") true (spread >= 0.0);
+    (* events/s must be consistent with the median, not a stale stamp *)
+    let expected = num file "events" j /. median in
+    check Alcotest.bool (name ^ " events/s consistent with median") true
+      (Float.abs (eps -. expected) <= 1e-6 *. expected);
+    (median, eps)
+  in
+  let ref_median, _ = side "reference" in
+  let inc_median, inc_eps = side "incremental" in
+  let speedup = num file "speedup" j in
+  check Alcotest.bool "speedup consistent with medians" true
+    (Float.abs (speedup -. (ref_median /. inc_median)) <= 1e-6 *. speedup);
+  (* Acceptance bars of the fast-path work: the incremental allocator is
+     at least 10x the from-scratch reference at 64-GPU scale, and clears
+     the committed absolute throughput floor. *)
+  if speedup < 10.0 then
+    Alcotest.failf "%s: incremental speedup %.2fx below the 10x bar" file speedup;
+  let floor = num file "floor_events_per_second" j in
+  check Alcotest.bool "floor > 0" true (floor > 0.0);
+  if inc_eps < floor then
+    Alcotest.failf "%s: incremental %.0f events/s below the committed floor %.0f" file inc_eps
+      floor
+
 let test_parser_rejects_garbage () =
   List.iter
     (fun bad ->
@@ -411,4 +456,5 @@ let suite =
     tc "BENCH_coherence.json: schema + acceptance bars" test_coherence_artifact;
     tc "BENCH_collective.json: schema + acceptance bars" test_collective_artifact;
     tc "BENCH_fleet.json: schema + acceptance bars" test_fleet_artifact;
+    tc "BENCH_sim.json: schema + speedup and throughput bars" test_sim_artifact;
   ]

@@ -142,6 +142,93 @@ let test_fabric_conservation () =
         Alcotest.failf "finish %f before physical lower bound %f" c.Fabric.finish lower)
     completions
 
+(* A deterministic synthetic transfer storm over a clustered fabric:
+   H2d/D2h, same-node and cross-node peer transfers, arrivals in waves.
+   Same LCG shape as the [bench sim] storm so the tests exercise the
+   traffic the tentpole speedup claim is made on. *)
+let storm fabric ~flows ~waves ~seed =
+  let topo = Option.get (Fabric.topology fabric) in
+  let gpn = topo.Fabric.gpus_per_node in
+  let num_gpus = Fabric.num_gpus fabric in
+  let nodes = num_gpus / gpn in
+  let state = ref seed in
+  let rand bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  List.init flows (fun i ->
+      let ready = float_of_int (i mod waves) *. 2e-4 in
+      let g = rand num_gpus in
+      let direction =
+        match rand 4 with
+        | 0 -> Fabric.H2d g
+        | 1 -> Fabric.D2h g
+        | 2 ->
+            let node = g / gpn in
+            let p = (node * gpn) + ((g mod gpn) + 1 + rand (gpn - 1)) mod gpn in
+            Fabric.P2p (g, p)
+        | _ ->
+            let dst_node = ((g / gpn) + 1 + rand (Int.max 1 (nodes - 1))) mod nodes in
+            Fabric.P2p (g, (dst_node * gpn) + rand gpn)
+      in
+      let bytes = if i mod 17 = 0 then 0 else 1_000_000 + rand 32_000_000 in
+      { Fabric.direction; bytes; ready; tag = Printf.sprintf "storm-%d" i })
+
+let cluster_fabric ~nodes ~gpus_per_node =
+  let topology =
+    { Fabric.gpus_per_node; internode_bandwidth = 3.2e9; internode_latency = 25e-6 }
+  in
+  Fabric.create ~topology test_link ~num_gpus:(nodes * gpus_per_node)
+
+(* Pinned differential: the incremental allocator (the default) must
+   reproduce the from-scratch reference bit for bit on a fixed clustered
+   storm — this is the invariant that keeps every committed BENCH_*.json
+   time stable across the fast-path work. The QCheck property in
+   test_props covers random batches; this pins one deterministic,
+   zero-byte-and-tie-bearing scenario that always runs. *)
+let test_fabric_incremental_identity () =
+  let f = cluster_fabric ~nodes:2 ~gpus_per_node:2 in
+  let reqs = storm f ~flows:120 ~waves:10 ~seed:7 in
+  let fast = Fabric.run_batch f reqs in
+  check Alcotest.bool "default path is the incremental allocator" false
+    (Fabric.reference_allocator f);
+  Fabric.set_reference_allocator f true;
+  let slow = Fabric.run_batch f reqs in
+  Fabric.set_reference_allocator f false;
+  check Alcotest.int "same completion count" (List.length slow) (List.length fast);
+  List.iter2
+    (fun (a : Fabric.completion) (b : Fabric.completion) ->
+      if not (Float.equal a.Fabric.start b.Fabric.start) then
+        Alcotest.failf "start diverged on %s: %h vs %h" a.Fabric.req.Fabric.tag a.Fabric.start
+          b.Fabric.start;
+      if not (Float.equal a.Fabric.finish b.Fabric.finish) then
+        Alcotest.failf "finish diverged on %s: %h vs %h" a.Fabric.req.Fabric.tag a.Fabric.finish
+          b.Fabric.finish)
+    fast slow
+
+(* Live relative perf gate: unlike the BENCH_sim.json bars (absolute
+   numbers from the committed artifact), this times both allocators here
+   and now, so it catches a fast-path revert on any machine speed. The
+   3x bar is deliberately far under the ~10x measured at this scale to
+   keep CI flake-free; CPU time, not wall clock, for the same reason. *)
+let test_fabric_incremental_perf_gate () =
+  let f = cluster_fabric ~nodes:2 ~gpus_per_node:4 in
+  let reqs = storm f ~flows:400 ~waves:8 ~seed:11 in
+  let time use_reference =
+    Fabric.set_reference_allocator f use_reference;
+    ignore (Fabric.run_batch f reqs) (* warm up *);
+    let t0 = Sys.time () in
+    ignore (Fabric.run_batch f reqs);
+    let dt = Sys.time () -. t0 in
+    Fabric.set_reference_allocator f false;
+    dt
+  in
+  let slow = time true in
+  let fast = time false in
+  if fast *. 3.0 > slow then
+    Alcotest.failf "incremental allocator only %.2fx faster than reference (%.4fs vs %.4fs)"
+      (slow /. fast) fast slow
+
 (* ---------------- Kernel cost & CPU model ---------------- *)
 
 let test_kernel_cost_roofline () =
@@ -251,6 +338,8 @@ let suite =
     tc "fabric: per-flow cap binds" test_fabric_own_cap_binds;
     tc "fabric: staggered arrivals and zero bytes" test_fabric_staggered_arrivals;
     tc "fabric: physical lower bounds" test_fabric_conservation;
+    tc "fabric: incremental allocator pinned identity" test_fabric_incremental_identity;
+    tc "fabric: incremental allocator perf gate" test_fabric_incremental_perf_gate;
     tc "kernel cost: roofline magnitudes" test_kernel_cost_roofline;
     tc "kernel cost: occupancy penalty" test_kernel_cost_occupancy;
     tc "kernel cost: broadcast discount" test_kernel_cost_broadcast_discount;

@@ -219,6 +219,53 @@ let prop_fabric_makespan_monotone (txs, idx, extra) =
   let m2 = makespan (Fabric.run_batch f grown) in
   m2 +. 1e-9 *. Float.max 1.0 m1 >= m1
 
+(* Incremental vs reference allocator: the fast path in Fabric.run_batch
+   must reproduce the from-scratch water-filling bit for bit — not just
+   within tolerance, because BENCH artifacts pin exact completion times.
+   Random batches over a 2x2 cluster mix H2d/D2h, same-node and
+   cross-node P2p, zero-byte requests, and coincident arrivals (ready
+   times drawn from a coarse grid so ties are common). *)
+let gen_cluster_batch =
+  QCheck2.Gen.(
+    list_size (int_range 1 24)
+      (quad (int_range 0 3) (int_bound 50_000_000) (int_bound 3) (int_bound 5)))
+
+let cluster_reqs txs =
+  List.map
+    (fun (kind, bytes, r, slot) ->
+      let direction =
+        match kind with
+        | 0 -> Fabric.H2d (r mod 4)
+        | 1 -> Fabric.D2h (r mod 4)
+        | 2 ->
+            (* same-node peer: 0<->1 or 2<->3 *)
+            let base = 2 * (r mod 2) in
+            Fabric.P2p (base, base + 1)
+        | _ ->
+            (* cross-node peer: node 0 {0,1} <-> node 1 {2,3} *)
+            Fabric.P2p (r mod 2, 2 + (r mod 2))
+      in
+      { Fabric.direction; bytes; ready = float_of_int slot *. 1e-4; tag = "eq" })
+    txs
+
+let prop_fabric_incremental_matches_reference txs =
+  let topology =
+    { Fabric.gpus_per_node = 2; internode_bandwidth = 3.2e9; internode_latency = 25e-6 }
+  in
+  let f = Fabric.create ~topology Spec.pcie_gen2_desktop ~num_gpus:4 in
+  let reqs = cluster_reqs txs in
+  let fast = Fabric.run_batch f reqs in
+  Fabric.set_reference_allocator f true;
+  let slow = Fabric.run_batch f reqs in
+  List.length fast = List.length slow
+  && List.for_all2
+       (fun (a : Fabric.completion) (b : Fabric.completion) ->
+         (* Bit identity, not tolerance: Float.equal distinguishes nothing
+            a compare-based check would miss, and any divergence here
+            would eventually show up as a BENCH artifact diff. *)
+         Float.equal a.Fabric.start b.Fabric.start && Float.equal a.Fabric.finish b.Fabric.finish)
+       fast slow
+
 (* ---------------- Affine analysis vs direct evaluation ---------------- *)
 
 (* Random affine-expressible expressions over i and uniforms u, v. *)
@@ -344,6 +391,8 @@ let suite =
     qtest "fabric makespan monotone in bytes"
       QCheck2.Gen.(triple gen_transfers (int_bound 9) (int_range 1 10_000_000))
       prop_fabric_makespan_monotone;
+    qtest ~count:300 "fabric incremental allocator matches reference bit-for-bit"
+      gen_cluster_batch prop_fabric_incremental_matches_reference;
     qtest ~count:500 "affine form evaluates correctly" gen_affine_expr prop_affine_matches_eval;
     qtest ~count:400 "frontend is total on token soup" gen_token_soup prop_frontend_total;
     qtest ~count:400 "pragma parser is total on clause soup" gen_pragma_soup prop_pragma_total;

@@ -39,6 +39,96 @@ let test_event_queue_interleaved () =
   done;
   check Alcotest.int "drained all" 100 !count
 
+let test_event_queue_of_list () =
+  (* of_list must pop exactly like push-one-by-one: sorted by time, FIFO
+     among equal keys (list order). *)
+  let entries = [ (2.0, "b1"); (1.0, "a1"); (2.0, "b2"); (0.5, "z"); (1.0, "a2") ] in
+  let q = Event_queue.of_list entries in
+  check Alcotest.int "size" 5 (Event_queue.size q);
+  let order = List.init 5 (fun _ -> match Event_queue.pop q with Some (_, v) -> v | None -> "?") in
+  check (Alcotest.list Alcotest.string) "sorted, FIFO ties" [ "z"; "a1"; "a2"; "b1"; "b2" ] order;
+  (* Larger randomized cross-check against push-one-by-one. *)
+  let entries = List.init 200 (fun i -> (float_of_int ((i * 37) mod 50), i)) in
+  let bulk = Event_queue.of_list entries in
+  let incr_q = Event_queue.create () in
+  List.iter (fun (t, v) -> Event_queue.push incr_q ~time:t v) entries;
+  for _ = 1 to 200 do
+    check
+      (Alcotest.option (Alcotest.pair (Alcotest.float 0.0) Alcotest.int))
+      "same pop sequence" (Event_queue.pop incr_q) (Event_queue.pop bulk)
+  done
+
+let test_event_queue_pop_min_next_time () =
+  let q = Event_queue.of_list [ (3.0, "c"); (1.0, "a") ] in
+  check (Alcotest.float 1e-12) "next_time" 1.0 (Event_queue.next_time q);
+  check Alcotest.string "pop_min" "a" (Event_queue.pop_min q);
+  check Alcotest.string "pop_min again" "c" (Event_queue.pop_min q);
+  check Alcotest.bool "next_time empty = infinity" true (Event_queue.next_time q = infinity);
+  Alcotest.check_raises "pop_min on empty" (Invalid_argument "Event_queue.pop_min: empty")
+    (fun () -> ignore (Event_queue.pop_min q))
+
+let test_event_queue_no_retention () =
+  (* A popped value must be collectable: the queue used to keep every
+     popped entry alive in its backing array. Observed through a Weak
+     pointer surviving (or not) a full major GC. *)
+  let q = Event_queue.create () in
+  let w = Weak.create 1 in
+  let () =
+    let v = ref 42 in
+    Weak.set w 0 (Some v);
+    Event_queue.push q ~time:1.0 v;
+    Event_queue.push q ~time:2.0 (ref 0);
+    match Event_queue.pop q with
+    | Some (_, popped) -> check Alcotest.int "popped value" 42 !popped
+    | None -> Alcotest.fail "expected a value"
+  in
+  Gc.full_major ();
+  Gc.full_major ();
+  check Alcotest.bool "popped value was collected (queue still non-empty)" false
+    (Weak.check w 0);
+  check Alcotest.int "remaining entry intact" 1 (Event_queue.size q)
+
+let test_bag_basics () =
+  let b = Bag.create () in
+  check Alcotest.bool "fresh is empty" true (Bag.is_empty b);
+  List.iter (Bag.push b) [ 1; 2; 3; 4; 5 ];
+  check Alcotest.int "length" 5 (Bag.length b);
+  check Alcotest.int "get" 3 (Bag.get b 2);
+  check (Alcotest.list Alcotest.int) "fold sees push order" [ 5; 4; 3; 2; 1 ]
+    (Bag.fold (fun acc x -> x :: acc) [] b);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Bag.get: 5 (length 5)") (fun () ->
+      ignore (Bag.get b 5));
+  Bag.clear b;
+  check Alcotest.bool "cleared" true (Bag.is_empty b)
+
+let test_bag_filter_stable () =
+  let b = Bag.create () in
+  for i = 1 to 10 do
+    Bag.push b i
+  done;
+  let removed = ref [] in
+  Bag.filter_in_place b ~keep:(fun x -> x mod 2 = 0) ~removed:(fun x -> removed := x :: !removed);
+  check (Alcotest.list Alcotest.int) "survivors keep relative order" [ 2; 4; 6; 8; 10 ]
+    (List.rev (Bag.fold (fun acc x -> x :: acc) [] b));
+  check (Alcotest.list Alcotest.int) "removed seen in order" [ 1; 3; 5; 7; 9 ] (List.rev !removed)
+
+let test_bag_no_retention () =
+  (* filter_in_place must clear vacated slots so removed elements are
+     collectable while the bag lives on. *)
+  let b = Bag.create () in
+  let w = Weak.create 1 in
+  let () =
+    let doomed = ref 7 in
+    Weak.set w 0 (Some doomed);
+    Bag.push b doomed;
+    Bag.push b (ref 1);
+    Bag.filter_in_place b ~keep:(fun r -> !r <> 7) ~removed:ignore
+  in
+  Gc.full_major ();
+  Gc.full_major ();
+  check Alcotest.bool "removed element was collected (bag still non-empty)" false (Weak.check w 0);
+  check Alcotest.int "survivor intact" 1 (Bag.length b)
+
 let test_timeline_serializes () =
   let t = Timeline.create "gpu0" in
   let s1, f1 = Timeline.reserve t ~ready:0.0 ~duration:2.0 in
@@ -99,6 +189,12 @@ let suite =
     tc "event queue: time order" test_event_queue_order;
     tc "event queue: FIFO ties" test_event_queue_fifo_ties;
     tc "event queue: monotone drain" test_event_queue_interleaved;
+    tc "event queue: of_list bulk heapify" test_event_queue_of_list;
+    tc "event queue: pop_min and next_time" test_event_queue_pop_min_next_time;
+    tc "event queue: popped values are not retained" test_event_queue_no_retention;
+    tc "bag: push/get/fold/clear" test_bag_basics;
+    tc "bag: stable filter_in_place" test_bag_filter_stable;
+    tc "bag: removed values are not retained" test_bag_no_retention;
     tc "timeline: serializes reservations" test_timeline_serializes;
     tc "timeline: honors idle gaps" test_timeline_gap;
     tc "timeline: rejects bad input" test_timeline_invalid;

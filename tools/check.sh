@@ -23,6 +23,10 @@ dune runtest
 # fleet's simulated-time watchdog makes an admission deadlock fail loudly
 # (Fleet.Deadlock names the wedged job id) instead of hanging CI.
 dune exec bench/main.exe -- --smoke --scale small fleet
+# Simulator fast-path smoke: drive a small transfer storm through both
+# fabric allocators; the bench fails loudly if the incremental path ever
+# diverges from the from-scratch reference (see docs/PERF.md).
+dune exec bench/main.exe -- --smoke sim
 # Observability smoke: a traced run and a metered fleet replay, with the
 # emitted artifacts validated for internal consistency (the trace parses
 # and every flow event references a recorded span; every Prometheus
