@@ -387,6 +387,7 @@ let policy scale =
               Kernel_plan.enable_distribution = false;
               enable_layout_transform = true;
               enable_miss_check_elim = false;
+              enable_fusion = false;
             } );
         ];
       Table.add_separator t)
@@ -869,6 +870,106 @@ let coherence_bench scale ~smoke =
      per destination instead of padded dirty chunks; bfs ships sparse frontier runs. md and\n\
      montecarlo reconcile distributed/private data and are unchanged by design.\n"
 
+(* Cost-model-guided kernel fusion (--fuse on, docs/FUSION.md): adjacent
+   compatible parallel loops become one kernel, group-confined create
+   temporaries contract to scalars (vanishing from the device and from
+   the coherence layer), and strided read-only arrays get a one-time
+   layout repack. Every run is checked against the sequential reference;
+   bfs rides along as a control the pass must leave untouched. The JSON
+   lands in BENCH_fusion.json. *)
+let fusion_bench scale ~smoke =
+  Printf.printf "== Fusion: --fuse off vs on (scale: %s%s) ==\n" (scale_name scale)
+    (if smoke then "; smoke" else "");
+  print_endline
+    "(fusion-friendly md/kmeans variants: chains of adjacent clause-free parallel loops\n\
+     with create temporaries that die inside the fused group. 'coh bytes' is shipped plus\n\
+     pulled reconciliation traffic; contracted temporaries stop generating any.)\n";
+  let apps =
+    [
+      ("md", Fusionable.md Fusionable.default_md);
+      ("kmeans", Fusionable.kmeans Fusionable.default_kmeans);
+      ("bfs", app_of BFS scale);
+    ]
+  in
+  let machines =
+    if smoke then [ ("cluster", (fun () -> Machine.cluster ~nodes:2 ~gpus_per_node:2 ()), 4) ]
+    else
+      [
+        ("desktop", (fun () -> Machine.desktop ()), 2);
+        ("cluster", (fun () -> Machine.cluster ~nodes:2 ~gpus_per_node:2 ()), 4);
+      ]
+  in
+  let coh_bytes (r : Report.t) = r.Report.coh_shipped_bytes + r.Report.coh_pulled_bytes in
+  let t =
+    Table.create
+      ~headers:
+        [ "app"; "machine"; "off t"; "on t"; "gain"; "off coh"; "on coh"; "fused"; "contr"; "check" ]
+  in
+  let json_entries = ref [] in
+  List.iter
+    (fun (name, app) ->
+      let seq = App_common.sequential app in
+      List.iter
+        (fun (mname, fresh, gpus) ->
+          progress "  [fusion] %s on %s(%d)..." name mname gpus;
+          let env_off, off =
+            App_common.proposal ~fuse:false ~num_gpus:gpus ~machine:(fresh ()) app
+          in
+          let env_on, on = App_common.proposal ~fuse:true ~num_gpus:gpus ~machine:(fresh ()) app in
+          let check env =
+            match App_common.verify app ~against:seq env with Ok () -> true | Error _ -> false
+          in
+          let ok = check env_off && check env_on in
+          let gain = 100.0 *. (1.0 -. (on.Report.total_time /. off.Report.total_time)) in
+          Table.add_row t
+            [
+              name;
+              Printf.sprintf "%s(%d)" mname gpus;
+              Printf.sprintf "%.6fs" off.Report.total_time;
+              Printf.sprintf "%.6fs" on.Report.total_time;
+              Printf.sprintf "%+.1f%%" gain;
+              Mgacc_util.Bytesize.to_string (coh_bytes off);
+              Mgacc_util.Bytesize.to_string (coh_bytes on);
+              string_of_int on.Report.fused_kernels;
+              string_of_int on.Report.contracted_arrays;
+              (if ok then "ok" else "MISMATCH");
+            ];
+          json_entries :=
+            Printf.sprintf
+              "    {\"app\": %S, \"machine\": %S, \"gpus\": %d, \"unfused_seconds\": %.9g, \
+               \"fused_seconds\": %.9g, \"unfused_coh_bytes\": %d, \"fused_coh_bytes\": %d, \
+               \"unfused_gpu_gpu_bytes\": %d, \"fused_gpu_gpu_bytes\": %d, \"fused_kernels\": \
+               %d, \"contracted_arrays\": %d, \"relayouts\": %d, \"results_match\": %b}"
+              name mname gpus off.Report.total_time on.Report.total_time (coh_bytes off)
+              (coh_bytes on) off.Report.gpu_gpu_bytes on.Report.gpu_gpu_bytes
+              on.Report.fused_kernels on.Report.contracted_arrays on.Report.relayouts ok
+            :: !json_entries)
+        machines)
+    apps;
+  Table.print t;
+  if smoke then print_endline "\nsmoke configuration: no BENCH_fusion.json written"
+  else begin
+    let oc = open_out "BENCH_fusion.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"scale\": %S,\n\
+      \  \"flags\": {\"fuse\": \"off-vs-on\", \"overlap\": \"off\", \"coherence\": \"eager\", \
+       \"collective\": \"direct\"},\n\
+      \  \"runs\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      (scale_name scale)
+      (String.concat ",\n" (List.rev !json_entries));
+    close_out oc;
+    print_endline "\nwrote BENCH_fusion.json"
+  end;
+  print_endline
+    "shape: md fuses its three velocity-Verlet loops into one kernel and contracts the\n\
+     acceleration temporary outright; kmeans fuses assignment with membership, contracts\n\
+     both per-point temporaries and repacks the strided point matrix once. bfs has no\n\
+     adjacent compatible loops and must be byte-identical in both columns.\n"
+
 (* ------------------------------------------------------------------ *)
 (* Collectives: direct star/tree vs topology-aware planned schedules    *)
 (* ------------------------------------------------------------------ *)
@@ -1314,7 +1415,7 @@ let usage () =
   print_endline
     "usage: main.exe [--scale small|default|paper] [--bechamel] \
      [--smoke] \
-     [all|table1|table2|fig7|fig8|fig9|chunk-sweep|dirty-levels|policy|misscheck|layout|extended|expert|contention|cluster|balance|overlap|coherence|collective|fleet|sim|paper-validate]";
+     [all|table1|table2|fig7|fig8|fig9|chunk-sweep|dirty-levels|policy|misscheck|layout|extended|expert|contention|cluster|balance|overlap|coherence|fusion|collective|fleet|sim|paper-validate]";
   exit 1
 
 let () =
@@ -1376,6 +1477,7 @@ let () =
             balance ~smoke:!smoke;
             overlap_bench scale ~smoke:!smoke;
             coherence_bench scale ~smoke:!smoke;
+            fusion_bench scale ~smoke:!smoke;
             collective_bench scale ~smoke:!smoke;
             fleet_bench scale ~smoke:!smoke;
             sim_bench ~smoke:!smoke
@@ -1396,6 +1498,7 @@ let () =
         | "balance" -> balance ~smoke:!smoke
         | "overlap" -> overlap_bench scale ~smoke:!smoke
         | "coherence" -> coherence_bench scale ~smoke:!smoke
+        | "fusion" -> fusion_bench scale ~smoke:!smoke
         | "collective" -> collective_bench scale ~smoke:!smoke
         | "fleet" -> fleet_bench scale ~smoke:!smoke
         | "sim" -> sim_bench ~smoke:!smoke

@@ -81,14 +81,19 @@ let overlap_of = function
   | "off" -> Ok false
   | other -> Error (Printf.sprintf "unknown overlap mode %S (on|off)" other)
 
+let fuse_of = function
+  | "on" -> Ok true
+  | "off" -> Ok false
+  | other -> Error (Printf.sprintf "unknown fuse mode %S (on|off)" other)
+
 let coherence_of = function
   | "eager" -> Ok Mgacc.Rt_config.Eager
   | "lazy" -> Ok Mgacc.Rt_config.Lazy
   | other -> Error (Printf.sprintf "unknown coherence mode %S (eager|lazy)" other)
 
 let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_name
-    collective_name chunk_kb no_distribution no_layout no_misscheck single_level_dirty dump_arrays
-    show_trace trace_json blame json_report check_results verbose =
+    collective_name fuse_name chunk_kb no_distribution no_layout no_misscheck single_level_dirty
+    dump_arrays show_trace trace_json blame json_report check_results verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
@@ -97,6 +102,7 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
   let* overlap = overlap_of overlap_name in
   let* coherence = coherence_of coherence_name in
   let* collective = Mgacc.Rt_config.collective_of_string collective_name in
+  let* fuse = fuse_of fuse_name in
   try
     match variant with
     | "seq" ->
@@ -129,6 +135,7 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
             Mgacc.Kernel_plan.enable_distribution = not no_distribution;
             enable_layout_transform = not no_layout;
             enable_miss_check_elim = not no_misscheck;
+            enable_fusion = fuse;
           }
         in
         let config =
@@ -367,6 +374,14 @@ let run_term =
                    direct, ring or hierarchical staging per group from a payload/topology cost \
                    model")
   in
+  let fuse =
+    Arg.(value & opt string "off"
+         & info [ "fuse" ] ~docv:"on|off"
+             ~doc:"translator kernel-fusion pass: fuse adjacent compatible parallel loops, \
+                   contract group-local temporaries and transpose strided read-only arrays when \
+                   the cost model finds it profitable (off = today's one-loop-one-kernel plans, \
+                   bit for bit)")
+  in
   let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
   let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
   let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
@@ -392,11 +407,11 @@ let run_term =
          & info [ "json" ] ~doc:"print the report as one JSON object (includes coherence counters)")
   in
   Term.(
-    const (fun file m v g sch ov coh col c nd nl nm sl d tr tj bl js ck vb ->
-        exits_of (run_cmd file m v g sch ov coh col c nd nl nm sl d tr tj bl js ck vb))
-    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ collective $ chunk
-    $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json $ blame
-    $ json_report $ check_results $ verbose)
+    const (fun file m v g sch ov coh col fu c nd nl nm sl d tr tj bl js ck vb ->
+        exits_of (run_cmd file m v g sch ov coh col fu c nd nl nm sl d tr tj bl js ck vb))
+    $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ collective $ fuse
+    $ chunk $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json
+    $ blame $ json_report $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
 

@@ -15,13 +15,17 @@ let pgi ~machine app =
       Kernel_plan.enable_distribution = false;
       enable_layout_transform = false;
       enable_miss_check_elim = false;
+      enable_fusion = false;
     }
   in
   let config = Rt_config.make ~num_gpus:1 ~translator:options machine in
   run_acc ~config ~variant:"pgi(1)" ~machine (parse app)
 
-let proposal ?chunk_bytes ?two_level_dirty ?overlap ?schedule ?coherence ?collective
+let proposal ?chunk_bytes ?two_level_dirty ?overlap ?schedule ?coherence ?collective ?fuse
     ?(options = Kernel_plan.default_options) ~num_gpus ~machine app =
+  let options =
+    match fuse with Some b -> { options with Kernel_plan.enable_fusion = b } | None -> options
+  in
   let config =
     Rt_config.make ~num_gpus ?chunk_bytes ?two_level_dirty ?overlap ?schedule ?coherence
       ?collective ~translator:options machine

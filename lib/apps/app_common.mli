@@ -34,6 +34,7 @@ val proposal :
   ?schedule:Sched_policy.t ->
   ?coherence:Rt_config.coherence ->
   ?collective:Rt_config.collective ->
+  ?fuse:bool ->
   ?options:Kernel_plan.options ->
   num_gpus:int ->
   machine:Machine.t ->

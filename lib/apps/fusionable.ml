@@ -1,0 +1,145 @@
+(* Fusion-friendly variants of two paper applications (docs/FUSION.md).
+
+   The main app sources (md.ml, kmeans.ml) lean on the extension
+   directives — localaccess, reductiontoarray — whose clauses pin their
+   loops (the fusion pass only touches bare [parallel loop]s). These
+   variants express the same computations as short chains of adjacent
+   clause-free parallel loops over identical iteration spaces, the shape
+   the pass targets:
+
+   - [md]: the velocity-Verlet update as three loops per time step
+     (acceleration from force, velocity, position). The acceleration
+     array is a [create] temporary that dies inside the fused group, so
+     contraction removes it from the device entirely.
+   - [kmeans]: assignment as two loops (per-point best cluster into
+     [create] temporaries, then membership), with the feature count
+     baked in as a literal so the point matrix reads are [Strided 2] —
+     the pattern the fusion-mode layout transposition repairs. The
+     centers are recomputed on the host between iterations.
+
+   Both run unchanged (and produce bit-identical plans and reports) with
+   the pass off; they exist so benchmarks and tests can measure what
+   [--fuse on] changes. *)
+
+type md_params = { particles : int; steps : int }
+type kmeans_params = { points : int; clusters : int; iterations : int }
+
+let default_md = { particles = 30000; steps = 12 }
+let default_kmeans = { points = 24000; clusters = 6; iterations = 8 }
+
+let md_source p =
+  Printf.sprintf
+    {|
+void main() {
+  int n = %d;
+  int steps = %d;
+  double dt = 0.001;
+  double frc[n];
+  double vel[n];
+  double newpos[n];
+  double acc3[n];
+  int i;
+  for (i = 0; i < n; i++) {
+    frc[i] = (i %% 7) + 0.5;
+    vel[i] = (i %% 3) * 0.25;
+    newpos[i] = i * 1.0;
+  }
+  #pragma acc data copyin(frc[0:n]) copy(vel[0:n]) copy(newpos[0:n]) create(acc3[0:n])
+  {
+    int s;
+    for (s = 0; s < steps; s++) {
+      #pragma acc parallel loop
+      for (i = 0; i < n; i++) {
+        acc3[i] = frc[i] / 2.0;
+      }
+      #pragma acc parallel loop
+      for (i = 0; i < n; i++) {
+        vel[i] = vel[i] + acc3[i] * dt;
+      }
+      #pragma acc parallel loop
+      for (i = 0; i < n; i++) {
+        newpos[i] = newpos[i] + vel[i] * dt;
+      }
+    }
+  }
+}
+|}
+    p.particles p.steps
+
+let md p =
+  { App_common.name = "md"; source = md_source p; result_arrays = [ "vel"; "newpos" ] }
+
+let kmeans_source p =
+  Printf.sprintf
+    {|
+void main() {
+  int n = %d;
+  int k = %d;
+  int iters = %d;
+  double x[n*2];
+  double cx[k*2];
+  double sums[k*2];
+  int cnt[k];
+  int member[n];
+  double bestd[n];
+  int bestc[n];
+  int i;
+  for (i = 0; i < n; i++) {
+    x[i*2 + 0] = ((i * 13) %% 97) * 0.1;
+    x[i*2 + 1] = ((i * 7) %% 89) * 0.1;
+    member[i] = 0;
+  }
+  for (i = 0; i < k; i++) {
+    cx[i*2 + 0] = i * 1.5;
+    cx[i*2 + 1] = i * 0.5 + 0.25;
+  }
+  #pragma acc data copyin(x[0:n*2]) copy(cx[0:k*2]) copy(member[0:n]) create(bestd[0:n]) create(bestc[0:n])
+  {
+    int it;
+    for (it = 0; it < iters; it++) {
+      #pragma acc parallel loop
+      for (i = 0; i < n; i++) {
+        double bd = 1.0e30;
+        int bc = 0;
+        int c;
+        for (c = 0; c < k; c++) {
+          double d0 = x[i*2 + 0] - cx[c*2 + 0];
+          double d1 = x[i*2 + 1] - cx[c*2 + 1];
+          double dist = d0*d0 + d1*d1;
+          if (dist < bd) { bd = dist; bc = c; }
+        }
+        bestd[i] = bd;
+        bestc[i] = bc;
+      }
+      #pragma acc parallel loop
+      for (i = 0; i < n; i++) {
+        member[i] = bestc[i];
+      }
+      #pragma acc update host(member[0:n])
+      ;
+      int z;
+      for (z = 0; z < k*2; z++) { sums[z] = 0.0; }
+      for (z = 0; z < k; z++) { cnt[z] = 0; }
+      int q;
+      for (q = 0; q < n; q++) {
+        int c2 = member[q];
+        cnt[c2] = cnt[c2] + 1;
+        sums[c2*2 + 0] = sums[c2*2 + 0] + x[q*2 + 0];
+        sums[c2*2 + 1] = sums[c2*2 + 1] + x[q*2 + 1];
+      }
+      for (z = 0; z < k; z++) {
+        if (cnt[z] > 0) {
+          cx[z*2 + 0] = sums[z*2 + 0] / cnt[z];
+          cx[z*2 + 1] = sums[z*2 + 1] / cnt[z];
+        }
+      }
+      #pragma acc update device(cx[0:k*2])
+      ;
+    }
+  }
+}
+|}
+    p.points p.clusters p.iterations
+
+let kmeans p =
+  { App_common.name = "kmeans"; source = kmeans_source p; result_arrays = [ "member"; "cx" ] }

@@ -1,0 +1,25 @@
+(** Fusion-friendly variants of two paper applications.
+
+    The same computations as md and kmeans, restructured as chains of
+    adjacent clause-free [parallel loop]s over identical iteration
+    spaces — the shape the translator's fusion pass ([--fuse on],
+    docs/FUSION.md) targets. Each carries a [create] temporary that is
+    written by one loop and consumed by the next, so fusing also
+    contracts it away from the device; the kmeans point matrix is read
+    with a literal stride so the fusion-mode layout transposition fires.
+    With the pass off they run as ordinary one-loop-one-kernel apps. *)
+
+type md_params = { particles : int; steps : int }
+type kmeans_params = { points : int; clusters : int; iterations : int }
+
+val default_md : md_params
+val default_kmeans : kmeans_params
+
+val md : md_params -> App_common.t
+(** Velocity-Verlet step as three fusable loops; the acceleration array
+    [acc3] is the contractible temporary. Results: [vel], [newpos]. *)
+
+val kmeans : kmeans_params -> App_common.t
+(** Cluster assignment as two fusable loops; [bestd]/[bestc] are the
+    contractible temporaries and [x] the relayout candidate. Results:
+    [member], [cx]. *)

@@ -18,9 +18,9 @@ let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0 }
 let fingerprint ~(options : Kernel_plan.options) ~source =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%b|%b|%b|%s" options.Kernel_plan.enable_distribution
+       (Printf.sprintf "%b|%b|%b|%b|%s" options.Kernel_plan.enable_distribution
           options.Kernel_plan.enable_layout_transform options.Kernel_plan.enable_miss_check_elim
-          source))
+          options.Kernel_plan.enable_fusion source))
 
 let lookup ?(options = Kernel_plan.default_options) ?(name = "<job>") t source =
   let key = fingerprint ~options ~source in

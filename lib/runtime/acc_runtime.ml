@@ -450,12 +450,83 @@ let count_coh t (r : Comm_manager.result) =
     (fun (a, shipped, deferred) -> Profiler.add_coh t.profiler ~array:a ~shipped ~deferred)
     r.Comm_manager.coh
 
+(* Fusion-mode layout transposition: the first launch whose plan reads a
+   transposed array materializes the packed copy — a small repack kernel
+   per GPU streaming the original layout in and the new one out (~16
+   bytes per element). Later launches read the array coalesced at no
+   further cost; [t.repacked] makes the charge one-time per session. *)
+let relayout_cost elems =
+  let c = Mgacc_gpusim.Cost.zero () in
+  c.Mgacc_gpusim.Cost.coalesced_bytes <- 16 * elems;
+  c
+
+let pending_relayouts t plan =
+  List.filter (fun name -> not (Hashtbl.mem t.repacked name)) (Kernel_plan.relayout_arrays plan)
+
+(* Barrier path: repacks run right after the loads, and the launch's
+   kernels wait behind them (they read the packed copies). Returns the
+   new kernel-ready time and the repack spans as the kernels' causes. *)
+let charge_relayouts_barrier t env plan ~ready ~causes =
+  List.fold_left
+    (fun (ready, causes) name ->
+      Hashtbl.replace t.repacked name ();
+      Profiler.add_relayout t.profiler;
+      let elems = (get_darray t env name).Darray.length in
+      let label = "relayout:" ^ name in
+      let fin = ref ready and spans = ref [] in
+      for g = 0 to t.cfg.Rt_config.num_gpus - 1 do
+        let _, finish, sid =
+          Machine.launch_kernel_span ~causes t.cfg.Rt_config.machine ~dev:g ~ready ~threads:elems
+            ~label (relayout_cost elems)
+        in
+        fin := Float.max !fin finish;
+        spans := sid :: !spans
+      done;
+      Profiler.add_kernel t.profiler ~seconds:(!fin -. ready);
+      Mgacc_obs.Blame.charge t.ledger Mgacc_obs.Blame.Kernel ~label ~exposed:(!fin -. ready)
+        ~hidden:0.0 ~spans:!spans;
+      (!fin, !spans))
+    (ready, causes) (pending_relayouts t plan)
+
+(* Overlap path: each GPU's repack is gated on that device's own
+   readiness and advances its event timeline, so only kernels on that
+   GPU wait for their local copy. *)
+let charge_relayouts_overlap t env plan =
+  List.iter
+    (fun name ->
+      Hashtbl.replace t.repacked name ();
+      Profiler.add_relayout t.profiler;
+      let elems = (get_darray t env name).Darray.length in
+      let label = "relayout:" ^ name in
+      let bstart = ref infinity and bfinish = ref 0.0 and spans = ref [] in
+      for g = 0 to t.cfg.Rt_config.num_gpus - 1 do
+        let ready = Float.max t.clock (Event.gpu_ready t.events g) in
+        let start, finish, sid =
+          Machine.launch_kernel_span ~causes:(ev_cause t g) t.cfg.Rt_config.machine ~dev:g ~ready
+            ~threads:elems ~label (relayout_cost elems)
+        in
+        record_ev t g finish (Some sid);
+        bstart := Float.min !bstart start;
+        bfinish := Float.max !bfinish finish;
+        spans := sid :: !spans
+      done;
+      account t ~label ~spans:!spans ~kind:`Kernel ~bytes:0 ~start:!bstart ~finish:!bfinish)
+    (pending_relayouts t plan)
+
 let rec on_parallel_loop t env loop =
   Profiler.incr_loops t.profiler;
   let plan = Program_plan.plan_for t.plans loop in
   if not (offload_condition env loop.Loop_info.clauses) then run_on_host t env loop plan
-  else if t.cfg.Rt_config.overlap then on_parallel_loop_gpu_overlap t env loop plan
-  else on_parallel_loop_gpu t env loop plan
+  else begin
+    (* One fused launch stands in for all its constituent loops; count
+       the launches it saved (k-1 for a group of k) each execution. *)
+    (match Program_plan.fused_members t.plans loop with
+    | _ :: _ :: _ as members ->
+        Profiler.add_fused_kernels t.profiler ~count:(List.length members - 1)
+    | _ -> ());
+    if t.cfg.Rt_config.overlap then on_parallel_loop_gpu_overlap t env loop plan
+    else on_parallel_loop_gpu t env loop plan
+  end
 
 (* The original bulk-synchronous launch: every phase is a barrier across
    all GPUs. Kept bit-for-bit — [--overlap off] must reproduce the seed's
@@ -478,6 +549,7 @@ and on_parallel_loop_gpu t env loop plan =
   let load_spans = t.last_xfer_spans in
   let t1 = charge_xfers t ~label:"rebalance" ~kind:Gpu_gpu ~ready:t1 repart_xfers in
   let load_spans = load_spans @ t.last_xfer_spans in
+  let t1, load_spans = charge_relayouts_barrier t env plan ~ready:t1 ~causes:load_spans in
   (* Phase 2: kernels on all GPUs concurrently (KERNELS). *)
   let compiled = compiled_for t env plan in
   let runs, scalar_partials =
@@ -496,7 +568,7 @@ and on_parallel_loop_gpu t env loop plan =
           Machine.launch_kernel_span ~causes:load_spans t.cfg.Rt_config.machine
             ~dev:run.Launch.gpu ~ready:t1
             ~threads:(run.Launch.iterations * s.thread_multiplier)
-            ~label:(Printf.sprintf "loop%d" loop.Loop_info.loop_id)
+            ~label:(Program_plan.kernel_label t.plans loop)
             run.Launch.cost
         in
         kspan.(run.Launch.gpu) <- sid;
@@ -694,6 +766,7 @@ and on_parallel_loop_gpu_overlap t env loop plan =
     (run_batch_overlap t ~label:"load" ~kind:`Cpu_gpu (List.map mk_req host_xfers));
   List.iter record_endpoints
     (run_batch_overlap t ~label:"rebalance" ~kind:`Gpu_gpu (List.map mk_req repart_xfers));
+  charge_relayouts_overlap t env plan;
   (* Phase 2: kernels, each starting as soon as its own device is ready. *)
   let compiled = compiled_for t env plan in
   let runs, scalar_partials =
@@ -715,7 +788,7 @@ and on_parallel_loop_gpu_overlap t env loop plan =
           Machine.launch_kernel_span ~causes:(ev_cause t g) machine ~dev:g
             ~ready:(Float.max t.clock (Event.gpu_ready t.events g))
             ~threads:(run.Launch.iterations * s.thread_multiplier)
-            ~label:(Printf.sprintf "loop%d" loop.Loop_info.loop_id)
+            ~label:(Program_plan.kernel_label t.plans loop)
             run.Launch.cost
         in
         kstart.(g) <- start;
@@ -1122,7 +1195,11 @@ let finish ?(keep_resident = false) t =
   Profiler.record_memory_peaks t.profiler t.cfg.Rt_config.machine ~num_gpus:t.cfg.Rt_config.num_gpus
 
 let execute t program =
-  let env = Host_interp.run_program ~hooks:(hooks t) program in
+  (* Run the plans' own program: when fusion rewrote the source, the host
+     must interpret the rewritten loops the plans were built from (with
+     the pass off this is physically the program that was passed in). *)
+  ignore (program : Mgacc_minic.Ast.program);
+  let env = Host_interp.run_program ~hooks:(hooks t) (Program_plan.program t.plans) in
   finish ~keep_resident:t.cfg.Rt_config.keep_resident t;
   env
 
@@ -1149,7 +1226,9 @@ let run ?config ?variant ?(with_blame = false) ~machine program =
   Machine.reset cfg.Rt_config.machine;
   let plans = Program_plan.build ~options:cfg.Rt_config.translator program in
   let t = create cfg plans in
-  let env = Host_interp.run_program ~hooks:(hooks t) program in
+  (* Interpret the plans' program, not the input: fusion may have
+     rewritten it (identical when the pass is off). *)
+  let env = Host_interp.run_program ~hooks:(hooks t) (Program_plan.program plans) in
   finish t;
   let variant =
     match variant with

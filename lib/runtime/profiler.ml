@@ -31,6 +31,9 @@ type t = {
   c_imbalance_samples : Metrics.counter;
   h_imbalance : Metrics.histogram;
   c_prefetch_hits : Metrics.counter;
+  c_fused_kernels : Metrics.counter;
+  c_contracted_arrays : Metrics.counter;
+  c_relayouts : Metrics.counter;
   c_spilled_bytes : Metrics.counter;
   c_spills : Metrics.counter;
   g_mem_user : Metrics.gauge;
@@ -69,6 +72,13 @@ let create () =
         ~buckets:[| 0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.0 |]
         "rt_imbalance_ratio";
     c_prefetch_hits = Metrics.counter m "rt_prefetch_hits_total";
+    c_fused_kernels =
+      Metrics.counter m ~help:"kernel launches saved by loop fusion" "rt_fused_kernels_total";
+    c_contracted_arrays =
+      Metrics.counter m ~help:"temporaries contracted to scalars by fusion"
+        "rt_contracted_arrays_total";
+    c_relayouts =
+      Metrics.counter m ~help:"one-time layout repacks materialized" "rt_relayouts_total";
     c_spilled_bytes =
       Metrics.counter m ~help:"dirty bytes written back on fleet evictions" "rt_spilled_bytes_total";
     c_spills = Metrics.counter m ~help:"fleet evictions of this session" "rt_spills_total";
@@ -109,6 +119,9 @@ let add_imbalance t ~ratio =
 
 let add_hidden t ~seconds = Metrics.inc t.c_hidden seconds
 let add_prefetch_hits t ~count = Metrics.inc t.c_prefetch_hits (float_of_int count)
+let add_fused_kernels t ~count = Metrics.inc t.c_fused_kernels (float_of_int count)
+let add_contracted_arrays t ~count = Metrics.inc t.c_contracted_arrays (float_of_int count)
+let add_relayout t = Metrics.inc t.c_relayouts 1.
 
 (* Fleet memory pressure: one eviction of this session's warm data,
    writing [bytes] of dirty device data back to the host (0 when the
@@ -159,6 +172,9 @@ let loops_executed t = int_count t.c_loops
 let rebalances t = int_count t.c_rebalances
 let hidden_time t = Metrics.counter_value t.c_hidden
 let prefetch_hits t = int_count t.c_prefetch_hits
+let fused_kernels t = int_count t.c_fused_kernels
+let contracted_arrays t = int_count t.c_contracted_arrays
+let relayouts t = int_count t.c_relayouts
 let spilled_bytes t = int_count t.c_spilled_bytes
 let spills t = int_count t.c_spills
 

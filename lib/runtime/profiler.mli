@@ -64,6 +64,22 @@ val total_time : t -> float
 val hidden_time : t -> float
 val prefetch_hits : t -> int
 
+val add_fused_kernels : t -> count:int -> unit
+(** Kernel launches saved by loop fusion at one fused launch: one fused
+    group of [k] constituent loops counts [k - 1] per execution. *)
+
+val add_contracted_arrays : t -> count:int -> unit
+(** Temporary arrays the fusion pass contracted to per-iteration scalars
+    (recorded once per session from the plan, not per launch). *)
+
+val add_relayout : t -> unit
+(** One array's transposed device copy materialized (one-time repack for
+    a fusion-mode layout transformation). *)
+
+val fused_kernels : t -> int
+val contracted_arrays : t -> int
+val relayouts : t -> int
+
 val add_spill : t -> bytes:int -> unit
 (** Fleet memory pressure: one eviction of this session's warm device
     data, with [bytes] of dirty data written back to the host (0 when

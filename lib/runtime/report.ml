@@ -20,6 +20,9 @@ type t = {
   mean_imbalance : float;
   hidden_seconds : float;
   prefetch_hits : int;
+  fused_kernels : int;
+  contracted_arrays : int;
+  relayouts : int;
   mem_user_bytes : int;
   mem_system_bytes : int;
   coh_shipped_bytes : int;
@@ -58,6 +61,9 @@ let of_profiler p ~machine ~variant ~num_gpus =
     mean_imbalance = Profiler.mean_imbalance p;
     hidden_seconds = Profiler.hidden_time p;
     prefetch_hits = Profiler.prefetch_hits p;
+    fused_kernels = Profiler.fused_kernels p;
+    contracted_arrays = Profiler.contracted_arrays p;
+    relayouts = Profiler.relayouts p;
     mem_user_bytes = mem.Profiler.user_bytes;
     mem_system_bytes = mem.Profiler.system_bytes;
     coh_shipped_bytes = sum (fun (_, s, _, _) -> s);
@@ -93,6 +99,9 @@ let host_only ~machine ~variant ~seconds =
     mean_imbalance = 0.0;
     hidden_seconds = 0.0;
     prefetch_hits = 0;
+    fused_kernels = 0;
+    contracted_arrays = 0;
+    relayouts = 0;
     mem_user_bytes = 0;
     mem_system_bytes = 0;
     coh_shipped_bytes = 0;
@@ -131,6 +140,14 @@ let to_json t =
     | None -> ""
     | Some b -> Printf.sprintf {|,"blame":%s|} (Mgacc_obs.Blame.to_json b)
   in
+  (* Likewise the "fusion" sub-object appears only when the pass actually
+     did something, so fuse-off reports stay byte-identical. *)
+  let fusion_json =
+    if t.fused_kernels = 0 && t.contracted_arrays = 0 && t.relayouts = 0 then ""
+    else
+      Printf.sprintf {|,"fusion":{"fused_kernels":%d,"contracted_arrays":%d,"relayouts":%d}|}
+        t.fused_kernels t.contracted_arrays t.relayouts
+  in
   let coh_arrays =
     String.concat ","
       (List.map
@@ -140,14 +157,14 @@ let to_json t =
          t.coh_arrays)
   in
   Printf.sprintf
-    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"queue_seconds":%.9g,"spills":%d,"spilled_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}%s}|}
+    {|{"machine":"%s","variant":"%s","num_gpus":%d,"total_time":%.9g,"kernel_time":%.9g,"cpu_gpu_time":%.9g,"gpu_gpu_time":%.9g,"overhead_time":%.9g,"cpu_gpu_bytes":%d,"gpu_gpu_bytes":%d,"wire_bytes":%d,"loops":%d,"launches":%d,"rebalances":%d,"mean_imbalance":%.9g,"hidden_seconds":%.9g,"prefetch_hits":%d,"mem_user_bytes":%d,"mem_system_bytes":%d,"queue_seconds":%.9g,"spills":%d,"spilled_bytes":%d,"collective":{"rings":%d,"hierarchies":%d,"direct_groups":%d,"segments":%d},"coherence":{"shipped_bytes":%d,"deferred_bytes":%d,"pulled_bytes":%d,"elided_bytes":%d,"arrays":[%s]}%s%s}|}
     (json_escape t.machine) (json_escape t.variant) t.num_gpus t.total_time t.kernel_time
     t.cpu_gpu_time t.gpu_gpu_time t.overhead_time t.cpu_gpu_bytes t.gpu_gpu_bytes t.wire_bytes
     t.loops t.launches t.rebalances t.mean_imbalance t.hidden_seconds t.prefetch_hits
     t.mem_user_bytes t.mem_system_bytes t.queue_seconds t.spills t.spilled_bytes
     t.collective_rings t.collective_hierarchies t.collective_direct_groups t.collective_segments
     t.coh_shipped_bytes t.coh_deferred_bytes t.coh_pulled_bytes (coh_elided_bytes t) coh_arrays
-    blame_json
+    fusion_json blame_json
 
 let pp_blame ppf t =
   match t.blame with None -> () | Some b -> Mgacc_obs.Blame.pp ppf b
@@ -172,6 +189,9 @@ let pp ppf t =
       if t.collective_rings > 0 || t.collective_hierarchies > 0 then
         Format.fprintf ppf " coll rings=%d hier=%d direct=%d segs=%d" t.collective_rings
           t.collective_hierarchies t.collective_direct_groups t.collective_segments;
+      if t.fused_kernels > 0 || t.contracted_arrays > 0 || t.relayouts > 0 then
+        Format.fprintf ppf " fusion fused=%d contracted=%d relayouts=%d" t.fused_kernels
+          t.contracted_arrays t.relayouts;
       if t.queue_seconds > 0.0 then Format.fprintf ppf " queued=%.6fs" t.queue_seconds;
       if t.spills > 0 then
         Format.fprintf ppf " spills=%d (%s)" t.spills

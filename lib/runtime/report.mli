@@ -27,6 +27,13 @@ type t = {
       (** overlap engine: activity that ran off the critical path; the
           per-category times then sum to the makespan *)
   prefetch_hits : int;  (** launches' arrays already valid on device (reload skipped) *)
+  fused_kernels : int;
+      (** kernel launches saved by loop fusion ([--fuse on]); 0 with the
+          pass off, so default reports are unchanged *)
+  contracted_arrays : int;
+      (** temporaries the fusion pass contracted to per-iteration scalars
+          (they never allocate device storage or reconcile) *)
+  relayouts : int;  (** one-time transposed-copy repacks materialized *)
   mem_user_bytes : int;  (** peak user data across used GPUs *)
   mem_system_bytes : int;  (** peak runtime-system data across used GPUs *)
   coh_shipped_bytes : int;  (** replicated/reduction bytes shipped at reconciles *)

@@ -22,6 +22,9 @@ type t = {
       (** lazy coherence: last-observed iteration split per loop, used to
           resolve the lookahead's affine windows into concrete per-GPU
           element ranges (iterative apps re-run loops with stable bounds) *)
+  repacked : (string, unit) Hashtbl.t;
+      (** fusion-mode layout transposition: arrays whose transposed device
+          copy was already materialized (the repack is charged once) *)
   tenant : string;  (** owning tenant, for fleet-level accounting *)
   start : float;  (** simulated admission instant the clocks started from *)
   ledger : Mgacc_obs.Blame.t;
@@ -39,10 +42,14 @@ type t = {
 
 let create ?(tenant = "default") ?(start = 0.0) cfg plans =
   if start < 0.0 then invalid_arg "Session.create: negative start time";
+  let profiler = Profiler.create () in
+  (match Program_plan.contracted_arrays plans with
+  | [] -> ()
+  | contracted -> Profiler.add_contracted_arrays profiler ~count:(List.length contracted));
   {
     cfg;
     plans;
-    profiler = Profiler.create ();
+    profiler;
     scheduler =
       Mgacc_sched.Scheduler.create ~machine:cfg.Rt_config.machine
         ~num_gpus:cfg.Rt_config.num_gpus ~policy:cfg.Rt_config.schedule
@@ -51,6 +58,7 @@ let create ?(tenant = "default") ?(start = 0.0) cfg plans =
     compiled = Hashtbl.create 16;
     events = Event.create ~num_gpus:cfg.Rt_config.num_gpus;
     seen_ranges = Hashtbl.create 16;
+    repacked = Hashtbl.create 4;
     tenant;
     start;
     ledger = Mgacc_obs.Blame.create ();

@@ -22,6 +22,9 @@ type t = {
   events : Event.t;  (** overlap mode: per-GPU data-readiness timelines *)
   seen_ranges : (Loc.t, Task_map.range array) Hashtbl.t;
       (** lazy coherence: last-observed iteration split per loop *)
+  repacked : (string, unit) Hashtbl.t;
+      (** fusion-mode layout transposition: arrays whose transposed device
+          copy was already materialized (the repack is charged once) *)
   tenant : string;  (** owning tenant, for fleet-level accounting *)
   start : float;  (** simulated admission instant the clocks started from *)
   ledger : Mgacc_obs.Blame.t;

@@ -1,0 +1,930 @@
+(* Cost-model-guided kernel fusion, temporary contraction, and the
+   bookkeeping the rest of the translator needs to see through fused
+   groups (ACC-Saturator-style pass; see docs/FUSION.md).
+
+   The pass runs between parsing and planning, only under
+   [enable_fusion]. It rewrites the AST:
+
+   - adjacent [#pragma acc parallel loop] statements with identical
+     normalized iteration spaces fuse into one loop when no
+     fusion-preventing dependence crosses the seam and the cost model
+     says the saved launch + reconciliation outweighs the occupancy
+     pressure of the bigger body;
+
+   - arrays whose every reference lands inside one fused body contract
+     to kernel-local scalars and their [create] data clause entry is
+     dropped, so they never reach the darray/coherence layer.
+
+   The summary maps each surviving loop's location to the {e original}
+   loop ids it absorbed, so runtime labels and blame attribution keep
+   naming the source loops. *)
+
+open Mgacc_minic
+open Ast
+module Loop_info = Mgacc_analysis.Loop_info
+module Access = Mgacc_analysis.Access
+module Affine = Mgacc_analysis.Affine
+
+type summary = { groups : (Loc.t * int list) list; contracted : string list }
+
+let empty_summary = { groups = []; contracted = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Cost model (NCCL-style closed form, same spirit as --collective auto) *)
+(* ------------------------------------------------------------------ *)
+
+let launch_overhead_seconds = 5e-6
+let reconcile_seconds_per_byte = 1.5e-10
+
+(* Occupancy-pressure proxy: a fused body whose operator count exceeds
+   the budget models register spill / occupancy loss as a per-iteration
+   penalty per excess operator. *)
+let op_budget = 64
+let op_penalty_seconds = 5e-8
+
+(* Iteration count assumed when the bounds are not compile-time
+   literals. *)
+let nominal_iterations = 4096
+
+let rec ops_of_expr e =
+  match e.edesc with
+  | Int_lit _ | Float_lit _ | Var _ | Length _ -> 0
+  | Index (_, i) -> 1 + ops_of_expr i
+  | Unop (_, x) -> 1 + ops_of_expr x
+  | Binop (_, x, y) -> 1 + ops_of_expr x + ops_of_expr y
+  | Ternary (c, a, b) -> 1 + ops_of_expr c + ops_of_expr a + ops_of_expr b
+  | Call (_, args) -> List.fold_left (fun acc a -> acc + ops_of_expr a) 4 args
+
+let ops_of_lvalue = function Lvar _ -> 0 | Lindex (_, i) -> 1 + ops_of_expr i
+
+let rec ops_of_stmt s =
+  match s.sdesc with
+  | Sdecl (_, _, init) -> ( match init with Some e -> ops_of_expr e | None -> 0)
+  | Sarray_decl (_, _, n) -> ops_of_expr n
+  | Sassign (lv, _, e) -> ops_of_lvalue lv + ops_of_expr e
+  | Sincr (lv, _) -> 1 + ops_of_lvalue lv
+  | Sexpr e -> ops_of_expr e
+  | Sif (c, a, b) -> ops_of_expr c + ops_of_body a + ops_of_body b
+  | Swhile (c, b) -> ops_of_expr c + ops_of_body b
+  | Sfor (h, b) ->
+      (match h.for_init with Some s -> ops_of_stmt s | None -> 0)
+      + (match h.for_cond with Some e -> ops_of_expr e | None -> 0)
+      + (match h.for_update with Some s -> ops_of_stmt s | None -> 0)
+      + ops_of_body b
+  | Sreturn e -> ( match e with Some e -> ops_of_expr e | None -> 0)
+  | Sbreak | Scontinue -> 0
+  | Sblock b -> ops_of_body b
+  | Spragma (_, inner) -> ops_of_stmt inner
+
+and ops_of_body b = List.fold_left (fun acc s -> acc + ops_of_stmt s) 0 b
+
+(* ------------------------------------------------------------------ *)
+(* Body scans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec body_has p body = List.exists (stmt_has p) body
+
+and stmt_has p s =
+  p s
+  ||
+  match s.sdesc with
+  | Sif (_, a, b) -> body_has p a || body_has p b
+  | Swhile (_, b) | Sfor (_, b) | Sblock b -> body_has p b
+  | Spragma (_, inner) -> stmt_has p inner
+  | Sdecl _ | Sarray_decl _ | Sassign _ | Sincr _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue ->
+      false
+
+let declared_names body =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  ignore
+    (body_has
+       (fun s ->
+         (match s.sdesc with
+         | Sdecl (_, v, _) | Sarray_decl (_, v, _) -> add v
+         | _ -> ());
+         false)
+       body);
+  !acc
+
+let assigned_scalars body =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  ignore
+    (body_has
+       (fun s ->
+         (match s.sdesc with
+         | Sassign (Lvar v, _, _) | Sincr (Lvar v, _) -> add v
+         | _ -> ());
+         false)
+       body);
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* Candidate recognition and legality                                  *)
+(* ------------------------------------------------------------------ *)
+
+type candidate = {
+  pragma : stmt;  (** the [Spragma (Dparallel_loop [], for)] statement *)
+  for_stmt : stmt;
+  header : for_header;
+  body : stmt list;
+  info : Loop_info.t;
+}
+
+(* The parser wraps a braced loop body in one [Sblock]; peel such
+   wrappers so concatenating two bodies yields straight-line statements
+   (which the contraction legality scan requires at top level). *)
+let rec unwrap_body body =
+  match body with [ { sdesc = Sblock b; _ } ] -> unwrap_body b | _ -> body
+
+let as_candidate s =
+  match s.sdesc with
+  | Spragma (Dparallel_loop [], ({ sdesc = Sfor (h, body); _ } as for_stmt)) -> (
+      match Loop_info.of_stmt ~loop_id:0 s with
+      | Some info -> Some { pragma = s; for_stmt; header = h; body = unwrap_body body; info }
+      | None -> None
+      | exception Loc.Error _ -> None)
+  | _ -> None
+
+(* A loop qualifies for fusion when it is a plain data-parallel map:
+   no clauses (reductions, gang/vector shaping, if-guards, data
+   movement), no localaccess windows, no reductiontoarray statements,
+   no nested pragmas or returns, and every scalar it assigns is
+   body-declared (no firstprivate write-back semantics to preserve). *)
+let fusable (c : candidate) =
+  let li = c.info in
+  li.Loop_info.clauses = []
+  && li.Loop_info.localaccess = []
+  && li.Loop_info.scalar_reductions = []
+  && li.Loop_info.array_reductions = []
+  && (not
+        (body_has
+           (fun s -> match s.sdesc with Spragma _ | Sreturn _ -> true | _ -> false)
+           c.body))
+  &&
+  let declared = declared_names c.body in
+  List.for_all (fun v -> List.mem v declared) (assigned_scalars c.body)
+
+(* Bounds must be loop-invariant pure integer expressions (no loads, no
+   calls) and textually identical after normalization — the strongest
+   form of "same iteration space" the mini-C frontend can certify. *)
+let rec pure_bound e =
+  match e.edesc with
+  | Int_lit _ | Var _ | Length _ -> true
+  | Float_lit _ | Index _ | Call _ -> false
+  | Unop (_, x) -> pure_bound x
+  | Binop (_, x, y) -> pure_bound x && pure_bound y
+  | Ternary (c, a, b) -> pure_bound c && pure_bound a && pure_bound b
+
+let bounds_compatible (a : Loop_info.t) (b : Loop_info.t) =
+  pure_bound a.Loop_info.lower && pure_bound a.Loop_info.upper
+  && pure_bound b.Loop_info.lower && pure_bound b.Loop_info.upper
+  && Pretty.expr_to_string a.Loop_info.lower = Pretty.expr_to_string b.Loop_info.lower
+  && Pretty.expr_to_string a.Loop_info.upper = Pretty.expr_to_string b.Loop_info.upper
+
+(* Seam dependence test. For every array with a write on either side,
+   every (first-loop site, second-loop site) pair with a write in it
+   must be provably iteration-local: both subscripts literal affine
+   forms [c*i + k] with the same coefficient, touching the same element
+   only in the same iteration. Same-iteration flow is legal — the fused
+   body runs the first loop's statements before the second's — while
+   any cross-iteration overlap would be reordered by fusion. *)
+let literal_forms (li : Loop_info.t) exprs =
+  let is_uniform = Access.is_uniform_in li in
+  List.map
+    (fun e ->
+      match Affine.of_expr ~loop_var:li.Loop_info.loop_var ~is_uniform e with
+      | Some a when Affine.is_literal a -> Some (a.Affine.coeff, a.Affine.const)
+      | _ -> None)
+    exprs
+
+let pair_independent (ca, ka) (cb, kb) =
+  if ca <> cb then false
+  else if ca = 0 then ka <> kb
+  else
+    let d = kb - ka in
+    d mod ca <> 0 || d / ca = 0
+
+let seam_safe (a : candidate) (b : candidate) =
+  let acc_a = Access.analyze a.info and acc_b = Access.analyze b.info in
+  let arrays =
+    List.sort_uniq compare
+      (List.map (fun (x : Access.array_access) -> x.Access.array) acc_a
+      @ List.map (fun (x : Access.array_access) -> x.Access.array) acc_b)
+  in
+  List.for_all
+    (fun name ->
+      match (Access.find acc_a name, Access.find acc_b name) with
+      | None, _ | _, None -> true (* only on one side: no seam *)
+      | Some xa, Some xb ->
+          let wa = xa.Access.writes @ xa.Access.reduction_writes in
+          let wb = xb.Access.writes @ xb.Access.reduction_writes in
+          if wa = [] && wb = [] then true
+          else
+            let all_a = literal_forms a.info (xa.Access.reads @ wa) in
+            let all_b = literal_forms b.info (xb.Access.reads @ wb) in
+            let writes_a = literal_forms a.info wa in
+            let writes_b = literal_forms b.info wb in
+            let every_known l = List.for_all Option.is_some l in
+            every_known all_a && every_known all_b
+            &&
+            let get l = List.map Option.get l in
+            let conflict_free xs ys =
+              List.for_all (fun x -> List.for_all (fun y -> pair_independent x y) ys) xs
+            in
+            conflict_free (get writes_a) (get all_b) && conflict_free (get all_a) (get writes_b))
+    arrays
+
+(* ------------------------------------------------------------------ *)
+(* Profitability                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let est_iterations (li : Loop_info.t) =
+  match (li.Loop_info.lower.edesc, li.Loop_info.upper.edesc) with
+  | Int_lit lo, Int_lit hi when hi > lo -> hi - lo
+  | _ -> nominal_iterations
+
+let profitable (a : candidate) (b : candidate) =
+  let iters = est_iterations a.info in
+  let acc_a = Access.analyze a.info and acc_b = Access.analyze b.info in
+  let seam_bytes =
+    List.fold_left
+      (fun bytes (xa : Access.array_access) ->
+        if xa.Access.writes <> [] && Access.find acc_b xa.Access.array <> None then
+          bytes + (8 * iters)
+        else bytes)
+      0 acc_a
+  in
+  let benefit =
+    launch_overhead_seconds +. (float_of_int seam_bytes *. reconcile_seconds_per_byte)
+  in
+  let pressure = ops_of_body a.body + ops_of_body b.body - op_budget in
+  let cost =
+    if pressure > 0 then float_of_int pressure *. float_of_int iters *. op_penalty_seconds
+    else 0.
+  in
+  benefit > cost
+
+(* ------------------------------------------------------------------ *)
+(* Alpha renaming and substitution                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec sub_expr m e =
+  let edesc =
+    match e.edesc with
+    | Int_lit _ | Float_lit _ -> e.edesc
+    | Var v -> Var (m v)
+    | Index (a, i) -> Index (m a, sub_expr m i)
+    | Unop (op, x) -> Unop (op, sub_expr m x)
+    | Binop (op, x, y) -> Binop (op, sub_expr m x, sub_expr m y)
+    | Ternary (c, x, y) -> Ternary (sub_expr m c, sub_expr m x, sub_expr m y)
+    | Call (f, args) -> Call (f, List.map (sub_expr m) args)
+    | Length a -> Length (m a)
+  in
+  { e with edesc }
+
+let sub_lvalue m = function
+  | Lvar v -> Lvar (m v)
+  | Lindex (a, i) -> Lindex (m a, sub_expr m i)
+
+let rec sub_stmt m s =
+  let sdesc =
+    match s.sdesc with
+    | Sdecl (ty, v, init) -> Sdecl (ty, m v, Option.map (sub_expr m) init)
+    | Sarray_decl (ty, v, n) -> Sarray_decl (ty, m v, sub_expr m n)
+    | Sassign (lv, op, e) -> Sassign (sub_lvalue m lv, op, sub_expr m e)
+    | Sincr (lv, k) -> Sincr (sub_lvalue m lv, k)
+    | Sexpr e -> Sexpr (sub_expr m e)
+    | Sif (c, a, b) -> Sif (sub_expr m c, List.map (sub_stmt m) a, List.map (sub_stmt m) b)
+    | Swhile (c, b) -> Swhile (sub_expr m c, List.map (sub_stmt m) b)
+    | Sfor (h, b) ->
+        Sfor
+          ( {
+              for_init = Option.map (sub_stmt m) h.for_init;
+              for_cond = Option.map (sub_expr m) h.for_cond;
+              for_update = Option.map (sub_stmt m) h.for_update;
+            },
+            List.map (sub_stmt m) b )
+    | Sreturn e -> Sreturn (Option.map (sub_expr m) e)
+    | Sbreak | Scontinue -> s.sdesc
+    | Sblock b -> Sblock (List.map (sub_stmt m) b)
+    | Spragma (d, inner) -> Spragma (d, sub_stmt m inner)
+  in
+  { s with sdesc }
+
+let sub_body m body = List.map (sub_stmt m) body
+
+(* ------------------------------------------------------------------ *)
+(* The fusion walker                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  members : (Loc.t, int list) Hashtbl.t;  (** loop_loc -> original loop ids *)
+  fresh : int ref;
+  used : (string, unit) Hashtbl.t;  (** every name in the function *)
+}
+
+let fresh_name ctx base =
+  let rec go () =
+    let n = Printf.sprintf "%s_f%d" base !(ctx.fresh) in
+    incr ctx.fresh;
+    if Hashtbl.mem ctx.used n then go ()
+    else begin
+      Hashtbl.replace ctx.used n ();
+      n
+    end
+  in
+  go ()
+
+let try_fuse ctx sa sb =
+  match (as_candidate sa, as_candidate sb) with
+  | Some a, Some b
+    when fusable a && fusable b
+         && bounds_compatible a.info b.info
+         && seam_safe a b && profitable a b ->
+      let la = a.info.Loop_info.loop_var and lb = b.info.Loop_info.loop_var in
+      (* The second loop's counter is replaced by the first's; if the
+         second body also uses a *free* variable spelled like the first
+         counter, substitution would capture it — bail out. *)
+      if la <> lb && List.mem la (Loop_info.free_vars b.info) then None
+      else begin
+        let decl_a = declared_names a.body in
+        let free_b = Loop_info.free_vars b.info in
+        (* Locals of the first body that shadow free names of the second
+           are renamed away so concatenation cannot capture them. *)
+        let ren_a =
+          List.filter_map
+            (fun v -> if List.mem v free_b then Some (v, fresh_name ctx v) else None)
+            decl_a
+        in
+        let map_a v = match List.assoc_opt v ren_a with Some v' -> v' | None -> v in
+        let body_a = if ren_a = [] then a.body else sub_body map_a a.body in
+        let decl_a = declared_names body_a in
+        (* Locals of the second body colliding with anything live in the
+           first (its locals, its free names, the shared counter) get
+           fresh names; the counter itself maps across. *)
+        let taken = (la :: decl_a) @ Loop_info.free_vars a.info in
+        let ren_b =
+          List.filter_map
+            (fun v -> if List.mem v taken then Some (v, fresh_name ctx v) else None)
+            (declared_names b.body)
+        in
+        let map_b v =
+          if v = lb then la
+          else match List.assoc_opt v ren_b with Some v' -> v' | None -> v
+        in
+        let body_b = sub_body map_b b.body in
+        let fused =
+          {
+            sa with
+            sdesc =
+              Spragma
+                ( Dparallel_loop [],
+                  { a.for_stmt with sdesc = Sfor (a.header, body_a @ body_b) } );
+          }
+        in
+        let loc_a = a.info.Loop_info.loop_loc and loc_b = b.info.Loop_info.loop_loc in
+        let ids loc = match Hashtbl.find_opt ctx.members loc with Some l -> l | None -> [] in
+        Hashtbl.replace ctx.members loc_a (ids loc_a @ ids loc_b);
+        Hashtbl.remove ctx.members loc_b;
+        Some fused
+      end
+  | _ -> None
+
+let rec fuse_seq ctx stmts =
+  match stmts with
+  | a :: b :: rest -> (
+      match try_fuse ctx a b with
+      | Some fused -> fuse_seq ctx (fused :: rest)
+      | None -> descend ctx a :: fuse_seq ctx (b :: rest))
+  | [ s ] -> [ descend ctx s ]
+  | [] -> []
+
+(* Recurse into compound statements looking for more adjacent pairs —
+   but never into a parallel loop's own body (parallel loops do not
+   nest in this system). *)
+and descend ctx s =
+  match s.sdesc with
+  | Spragma (Dparallel_loop _, _) -> s
+  | Spragma (d, inner) -> { s with sdesc = Spragma (d, descend ctx inner) }
+  | Sblock b -> { s with sdesc = Sblock (fuse_seq ctx b) }
+  | Sif (c, a, b) -> { s with sdesc = Sif (c, fuse_seq ctx a, fuse_seq ctx b) }
+  | Swhile (c, b) -> { s with sdesc = Swhile (c, fuse_seq ctx b) }
+  | Sfor (h, b) -> { s with sdesc = Sfor (h, fuse_seq ctx b) }
+  | Sdecl _ | Sarray_decl _ | Sassign _ | Sincr _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue ->
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Temporary contraction                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Count mentions of array [name] in a statement: subscripted uses,
+   [length] uses, and appearances in directive clauses. [skip] marks
+   the one statement (the fused loop) whose mentions are not counted. *)
+let mentions_outside ~skip name body =
+  let count = ref 0 in
+  let rec expr e =
+    match e.edesc with
+    | Index (a, i) ->
+        if a = name then incr count;
+        expr i
+    | Length a -> if a = name then incr count
+    | Var _ | Int_lit _ | Float_lit _ -> ()
+    | Unop (_, x) -> expr x
+    | Binop (_, x, y) ->
+        expr x;
+        expr y
+    | Ternary (c, a, b) ->
+        expr c;
+        expr a;
+        expr b
+    | Call (_, args) -> List.iter expr args
+  in
+  let subarrays subs = List.iter (fun s -> if s.sub_array = name then incr count) subs in
+  let clause = function
+    | Cdata (_, subs) -> subarrays subs
+    | Creduction (_, vars) -> if List.mem name vars then incr count
+    | Clocalaccess specs -> List.iter (fun s -> if s.la_array = name then incr count) specs
+    | Cgang _ | Cworker _ | Cvector _ | Cindependent -> ()
+    | Cif e -> expr e
+  in
+  let directive = function
+    | Dparallel_loop cs | Ddata cs | Denter_data cs | Dexit_data cs -> List.iter clause cs
+    | Dupdate_host subs | Dupdate_device subs -> subarrays subs
+    | Dlocalaccess specs -> List.iter (fun s -> if s.la_array = name then incr count) specs
+    | Dreduction_to_array { rta_array; _ } -> if rta_array = name then incr count
+  in
+  let rec stmt s =
+    if s == skip then ()
+    else
+      match s.sdesc with
+      | Sdecl (_, _, init) -> Option.iter expr init
+      | Sarray_decl (_, v, n) ->
+          if v = name then incr count;
+          expr n
+      | Sassign (lv, _, e) ->
+          (match lv with
+          | Lvar _ -> ()
+          | Lindex (a, i) ->
+              if a = name then incr count;
+              expr i);
+          expr e
+      | Sincr (lv, _) -> (
+          match lv with
+          | Lvar _ -> ()
+          | Lindex (a, i) ->
+              if a = name then incr count;
+              expr i)
+      | Sexpr e -> expr e
+      | Sif (c, a, b) ->
+          expr c;
+          List.iter stmt a;
+          List.iter stmt b
+      | Swhile (c, b) ->
+          expr c;
+          List.iter stmt b
+      | Sfor (h, b) ->
+          Option.iter stmt h.for_init;
+          Option.iter expr h.for_cond;
+          Option.iter stmt h.for_update;
+          List.iter stmt b
+      | Sreturn e -> Option.iter expr e
+      | Sbreak | Scontinue -> ()
+      | Sblock b -> List.iter stmt b
+      | Spragma (d, inner) ->
+          directive d;
+          stmt inner
+  in
+  List.iter stmt body;
+  !count
+
+(* The create-clause entry for [name], if the function has exactly one
+   and no other directive mentions it. *)
+let create_only ~skip name fbody =
+  let creates = ref 0 in
+  let rec stmt s =
+    if s == skip then ()
+    else
+      match s.sdesc with
+      | Spragma (d, inner) ->
+          (match d with
+          | Ddata cs | Dparallel_loop cs | Denter_data cs | Dexit_data cs ->
+              List.iter
+                (function
+                  | Cdata (Create, subs) ->
+                      List.iter (fun sub -> if sub.sub_array = name then incr creates) subs
+                  | _ -> ())
+                cs
+          | _ -> ());
+          stmt inner
+      | Sif (_, a, b) ->
+          List.iter stmt a;
+          List.iter stmt b
+      | Swhile (_, b) | Sfor (_, b) | Sblock b -> List.iter stmt b
+      | Sdecl _ | Sarray_decl _ | Sassign _ | Sincr _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue
+        ->
+          ()
+  in
+  List.iter stmt fbody;
+  !creates = 1
+
+let array_decl_of name fbody =
+  let found = ref None in
+  let rec stmt s =
+    match s.sdesc with
+    | Sarray_decl (ty, v, _) when v = name -> if !found = None then found := Some ty
+    | Sif (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Swhile (_, b) | Sfor (_, b) | Sblock b -> List.iter stmt b
+    | Spragma (_, inner) -> stmt inner
+    | _ -> ()
+  in
+  List.iter stmt fbody;
+  !found
+
+(* Uses of [name] inside the fused body, all required to sit in the
+   body's top-level straight-line statements with literal affine
+   subscripts. Returns the subscript keys in execution order, each
+   tagged with whether the site is a plain [Set] write. *)
+let top_level_uses (li : Loop_info.t) name body =
+  let is_uniform = Access.is_uniform_in li in
+  let key e =
+    match Affine.of_expr ~loop_var:li.Loop_info.loop_var ~is_uniform e with
+    | Some a when Affine.is_literal a -> Some (a.Affine.coeff, a.Affine.const)
+    | _ -> None
+  in
+  let sites = ref [] in
+  let ok = ref true in
+  let rec expr e =
+    match e.edesc with
+    | Index (a, i) ->
+        expr i;
+        if a = name then
+          (match key i with
+          | Some k -> sites := (k, false) :: !sites
+          | None -> ok := false)
+    | Length a -> if a = name then ok := false
+    | Var _ | Int_lit _ | Float_lit _ -> ()
+    | Unop (_, x) -> expr x
+    | Binop (_, x, y) ->
+        expr x;
+        expr y
+    | Ternary (c, a, b) ->
+        expr c;
+        expr a;
+        expr b
+    | Call (_, args) -> List.iter expr args
+  in
+  (* A compound statement at the body's top level may not mention the
+     array at all: contraction only reasons about straight-line sites. *)
+  let rec mentions_expr e =
+    match e.edesc with
+    | Index (a, i) -> a = name || mentions_expr i
+    | Length a -> a = name
+    | Var _ | Int_lit _ | Float_lit _ -> false
+    | Unop (_, x) -> mentions_expr x
+    | Binop (_, x, y) -> mentions_expr x || mentions_expr y
+    | Ternary (c, a, b) -> mentions_expr c || mentions_expr a || mentions_expr b
+    | Call (_, args) -> List.exists mentions_expr args
+  in
+  let nested s =
+    if
+      stmt_has
+        (fun s ->
+          match s.sdesc with
+          | Sdecl (_, _, init) -> Option.fold ~none:false ~some:mentions_expr init
+          | Sarray_decl (_, v, n) -> v = name || mentions_expr n
+          | Sassign (lv, _, e) ->
+              mentions_expr e
+              || (match lv with Lvar _ -> false | Lindex (a, i) -> a = name || mentions_expr i)
+          | Sincr (lv, _) -> (
+              match lv with Lvar _ -> false | Lindex (a, i) -> a = name || mentions_expr i)
+          | Sexpr e -> mentions_expr e
+          | Sif (c, _, _) | Swhile (c, _) -> mentions_expr c
+          | Sfor (h, _) -> Option.fold ~none:false ~some:mentions_expr h.for_cond
+          | Sreturn e -> Option.fold ~none:false ~some:mentions_expr e
+          | Sbreak | Scontinue | Sblock _ | Spragma _ -> false)
+        s
+    then ok := false
+  in
+  List.iter
+    (fun s ->
+      match s.sdesc with
+      | Sdecl (_, _, init) -> Option.iter expr init
+      | Sassign (lv, op, e) ->
+          expr e;
+          (match lv with
+          | Lvar _ -> ()
+          | Lindex (a, i) ->
+              expr i;
+              if a = name then (
+                match key i with
+                | Some k -> sites := (k, op = Set) :: !sites
+                | None -> ok := false))
+      | Sincr (lv, _) -> (
+          match lv with
+          | Lvar _ -> ()
+          | Lindex (a, i) ->
+              expr i;
+              if a = name then ok := false)
+      | Sexpr e -> expr e
+      | Sarray_decl (_, _, n) -> expr n
+      | Sif _ | Swhile _ | Sfor _ | Sblock _ | Spragma _ -> nested s
+      | Sreturn _ | Sbreak | Scontinue -> ())
+    body;
+  if !ok then Some (List.rev !sites) else None
+
+(* First touch of every subscript key must be a plain write: then each
+   key is a per-iteration dead temporary and contracts to a scalar. *)
+let keys_contractible sites =
+  let seen = Hashtbl.create 4 in
+  List.for_all
+    (fun (k, is_set_write) ->
+      if Hashtbl.mem seen k then true
+      else begin
+        Hashtbl.replace seen k ();
+        is_set_write
+      end)
+    sites
+
+let strip_create name s =
+  let clause = function
+    | Cdata (Create, subs) -> (
+        match List.filter (fun sub -> sub.sub_array <> name) subs with
+        | [] -> None
+        | subs -> Some (Cdata (Create, subs)))
+    | c -> Some c
+  in
+  let rec stmt s =
+    match s.sdesc with
+    | Spragma (d, inner) ->
+        let d =
+          match d with
+          | Ddata cs -> Ddata (List.filter_map clause cs)
+          | Denter_data cs -> Denter_data (List.filter_map clause cs)
+          | Dexit_data cs -> Dexit_data (List.filter_map clause cs)
+          | Dparallel_loop cs -> Dparallel_loop (List.filter_map clause cs)
+          | d -> d
+        in
+        { s with sdesc = Spragma (d, stmt inner) }
+    | Sif (c, a, b) -> { s with sdesc = Sif (c, List.map stmt a, List.map stmt b) }
+    | Swhile (c, b) -> { s with sdesc = Swhile (c, List.map stmt b) }
+    | Sfor (h, b) -> { s with sdesc = Sfor (h, List.map stmt b) }
+    | Sblock b -> { s with sdesc = Sblock (List.map stmt b) }
+    | _ -> s
+  in
+  stmt s
+
+(* Rewrite the fused body, replacing every [name[k]] site with the
+   scalar for its key and prepending the scalar declarations. *)
+let contract_body ctx (li : Loop_info.t) name elem body =
+  let is_uniform = Access.is_uniform_in li in
+  let key e =
+    match Affine.of_expr ~loop_var:li.Loop_info.loop_var ~is_uniform e with
+    | Some a when Affine.is_literal a -> Some (a.Affine.coeff, a.Affine.const)
+    | _ -> None
+  in
+  let scalars = Hashtbl.create 4 in
+  let scalar_of k =
+    match Hashtbl.find_opt scalars k with
+    | Some v -> v
+    | None ->
+        let v = fresh_name ctx name in
+        Hashtbl.replace scalars k v;
+        v
+  in
+  let rec expr e =
+    let edesc =
+      match e.edesc with
+      | Index (a, i) when a = name -> (
+          (* [top_level_uses] certified every site literal-affine. *)
+          match key i with Some k -> Var (scalar_of k) | None -> assert false)
+      | Index (a, i) -> Index (a, expr i)
+      | Unop (op, x) -> Unop (op, expr x)
+      | Binop (op, x, y) -> Binop (op, expr x, expr y)
+      | Ternary (c, a, b) -> Ternary (expr c, expr a, expr b)
+      | Call (f, args) -> Call (f, List.map expr args)
+      | (Int_lit _ | Float_lit _ | Var _ | Length _) as d -> d
+    in
+    { e with edesc }
+  in
+  let lvalue = function
+    | Lindex (a, i) when a = name -> (
+        match key i with Some k -> Lvar (scalar_of k) | None -> assert false)
+    | Lindex (a, i) -> Lindex (a, expr i)
+    | Lvar v -> Lvar v
+  in
+  let rec stmt s =
+    let sdesc =
+      match s.sdesc with
+      | Sdecl (ty, v, init) -> Sdecl (ty, v, Option.map expr init)
+      | Sarray_decl (ty, v, n) -> Sarray_decl (ty, v, expr n)
+      | Sassign (lv, op, e) -> Sassign (lvalue lv, op, expr e)
+      | Sincr (lv, k) -> Sincr (lvalue lv, k)
+      | Sexpr e -> Sexpr (expr e)
+      | Sif (c, a, b) -> Sif (expr c, List.map stmt a, List.map stmt b)
+      | Swhile (c, b) -> Swhile (expr c, List.map stmt b)
+      | Sfor (h, b) ->
+          Sfor
+            ( {
+                for_init = Option.map stmt h.for_init;
+                for_cond = Option.map expr h.for_cond;
+                for_update = Option.map stmt h.for_update;
+              },
+              List.map stmt b )
+      | Sreturn e -> Sreturn (Option.map expr e)
+      | (Sbreak | Scontinue) as d -> d
+      | Sblock b -> Sblock (List.map stmt b)
+      | Spragma (d, inner) -> Spragma (d, stmt inner)
+    in
+    { s with sdesc }
+  in
+  let body' = List.map stmt body in
+  let typ = match elem with Eint -> Tint | Edouble -> Tdouble in
+  let loc = match body with s :: _ -> s.sloc | [] -> Loc.dummy in
+  let decls =
+    Hashtbl.fold (fun _ v acc -> v :: acc) scalars []
+    |> List.sort compare
+    |> List.map (fun v -> { sdesc = Sdecl (typ, v, None); sloc = loc })
+  in
+  decls @ body'
+
+(* Contraction driver for one function: for every fused loop, find
+   arrays whose only life is inside that body (plus one [create]
+   clause and the host declaration), and scalarize them. *)
+let contract_function ctx (f : func) =
+  let contracted = ref [] in
+  let rec transform fbody s =
+    match s.sdesc with
+    | Spragma
+        ( Dparallel_loop [],
+          ({ sdesc = Sfor (h, body); _ } as for_stmt) )
+      when match Hashtbl.find_opt ctx.members for_stmt.sloc with
+           | Some ids -> List.length ids > 1
+           | None -> false -> (
+        match Loop_info.of_stmt ~loop_id:0 s with
+        | Some li ->
+            let body = unwrap_body body in
+            let candidates =
+              List.filter
+                (fun name ->
+                  mentions_outside ~skip:s name fbody <= 2
+                  && create_only ~skip:s name fbody
+                  && array_decl_of name fbody <> None
+                  &&
+                  match top_level_uses li name body with
+                  | Some sites -> sites <> [] && keys_contractible sites
+                  | None -> false)
+                (Loop_info.arrays_mentioned li)
+            in
+            let body =
+              List.fold_left
+                (fun body name ->
+                  let elem = Option.get (array_decl_of name fbody) in
+                  contracted := name :: !contracted;
+                  contract_body ctx li name elem body)
+                body candidates
+            in
+            ( candidates,
+              { s with sdesc = Spragma (Dparallel_loop [], { for_stmt with sdesc = Sfor (h, body) }) }
+            )
+        | None -> ([], s))
+    | Spragma (d, inner) ->
+        let names, inner = transform fbody inner in
+        (names, { s with sdesc = Spragma (d, inner) })
+    | Sblock b ->
+        let names, b = transform_body fbody b in
+        (names, { s with sdesc = Sblock b })
+    | Sif (c, a, b) ->
+        let na, a = transform_body fbody a in
+        let nb, b = transform_body fbody b in
+        (na @ nb, { s with sdesc = Sif (c, a, b) })
+    | Swhile (c, b) ->
+        let names, b = transform_body fbody b in
+        (names, { s with sdesc = Swhile (c, b) })
+    | Sfor (h, b) ->
+        let names, b = transform_body fbody b in
+        (names, { s with sdesc = Sfor (h, b) })
+    | _ -> ([], s)
+  and transform_body fbody stmts =
+    List.fold_left
+      (fun (names, acc) s ->
+        let ns, s = transform fbody s in
+        (names @ ns, acc @ [ s ]))
+      ([], []) stmts
+  in
+  let names, fbody = transform_body f.fbody f.fbody in
+  let fbody = List.fold_left (fun body name -> List.map (strip_create name) body) fbody names in
+  (!contracted, { f with fbody })
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let all_names (f : func) =
+  let tbl = Hashtbl.create 64 in
+  let add v = Hashtbl.replace tbl v () in
+  List.iter (fun p -> add p.param_name) f.fparams;
+  let rec expr e =
+    match e.edesc with
+    | Var v -> add v
+    | Index (a, i) ->
+        add a;
+        expr i
+    | Length a -> add a
+    | Int_lit _ | Float_lit _ -> ()
+    | Unop (_, x) -> expr x
+    | Binop (_, x, y) ->
+        expr x;
+        expr y
+    | Ternary (c, a, b) ->
+        expr c;
+        expr a;
+        expr b
+    | Call (_, args) -> List.iter expr args
+  in
+  let rec stmt s =
+    match s.sdesc with
+    | Sdecl (_, v, init) ->
+        add v;
+        Option.iter expr init
+    | Sarray_decl (_, v, n) ->
+        add v;
+        expr n
+    | Sassign (lv, _, e) ->
+        (match lv with
+        | Lvar v -> add v
+        | Lindex (a, i) ->
+            add a;
+            expr i);
+        expr e
+    | Sincr (lv, _) -> (
+        match lv with
+        | Lvar v -> add v
+        | Lindex (a, i) ->
+            add a;
+            expr i)
+    | Sexpr e -> expr e
+    | Sif (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | Swhile (c, b) ->
+        expr c;
+        List.iter stmt b
+    | Sfor (h, b) ->
+        Option.iter stmt h.for_init;
+        Option.iter expr h.for_cond;
+        Option.iter stmt h.for_update;
+        List.iter stmt b
+    | Sreturn e -> Option.iter expr e
+    | Sbreak | Scontinue -> ()
+    | Sblock b -> List.iter stmt b
+    | Spragma (_, inner) -> stmt inner
+  in
+  List.iter stmt f.fbody;
+  tbl
+
+let apply (program : Ast.program) =
+  let groups = ref [] in
+  let contracted = ref [] in
+  let funcs =
+    List.map
+      (fun f ->
+        let members = Hashtbl.create 8 in
+        (match Loop_info.extract f with
+        | loops ->
+            List.iter
+              (fun (li : Loop_info.t) ->
+                Hashtbl.replace members li.Loop_info.loop_loc [ li.Loop_info.loop_id ])
+              loops
+        | exception Loc.Error _ -> ());
+        if Hashtbl.length members < 2 then f
+        else begin
+          let ctx = { members; fresh = ref 0; used = all_names f } in
+          let f = { f with fbody = fuse_seq ctx f.fbody } in
+          let names, f = contract_function ctx f in
+          contracted := !contracted @ names;
+          (* Re-extract on the rewritten function: every surviving loop
+             gets a group entry carrying the original ids it absorbed,
+             so labels keep naming source loops even after positions
+             shift. *)
+          (match Loop_info.extract f with
+          | loops ->
+              List.iter
+                (fun (li : Loop_info.t) ->
+                  let ids =
+                    match Hashtbl.find_opt ctx.members li.Loop_info.loop_loc with
+                    | Some ids -> ids
+                    | None -> [ li.Loop_info.loop_id ]
+                  in
+                  groups := (li.Loop_info.loop_loc, ids) :: !groups)
+                loops
+          | exception Loc.Error _ -> ());
+          f
+        end)
+      program.funcs
+  in
+  ({ program with funcs }, { groups = List.rev !groups; contracted = !contracted })

@@ -4,10 +4,21 @@ type options = {
   enable_distribution : bool;
   enable_layout_transform : bool;
   enable_miss_check_elim : bool;
+  enable_fusion : bool;
 }
 
 let default_options =
-  { enable_distribution = true; enable_layout_transform = true; enable_miss_check_elim = true }
+  {
+    enable_distribution = true;
+    enable_layout_transform = true;
+    enable_miss_check_elim = true;
+    enable_fusion = false;
+  }
+
+(* Per-GPU read-window shape of a launch (lazy coherence lookahead). The
+   type lives here so the per-plan window memo table can, but the
+   summaries themselves are computed by [Program_plan]. *)
+type window = Whole_array | Affine_window of { coeff : int; cmin : int; cmax : int }
 
 type t = {
   loop : Loop_info.t;
@@ -16,6 +27,7 @@ type t = {
   free_vars : string list;
   options : options;
   inner_parallel : (Loop_info.t * int) option;
+  window_memo : (string, window option) Hashtbl.t;
 }
 
 let of_loop ?(options = default_options) loop =
@@ -29,7 +41,15 @@ let of_loop ?(options = default_options) loop =
     | None -> Coalesce.make loop
   in
   let configs = Array_config.build ~classify loop accesses in
-  { loop; accesses; configs; free_vars = Loop_info.free_vars loop; options; inner_parallel }
+  {
+    loop;
+    accesses;
+    configs;
+    free_vars = Loop_info.free_vars loop;
+    options;
+    inner_parallel;
+    window_memo = Hashtbl.create 4;
+  }
 
 let thread_multiplier t = match t.inner_parallel with Some (_, width) -> width | None -> 1
 
@@ -42,9 +62,46 @@ let placement_of t name =
     | Some c -> c.Array_config.placement
     | None -> Array_config.Replicated
 
+(* Fusion-mode data-layout transposition (paper §V). Beyond the baseline
+   localaccess-gated transform, fusion mode transposes any replicated
+   read-only array whose read sites are affine but strided — the pattern
+   where the fastest-varying subscript is not the parallel index. The
+   one-time repack costs ~16 bytes/element (read + write); each launch
+   saves one memory transaction per strided site per element, so over a
+   nominal launch count the rewrite pays whenever a strided site exists
+   and no data-dependent (Random) site would defeat the transposition. *)
+let relayout_amortize_launches = 8
+
+let base_classifier t =
+  match t.inner_parallel with Some (inner, _) -> Coalesce.make inner | None -> Coalesce.make t.loop
+
+let fusion_relayout t name =
+  t.options.enable_fusion && t.options.enable_layout_transform
+  &&
+  match (config_for t name, Access.find t.accesses name) with
+  | Some c, Some acc ->
+      (not c.Array_config.layout_transform)
+      && c.Array_config.localaccess = None
+      && Access.read_only acc
+      && placement_of t name = Array_config.Replicated
+      &&
+      let modes = List.map (base_classifier t) acc.Access.reads in
+      let strided =
+        List.length (List.filter (function Coalesce.Strided _ -> true | _ -> false) modes)
+      in
+      let random = List.exists (function Coalesce.Random -> true | _ -> false) modes in
+      strided >= 1 && (not random) && 8 * strided * relayout_amortize_launches >= 16
+  | _ -> false
+
+let relayout_arrays t =
+  List.filter_map
+    (fun c -> if fusion_relayout t c.Array_config.array then Some c.Array_config.array else None)
+    t.configs
+
 let layout_transformed t name =
-  t.options.enable_layout_transform
-  && match config_for t name with Some c -> c.Array_config.layout_transform | None -> false
+  (t.options.enable_layout_transform
+  && match config_for t name with Some c -> c.Array_config.layout_transform | None -> false)
+  || fusion_relayout t name
 
 let needs_miss_check t name =
   match placement_of t name with

@@ -16,9 +16,17 @@ type options = {
   enable_layout_transform : bool;
   enable_miss_check_elim : bool;
       (** drop write-miss checks when writes are provably in-window *)
+  enable_fusion : bool;
+      (** run the translator's fusion/contraction/relayout pass (default
+          off: plans and reports stay bit-identical to the unfused
+          translator) *)
 }
 
 val default_options : options
+
+type window = Whole_array | Affine_window of { coeff : int; cmin : int; cmax : int }
+(** Per-GPU read-window shape of a launch, used by the lazy-coherence
+    consumer lookahead (computed by [Program_plan], memoized per plan). *)
 
 type t = {
   loop : Mgacc_analysis.Loop_info.t;
@@ -28,6 +36,8 @@ type t = {
   options : options;
   inner_parallel : (Mgacc_analysis.Loop_info.t * int) option;
       (** nested [#pragma acc loop] and its vector width, if present *)
+  window_memo : (string, window option) Hashtbl.t;
+      (** per-array cache of [Program_plan.read_window_of] results *)
 }
 
 val of_loop : ?options:options -> Mgacc_analysis.Loop_info.t -> t
@@ -45,7 +55,22 @@ val placement_of : t -> string -> Mgacc_analysis.Array_config.placement
 
 val layout_transformed : t -> string -> bool
 (** Whether the coalescing layout transformation applies to the array under
-    the plan's options. *)
+    the plan's options (baseline localaccess-gated rule, or the fusion-mode
+    relayout below). *)
+
+val fusion_relayout : t -> string -> bool
+(** Fusion-mode data-layout transposition (paper §V): true for replicated
+    read-only arrays with at least one strided affine read site, no
+    data-dependent site, and no localaccess window, when the cost model's
+    amortized repack check passes. Always false unless both
+    [enable_fusion] and [enable_layout_transform] are set. *)
+
+val relayout_arrays : t -> string list
+(** Arrays of this plan selected by {!fusion_relayout}, in config order.
+    The runtime charges their one-time repack on first launch. *)
+
+val relayout_amortize_launches : int
+(** Nominal launch count the repack cost is amortized over. *)
 
 val needs_miss_check : t -> string -> bool
 (** True for distributed arrays with plain writes that are not provably

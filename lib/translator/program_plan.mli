@@ -12,10 +12,31 @@ type t
 
 val build : ?options:Kernel_plan.options -> Ast.program -> t
 (** Typechecks the program (raising {!Loc.Error} on failure) and builds a
-    plan for every parallel loop in every function. *)
+    plan for every parallel loop in every function. Under
+    [enable_fusion] the {!Fusion} pass rewrites the program first (and
+    the rewrite is re-typechecked); {!program} then returns the fused
+    program, which is what the runtime must interpret. *)
 
 val program : t -> Ast.program
+(** The planned program — the fusion pass's output when [enable_fusion]
+    is set, the input program unchanged otherwise. *)
+
 val options : t -> Kernel_plan.options
+
+(** {2 Fused-group structure} *)
+
+val fused_members : t -> Mgacc_analysis.Loop_info.t -> int list
+(** Original source-loop ids a planned loop executes — [\[loop_id\]]
+    for unfused loops, two or more ids for a fused kernel. *)
+
+val kernel_label : t -> Mgacc_analysis.Loop_info.t -> string
+(** Launch label: ["loop<id>"] (byte-identical to the historical label
+    when fusion is off) or ["loop0+1"] for a fused group, so spans and
+    [--blame] keep attributing time to the constituent source loops. *)
+
+val contracted_arrays : t -> string list
+(** Arrays the fusion pass scalarized away: they exist in the source
+    but never reach the darray/coherence layer. *)
 
 val plan_for : t -> Mgacc_analysis.Loop_info.t -> Kernel_plan.t
 (** Look up by loop location; falls back to planning on the fly for loops
@@ -32,7 +53,7 @@ val loop_count : t -> int
     destinations whose {e next read window} covers them; these summaries
     describe that window statically (docs/COHERENCE.md). *)
 
-type window =
+type window = Kernel_plan.window =
   | Whole_array  (** conservative: dynamic/non-literal subscripts, mixed
                      coefficients, or a distributed next reader *)
   | Affine_window of { coeff : int; cmin : int; cmax : int }
@@ -47,7 +68,12 @@ type lookahead =
 
 val read_window_of : Kernel_plan.t -> array:string -> window option
 (** The window of the plan's own real device reads of [array]; [None]
-    when the plan performs none (writes and reduction self-reads only). *)
+    when the plan performs none (writes and reduction self-reads only).
+    Memoized per plan (the summary is a pure function of the plan). *)
+
+val read_window_of_uncached : Kernel_plan.t -> array:string -> window option
+(** The computation behind {!read_window_of}, bypassing the memo table
+    (exposed so the tests can assert the cache is transparent). *)
 
 val next_read : t -> after:Loc.t -> array:string -> lookahead
 (** The next plan in cyclic source order after the loop at [after] (the
@@ -56,4 +82,9 @@ val next_read : t -> after:Loc.t -> array:string -> lookahead
     Reduction self-reads — the RHS read recorded for the Set form
     [a\[c\] = a\[c\] + x] of a [reductiontoarray] statement — are not
     real reads: the generated kernel accumulates into per-GPU partials
-    and never loads the replica. *)
+    and never loads the replica. Memoized per [(after, array)] pair —
+    the scan result only depends on the immutable plan order. *)
+
+val next_read_uncached : t -> after:Loc.t -> array:string -> lookahead
+(** The scan behind {!next_read}, bypassing the memo table (exposed so
+    the tests can assert the cache is transparent). *)

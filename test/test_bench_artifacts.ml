@@ -441,6 +441,55 @@ let test_sim_artifact () =
     Alcotest.failf "%s: incremental %.0f events/s below the committed floor %.0f" file inc_eps
       floor
 
+let test_fusion_artifact () =
+  let file, j = load "BENCH_fusion.json" in
+  check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check_flags file j [ "fuse"; "overlap"; "coherence"; "collective" ];
+  let runs = arr file "runs" j in
+  check Alcotest.bool "runs non-empty" true (runs <> []);
+  let cluster_wins = ref [] in
+  let contracted_somewhere = ref false in
+  List.iter
+    (fun run ->
+      let app = str file "app" run in
+      ignore (str file "machine" run);
+      let gpus = num file "gpus" run in
+      check Alcotest.bool "gpus >= 2" true (gpus >= 2.0);
+      let unfused = num file "unfused_seconds" run and fused = num file "fused_seconds" run in
+      check Alcotest.bool "unfused time > 0" true (unfused > 0.0);
+      check Alcotest.bool "fused time > 0" true (fused > 0.0);
+      let ucoh = num file "unfused_coh_bytes" run and fcoh = num file "fused_coh_bytes" run in
+      check Alcotest.bool "coh bytes >= 0" true (ucoh >= 0.0 && fcoh >= 0.0);
+      List.iter
+        (fun k -> check Alcotest.bool (k ^ " >= 0") true (num file k run >= 0.0))
+        [
+          "unfused_gpu_gpu_bytes";
+          "fused_gpu_gpu_bytes";
+          "fused_kernels";
+          "contracted_arrays";
+          "relayouts";
+        ];
+      check Alcotest.bool "results match" true (boolean file "results_match" run);
+      if num file "contracted_arrays" run >= 1.0 then contracted_somewhere := true;
+      if
+        gpus = 4.0
+        && List.mem app [ "md"; "kmeans" ]
+        && fused < unfused && fcoh < ucoh
+      then cluster_wins := app :: !cluster_wins)
+    runs;
+  (* Acceptance bars of the fusion work: on the 4-GPU cluster both
+     fusion-friendly apps are strictly faster AND ship strictly fewer
+     coherence bytes fused, and at least one run shows a contracted
+     temporary. *)
+  List.iter
+    (fun app ->
+      if not (List.mem app !cluster_wins) then
+        Alcotest.failf "%s: %s not strictly better fused on seconds and coh bytes at 4 GPUs"
+          file app)
+    [ "md"; "kmeans" ];
+  if not !contracted_somewhere then
+    Alcotest.failf "%s: no run demonstrates temporary contraction" file
+
 let test_parser_rejects_garbage () =
   List.iter
     (fun bad ->
@@ -457,4 +506,5 @@ let suite =
     tc "BENCH_collective.json: schema + acceptance bars" test_collective_artifact;
     tc "BENCH_fleet.json: schema + acceptance bars" test_fleet_artifact;
     tc "BENCH_sim.json: schema + speedup and throughput bars" test_sim_artifact;
+    tc "BENCH_fusion.json: schema + acceptance bars" test_fusion_artifact;
   ]

@@ -61,6 +61,7 @@ let test_distribution_shrinks_memory () =
       Mgacc.Kernel_plan.enable_distribution = false;
       enable_layout_transform = false;
       enable_miss_check_elim = false;
+      enable_fusion = false;
     }
   in
   let m = machine () in

@@ -21,6 +21,7 @@ let () =
       ("sched", Test_sched.suite);
       ("overlap", Test_overlap.suite);
       ("coherence", Test_coherence.suite);
+      ("fusion", Test_fusion.suite);
       ("collective", Test_collective.suite);
       ("fleet", Test_fleet.suite);
       ("artifacts", Test_bench_artifacts.suite);

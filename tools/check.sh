@@ -27,6 +27,9 @@ dune exec bench/main.exe -- --smoke --scale small fleet
 # fabric allocators; the bench fails loudly if the incremental path ever
 # diverges from the from-scratch reference (see docs/PERF.md).
 dune exec bench/main.exe -- --smoke sim
+# Fusion smoke: run the fusion-friendly apps with --fuse off vs on and
+# check both against the sequential reference (see docs/FUSION.md).
+dune exec bench/main.exe -- --smoke fusion
 # Observability smoke: a traced run and a metered fleet replay, with the
 # emitted artifacts validated for internal consistency (the trace parses
 # and every flow event references a recorded span; every Prometheus
