@@ -18,13 +18,26 @@ let read_program path =
   | Mgacc.Loc.Error (loc, msg) -> Error (Printf.sprintf "%s: %s" (Mgacc.Loc.to_string loc) msg)
   | Sys_error e -> Error e
 
-let machine_of = function
-  | "desktop" -> Ok (fun () -> Mgacc.Machine.desktop ())
-  | "desktop-mixed" -> Ok (fun () -> Mgacc.Machine.desktop_mixed ())
-  | "supernode" -> Ok (fun () -> Mgacc.Machine.supernode ())
-  | "cluster" -> Ok (fun () -> Mgacc.Machine.cluster ())
-  | other ->
-      Error (Printf.sprintf "unknown machine %S (desktop|desktop-mixed|supernode|cluster)" other)
+let machine_of name =
+  Result.map
+    (fun spec -> (spec, fun () -> Mgacc.Machine.of_spec spec))
+    (Mgacc.Machine.spec_of_string name)
+
+(* [--gpus] must fit the machine the spec builds — reject loudly rather
+   than silently clamping to whatever the machine happens to have. *)
+let gpus_consistent ~gpus spec =
+  let avail = Mgacc.Machine.spec_gpus spec in
+  if gpus = 0 || (gpus >= 1 && gpus <= avail) then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "--gpus %d is inconsistent with --machine %s, which has %d GPU%s (pick 1..%d or a \
+          larger topology, e.g. %s)"
+         gpus
+         (Mgacc.Machine.spec_to_string spec)
+         avail
+         (if avail = 1 then "" else "s")
+         avail Mgacc.Machine.spec_grammar)
 
 (* ---------------- run ---------------- *)
 
@@ -91,18 +104,25 @@ let coherence_of = function
   | "lazy" -> Ok Mgacc.Rt_config.Lazy
   | other -> Error (Printf.sprintf "unknown coherence mode %S (eager|lazy)" other)
 
+let decomp_of = function
+  | "1d" -> Ok false
+  | "2d" -> Ok true
+  | other -> Error (Printf.sprintf "unknown decomposition %S (1d|2d)" other)
+
 let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_name
-    collective_name fuse_name chunk_kb no_distribution no_layout no_misscheck single_level_dirty
-    dump_arrays show_trace trace_json blame json_report check_results verbose =
+    collective_name fuse_name decomp_name chunk_kb no_distribution no_layout no_misscheck
+    single_level_dirty dump_arrays show_trace trace_json blame json_report check_results verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
   let* program = read_program file in
-  let* fresh_machine = machine_of machine_name in
+  let* spec, fresh_machine = machine_of machine_name in
+  let* () = gpus_consistent ~gpus spec in
   let* schedule = Mgacc.Sched_policy.of_string schedule_name in
   let* overlap = overlap_of overlap_name in
   let* coherence = coherence_of coherence_name in
   let* collective = Mgacc.Rt_config.collective_of_string collective_name in
   let* fuse = fuse_of fuse_name in
+  let* decomp2d = decomp_of decomp_name in
   try
     match variant with
     | "seq" ->
@@ -136,6 +156,7 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
             enable_layout_transform = not no_layout;
             enable_miss_check_elim = not no_misscheck;
             enable_fusion = fuse;
+            enable_decomp2d = decomp2d;
           }
         in
         let config =
@@ -201,7 +222,7 @@ let run_cmd file machine_name variant gpus schedule_name overlap_name coherence_
 let scale_cmd file machine_name =
   let ( let* ) = Result.bind in
   let* program = read_program file in
-  let* fresh_machine = machine_of machine_name in
+  let* _spec, fresh_machine = machine_of machine_name in
   try
     let probe = fresh_machine () in
     let max_gpus = Mgacc.Machine.num_gpus probe in
@@ -249,7 +270,8 @@ let serve_cmd trace_file machine_name policy_name gpus max_concurrent budget_mb 
     json_out metrics_out events_out trace_json verbose =
   setup_logs verbose;
   let ( let* ) = Result.bind in
-  let* fresh_machine = machine_of machine_name in
+  let* spec, fresh_machine = machine_of machine_name in
+  let* () = gpus_consistent ~gpus spec in
   let* policy = Mgacc.Fleet.policy_of_string policy_name in
   try
     let jobs = Mgacc.Fleet_job.load_trace trace_file in
@@ -340,10 +362,14 @@ let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~do
 
 let exits_of = function Ok () -> 0 | Error msg -> Printf.eprintf "accc: %s\n" msg; 1
 
+let machine_doc =
+  "a preset (desktop, desktop-mixed, supernode, cluster) or a generative topology spec: \
+   cluster:NxM, fattree:NxM[:OVERSUB], multirail:NxM[:RAILS] or nvmesh:NxM (N nodes of M GPUs \
+   each, e.g. fattree:8x4)"
+
 let run_term =
   let machine =
-    Arg.(value & opt string "desktop"
-         & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, desktop-mixed, supernode or cluster")
+    Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"SPEC" ~doc:machine_doc)
   in
   let variant =
     Arg.(value & opt string "acc" & info [ "variant"; "v" ] ~docv:"V" ~doc:"acc, openmp or seq")
@@ -382,6 +408,13 @@ let run_term =
                    the cost model finds it profitable (off = today's one-loop-one-kernel plans, \
                    bit for bit)")
   in
+  let decomp =
+    Arg.(value & opt string "1d"
+         & info [ "decomp" ] ~docv:"1d|2d"
+             ~doc:"block decomposition of distributed arrays: 1d slices whole rows per GPU \
+                   (today's plans, bit for bit); 2d tiles row-major arrays over a GPU grid so \
+                   stencil halo traffic scales with the tile perimeter instead of the row width")
+  in
   let chunk = Arg.(value & opt int 1024 & info [ "chunk-kb" ] ~docv:"KB" ~doc:"dirty-bit chunk size") in
   let no_dist = Arg.(value & flag & info [ "no-distribution" ] ~doc:"ignore localaccess placement") in
   let no_layout = Arg.(value & flag & info [ "no-layout-transform" ] ~doc:"disable transposition") in
@@ -407,11 +440,11 @@ let run_term =
          & info [ "json" ] ~doc:"print the report as one JSON object (includes coherence counters)")
   in
   Term.(
-    const (fun file m v g sch ov coh col fu c nd nl nm sl d tr tj bl js ck vb ->
-        exits_of (run_cmd file m v g sch ov coh col fu c nd nl nm sl d tr tj bl js ck vb))
+    const (fun file m v g sch ov coh col fu de c nd nl nm sl d tr tj bl js ck vb ->
+        exits_of (run_cmd file m v g sch ov coh col fu de c nd nl nm sl d tr tj bl js ck vb))
     $ file_arg $ machine $ variant $ gpus $ schedule $ overlap $ coherence $ collective $ fuse
-    $ chunk $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace $ trace_json
-    $ blame $ json_report $ check_results $ verbose)
+    $ decomp $ chunk $ no_dist $ no_layout $ no_misscheck $ single_level $ dump $ trace
+    $ trace_json $ blame $ json_report $ check_results $ verbose)
 
 let check_term = Term.(const (fun file -> exits_of (check_cmd file)) $ file_arg)
 
@@ -422,7 +455,7 @@ let serve_term =
   in
   let machine =
     Arg.(value & opt string "cluster"
-         & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, desktop-mixed, supernode or cluster")
+         & info [ "machine"; "m" ] ~docv:"SPEC" ~doc:machine_doc)
   in
   let policy =
     Arg.(value & opt string "fifo"
@@ -480,7 +513,7 @@ let serve_term =
 
 let scale_term =
   let machine =
-    Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"NAME" ~doc:"desktop, supernode or cluster")
+    Arg.(value & opt string "desktop" & info [ "machine"; "m" ] ~docv:"SPEC" ~doc:machine_doc)
   in
   Term.(const (fun file m -> exits_of (scale_cmd file m)) $ file_arg $ machine)
 let pretty_term = Term.(const (fun file -> exits_of (pretty_cmd file)) $ file_arg)

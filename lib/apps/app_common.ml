@@ -16,6 +16,7 @@ let pgi ~machine app =
       enable_layout_transform = false;
       enable_miss_check_elim = false;
       enable_fusion = false;
+      enable_decomp2d = false;
     }
   in
   let config = Rt_config.make ~num_gpus:1 ~translator:options machine in

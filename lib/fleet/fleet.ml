@@ -212,7 +212,10 @@ let run ?cache config (specs : Job.spec list) =
     match Hashtbl.find_opt job_meta j.Job.id with
     | Some m -> m
     | None ->
-        let entry, hit = Plan_cache.lookup ~name:j.Job.name cache j.Job.source in
+        let entry, hit =
+          Plan_cache.lookup ~machine:config.machine.Machine.name ~name:j.Job.name cache
+            j.Job.source
+        in
         let estimate =
           match entry.Plan_cache.measured_seconds with
           | Some s -> s

@@ -14,16 +14,19 @@ type t = { tbl : (string, entry) Hashtbl.t; mutable hits : int; mutable misses :
 let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0 }
 
 (* Translator options are part of the plan's identity: the same source
-   compiled with different optimization settings yields different plans. *)
-let fingerprint ~(options : Kernel_plan.options) ~source =
+   compiled with different optimization settings yields different plans.
+   So are the decomposition switch and the machine shape — a plan built
+   for a 2-D launch on an 8x4 fat-tree must never alias one built for a
+   1-D launch on the desktop, even from identical source. *)
+let fingerprint ?(machine = "") ~(options : Kernel_plan.options) ~source () =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "%b|%b|%b|%b|%s" options.Kernel_plan.enable_distribution
+       (Printf.sprintf "%b|%b|%b|%b|%b|%s|%s" options.Kernel_plan.enable_distribution
           options.Kernel_plan.enable_layout_transform options.Kernel_plan.enable_miss_check_elim
-          options.Kernel_plan.enable_fusion source))
+          options.Kernel_plan.enable_fusion options.Kernel_plan.enable_decomp2d machine source))
 
-let lookup ?(options = Kernel_plan.default_options) ?(name = "<job>") t source =
-  let key = fingerprint ~options ~source in
+let lookup ?(options = Kernel_plan.default_options) ?(machine = "") ?(name = "<job>") t source =
+  let key = fingerprint ~machine ~options ~source () in
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
       t.hits <- t.hits + 1;

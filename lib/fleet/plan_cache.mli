@@ -10,7 +10,8 @@ module Kernel_plan = Mgacc_translator.Kernel_plan
 module Program_plan = Mgacc_translator.Program_plan
 
 type entry = {
-  key : string;  (** digest of translator options + source text *)
+  key : string;
+      (** digest of translator options + machine shape + source text *)
   plans : Program_plan.t;
   mutable measured_seconds : float option;
       (** last measured execution duration of this program in the fleet *)
@@ -22,9 +23,16 @@ type t
 
 val create : unit -> t
 
-val fingerprint : options:Kernel_plan.options -> source:string -> string
+val fingerprint :
+  ?machine:string -> options:Kernel_plan.options -> source:string -> unit -> string
+(** [machine] is the machine shape the plan will run on (canonical spec
+    string or machine name; [""] = shape-independent). It and every
+    translator option — including [enable_decomp2d] — are part of the
+    key, so plans built for different shapes or decompositions never
+    alias. *)
 
-val lookup : ?options:Kernel_plan.options -> ?name:string -> t -> string -> entry * bool
+val lookup :
+  ?options:Kernel_plan.options -> ?machine:string -> ?name:string -> t -> string -> entry * bool
 (** [(entry, hit)] — on a miss the source is parsed, typechecked and
     planned, and the fresh entry cached. Parse/type errors propagate. *)
 

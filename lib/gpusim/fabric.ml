@@ -7,7 +7,23 @@ type topology = {
   internode_latency : float;
 }
 
-type resource = Down of int | Up of int | Host_aggregate of int | Net_up of int | Net_down of int
+type flavor =
+  | Wire
+  | Fat_tree of { oversub : float }
+  | Multi_rail of { rails : int }
+  | Nvlink_mesh of { nv_bandwidth : float; nv_latency : float }
+
+type resource =
+  | Down of int
+  | Up of int
+  | Host_aggregate of int
+  | Net_up of int
+  | Net_down of int
+  | Spine
+  | Rail_up of int  (* node * rails + rail *)
+  | Rail_down of int
+  | Nv_out of int
+  | Nv_in of int
 
 type direction = H2d of int | D2h of int | P2p of int * int
 
@@ -19,6 +35,8 @@ type t = {
   link : Spec.link;
   num_gpus : int;
   topology : topology option;
+  flavor : flavor;
+  rails : int;  (* Multi_rail rail count, 0 otherwise *)
   nodes : int;
   (* Resources interned to dense ids so the event loop can keep
      per-resource capacity/count state in flat arrays instead of
@@ -27,7 +45,16 @@ type t = {
        [G, 2G)           Up g
        [2G, 2G+M)        Host_aggregate n
        [2G+M, 2G+2M)     Net_up n
-       [2G+2M, 2G+3M)    Net_down n *)
+       [2G+2M, 2G+3M)    Net_down n
+     Non-Wire flavors append their extra resources after that block
+     (so a Wire fabric's rid space and caps stay byte-identical to
+     the pre-flavor layout):
+       base = 2G+3M
+       base                       Spine
+       [base+1, base+1+MR)        Rail_up (n*rails + r)
+       [base+1+MR, base+1+2MR)    Rail_down (n*rails + r)
+       [.., +G)                   Nv_out g
+       [.., +G)                   Nv_in g *)
   caps : float array;
   mutable use_reference : bool;
 }
@@ -43,6 +70,18 @@ let capacity t = function
       match t.topology with
       | Some topo -> topo.internode_bandwidth
       | None -> infinity)
+  | Spine -> (
+      (* The fat-tree core: all cross-node flows share the bisection,
+         which an oversubscribed tree provides at nodes/oversub times
+         the per-node injection rate. *)
+      match (t.flavor, t.topology) with
+      | Fat_tree { oversub }, Some topo ->
+          topo.internode_bandwidth *. float_of_int t.nodes /. oversub
+      | _ -> infinity)
+  | Rail_up _ | Rail_down _ -> (
+      match t.topology with Some topo -> topo.internode_bandwidth | None -> infinity)
+  | Nv_out _ | Nv_in _ -> (
+      match t.flavor with Nvlink_mesh { nv_bandwidth; _ } -> nv_bandwidth | _ -> infinity)
 
 let rid_of t = function
   | Down g -> g
@@ -50,25 +89,50 @@ let rid_of t = function
   | Host_aggregate n -> (2 * t.num_gpus) + n
   | Net_up n -> (2 * t.num_gpus) + t.nodes + n
   | Net_down n -> (2 * t.num_gpus) + (2 * t.nodes) + n
+  | Spine -> (2 * t.num_gpus) + (3 * t.nodes)
+  | Rail_up k -> (2 * t.num_gpus) + (3 * t.nodes) + 1 + k
+  | Rail_down k -> (2 * t.num_gpus) + (3 * t.nodes) + 1 + (t.nodes * t.rails) + k
+  | Nv_out g -> (2 * t.num_gpus) + (3 * t.nodes) + 1 + (2 * t.nodes * t.rails) + g
+  | Nv_in g ->
+      (2 * t.num_gpus) + (3 * t.nodes) + 1 + (2 * t.nodes * t.rails) + t.num_gpus + g
 
-let create ?topology link ~num_gpus =
+let create ?(flavor = Wire) ?topology link ~num_gpus =
   if num_gpus <= 0 then invalid_arg "Fabric.create: num_gpus <= 0";
   (match topology with
   | Some t when t.gpus_per_node <= 0 || t.internode_bandwidth <= 0.0 ->
       invalid_arg "Fabric.create: bad topology"
+  | _ -> ());
+  (match flavor with
+  | Fat_tree { oversub } when not (oversub >= 1.0) ->
+      invalid_arg "Fabric.create: fat-tree oversubscription < 1"
+  | Multi_rail { rails } when rails < 1 -> invalid_arg "Fabric.create: rails < 1"
+  | Nvlink_mesh { nv_bandwidth; nv_latency } when nv_bandwidth <= 0.0 || nv_latency < 0.0 ->
+      invalid_arg "Fabric.create: bad NVLink mesh parameters"
   | _ -> ());
   let nodes =
     match topology with
     | None -> 1
     | Some topo -> (num_gpus + topo.gpus_per_node - 1) / topo.gpus_per_node
   in
+  let rails = match flavor with Multi_rail { rails } -> rails | _ -> 0 in
+  let extra =
+    (* Wire allocates nothing extra, keeping its caps array (and thus the
+       incremental allocator's scratch) byte-identical to the old layout. *)
+    match flavor with
+    | Wire -> 0
+    | Fat_tree _ -> 1
+    | Multi_rail _ -> 1 + (2 * nodes * rails)
+    | Nvlink_mesh _ -> 1 + (2 * num_gpus)
+  in
   let t =
     {
       link;
       num_gpus;
       topology;
+      flavor;
+      rails;
       nodes;
-      caps = Array.make ((2 * num_gpus) + (3 * nodes)) 0.0;
+      caps = Array.make ((2 * num_gpus) + (3 * nodes) + extra) 0.0;
       use_reference = false;
     }
   in
@@ -81,6 +145,21 @@ let create ?topology link ~num_gpus =
     t.caps.(rid_of t (Net_up n)) <- capacity t (Net_up n);
     t.caps.(rid_of t (Net_down n)) <- capacity t (Net_down n)
   done;
+  (match flavor with
+  | Wire -> ()
+  | Fat_tree _ -> t.caps.(rid_of t Spine) <- capacity t Spine
+  | Multi_rail _ ->
+      t.caps.(rid_of t Spine) <- capacity t Spine;
+      for k = 0 to (nodes * rails) - 1 do
+        t.caps.(rid_of t (Rail_up k)) <- capacity t (Rail_up k);
+        t.caps.(rid_of t (Rail_down k)) <- capacity t (Rail_down k)
+      done
+  | Nvlink_mesh _ ->
+      t.caps.(rid_of t Spine) <- capacity t Spine;
+      for g = 0 to num_gpus - 1 do
+        t.caps.(rid_of t (Nv_out g)) <- capacity t (Nv_out g);
+        t.caps.(rid_of t (Nv_in g)) <- capacity t (Nv_in g)
+      done);
   t
 
 let set_reference_allocator t flag = t.use_reference <- flag
@@ -101,12 +180,35 @@ let resources_of t = function
       check_dev t j;
       if i = j then invalid_arg "Fabric: P2p with src = dst";
       let ni = node_of t i and nj = node_of t j in
-      if ni = nj then [ Up i; Down j; Host_aggregate ni ]
-      else
+      if ni = nj then
+        match t.flavor with
+        | Nvlink_mesh _ ->
+            (* Direct GPU-GPU port pair; the PCIe links and the host root
+               complex stay free for H2D/D2H traffic. *)
+            [ Nv_out i; Nv_in j ]
+        | Wire | Fat_tree _ | Multi_rail _ -> [ Up i; Down j; Host_aggregate ni ]
+      else begin
         (* Cross-node peer traffic stages through both hosts and the
            network: D2H on the source node, the wire, H2D on the
            destination node. *)
-        [ Up i; Net_up ni; Net_down nj; Down j; Host_aggregate ni; Host_aggregate nj ]
+        match t.flavor with
+        | Fat_tree _ ->
+            [
+              Up i; Net_up ni; Spine; Net_down nj; Down j; Host_aggregate ni; Host_aggregate nj;
+            ]
+        | Multi_rail { rails } ->
+            let r = (ni + nj) mod rails in
+            [
+              Up i;
+              Rail_up ((ni * rails) + r);
+              Rail_down ((nj * rails) + r);
+              Down j;
+              Host_aggregate ni;
+              Host_aggregate nj;
+            ]
+        | Wire | Nvlink_mesh _ ->
+            [ Up i; Net_up ni; Net_down nj; Down j; Host_aggregate ni; Host_aggregate nj ]
+      end
 
 let same_node t i j = node_of t i = node_of t j
 
@@ -114,7 +216,10 @@ let own_cap t = function
   | H2d _ -> t.link.Spec.h2d_bandwidth
   | D2h _ -> t.link.Spec.d2h_bandwidth
   | P2p (i, j) -> (
-      if same_node t i j then t.link.Spec.p2p_bandwidth
+      if same_node t i j then
+        match t.flavor with
+        | Nvlink_mesh { nv_bandwidth; _ } -> nv_bandwidth
+        | Wire | Fat_tree _ | Multi_rail _ -> t.link.Spec.p2p_bandwidth
       else
         match t.topology with
         | Some topo -> Float.min t.link.Spec.p2p_bandwidth topo.internode_bandwidth
@@ -125,6 +230,8 @@ let latency_of t = function
       match t.topology with
       | Some topo -> t.link.Spec.link_latency +. topo.internode_latency
       | None -> t.link.Spec.link_latency)
+  | P2p _ when (match t.flavor with Nvlink_mesh _ -> true | _ -> false) -> (
+      match t.flavor with Nvlink_mesh { nv_latency; _ } -> nv_latency | _ -> assert false)
   | H2d _ | D2h _ | P2p _ -> t.link.Spec.link_latency
 
 let standalone_bandwidth t dir =
@@ -135,6 +242,15 @@ let transfer_time_alone t dir ~bytes =
   else latency_of t dir +. (float_of_int bytes /. standalone_bandwidth t dir)
 
 let topology t = t.topology
+let flavor t = t.flavor
+
+let flavor_name t =
+  match t.flavor with
+  | Wire -> "wire"
+  | Fat_tree _ -> "fattree"
+  | Multi_rail _ -> "multirail"
+  | Nvlink_mesh _ -> "nvmesh"
+
 let num_gpus t = t.num_gpus
 
 (* One in-flight transfer of the fluid simulation. *)

@@ -18,12 +18,35 @@ type topology = {
     bandwidth and latency. The runtime is unchanged — everything routes
     through the fabric. *)
 
+type flavor =
+  | Wire  (** a flat per-node wire — the pre-generative semantics, byte-identical *)
+  | Fat_tree of { oversub : float }
+      (** per-node injection at the internode rate, but all cross-node flows
+          additionally share a spine whose capacity is the bisection
+          ([internode_bandwidth * nodes / oversub]) *)
+  | Multi_rail of { rails : int }
+      (** [rails] independent inter-node networks; a node pair's traffic is
+          pinned to rail [(src_node + dst_node) mod rails], so aggregate
+          cross-node bandwidth scales with the rail count *)
+  | Nvlink_mesh of { nv_bandwidth : float; nv_latency : float }
+      (** same-node peer transfers ride dedicated per-GPU port pairs
+          (bypassing PCIe and the host root complex) at NVLink-class
+          bandwidth/latency; cross-node traffic is unchanged *)
+(** How the links between nodes (and, for NVLink, within a node) are
+    organized. [Wire] is the default and is bit-identical to the
+    pre-flavor fabric: same resources, same dense-id layout, same caps. *)
+
 type resource =
   | Down of int  (** host -> device link of GPU [i] *)
   | Up of int  (** device [i] -> host link *)
   | Host_aggregate of int  (** root complex / QPI shared capacity of a node *)
   | Net_up of int  (** node [n] -> network *)
   | Net_down of int  (** network -> node [n] *)
+  | Spine  (** fat-tree bisection shared by every cross-node flow *)
+  | Rail_up of int  (** rail injection pipe, indexed [node * rails + rail] *)
+  | Rail_down of int  (** rail delivery pipe, same indexing *)
+  | Nv_out of int  (** NVLink egress port of GPU [g] *)
+  | Nv_in of int  (** NVLink ingress port of GPU [g] *)
 
 type direction =
   | H2d of int  (** host to device [i] *)
@@ -41,8 +64,10 @@ type completion = { req : request; start : float; finish : float }
 
 type t
 
-val create : ?topology:topology -> Spec.link -> num_gpus:int -> t
-(** Without [topology], all GPUs share one node (the paper's setting). *)
+val create : ?flavor:flavor -> ?topology:topology -> Spec.link -> num_gpus:int -> t
+(** Without [topology], all GPUs share one node (the paper's setting).
+    [flavor] defaults to [Wire], which is bit-identical to the
+    pre-generative fabric. *)
 
 val node_of : t -> int -> int
 (** The node hosting a GPU. *)
@@ -51,6 +76,12 @@ val same_node : t -> int -> int -> bool
 (** Whether two GPUs share a node (always true without a topology). *)
 
 val topology : t -> topology option
+
+val flavor : t -> flavor
+
+val flavor_name : t -> string
+(** The flavor's spec keyword: wire, fattree, multirail or nvmesh. *)
+
 val num_gpus : t -> int
 
 val standalone_bandwidth : t -> direction -> float

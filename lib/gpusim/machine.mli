@@ -27,11 +27,13 @@ val desktop_mixed : unit -> t
     effective bandwidth and clock should earn it the larger share. *)
 
 val custom :
+  ?flavor:Fabric.flavor ->
   ?topology:Fabric.topology ->
   name:string -> cpu:Spec.cpu -> gpu:Spec.gpu -> link:Spec.link -> num_gpus:int ->
   omp_threads:int -> unit -> t
 
 val custom_hetero :
+  ?flavor:Fabric.flavor ->
   ?topology:Fabric.topology ->
   name:string -> cpu:Spec.cpu -> gpus:Spec.gpu array -> link:Spec.link ->
   omp_threads:int -> unit -> t
@@ -43,6 +45,48 @@ val cluster : ?nodes:int -> ?gpus_per_node:int -> unit -> t
     a QDR-InfiniBand-class network (3.2 GB/s, 25 us). Peer transfers between
     nodes stage through both hosts and the wire; the OpenACC runtime needs no
     changes — only the fabric knows. *)
+
+val fat_tree : ?oversub:float -> nodes:int -> gpus_per_node:int -> unit -> t
+(** A cluster whose cross-node flows additionally share a fat-tree spine of
+    bisection [internode_bandwidth * nodes / oversub] (default oversub 2.0):
+    per-node injection is unchanged but an all-to-all phase saturates the
+    core, which the collective cost model can see. *)
+
+val multi_rail : ?rails:int -> nodes:int -> gpus_per_node:int -> unit -> t
+(** A cluster with [rails] (default 2) independent inter-node networks; each
+    node pair's traffic is pinned to one rail, scaling aggregate cross-node
+    bandwidth with the rail count. *)
+
+val nv_mesh : nodes:int -> gpus_per_node:int -> unit -> t
+(** A cluster whose same-node peer transfers ride dedicated NVLink-class
+    port pairs (20 GB/s, 5 us) instead of PCIe + host root complex. *)
+
+type spec =
+  | Preset of string  (** desktop | desktop-mixed | supernode | cluster *)
+  | Cluster_spec of { nodes : int; gpus_per_node : int }
+  | Fat_tree_spec of { nodes : int; gpus_per_node : int; oversub : float }
+  | Multi_rail_spec of { nodes : int; gpus_per_node : int; rails : int }
+  | Nv_mesh_spec of { nodes : int; gpus_per_node : int }
+(** A parsed [--machine] argument: a legacy preset name or a generative
+    topology like [fattree:8x4]. *)
+
+val spec_grammar : string
+(** One-line description of the accepted spec strings, for error messages
+    and --help. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parse a [--machine] spec: a preset name, or
+    [cluster:NxM | fattree:NxM[:OVERSUB] | multirail:NxM[:RAILS] | nvmesh:NxM]
+    where N is the node count and M the GPUs per node. *)
+
+val spec_to_string : spec -> string
+(** The canonical spelling; [spec_of_string (spec_to_string s) = Ok s]. *)
+
+val spec_gpus : spec -> int
+(** Total GPU count the spec builds (the preset's default count). *)
+
+val of_spec : spec -> t
+(** Build the machine a spec describes. *)
 
 val num_gpus : t -> int
 val device : t -> int -> Device.t

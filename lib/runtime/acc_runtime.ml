@@ -349,10 +349,40 @@ type launch_setup = {
   iterations : int;
   thread_multiplier : int;
   ranges : Task_map.range array;
+  tiling : (int * int * int) option;
+      (** [(stride, pr, pc)] when this launch runs 2-D decomposed *)
+  col_bounds : (int * int) array option;
+      (** per-GPU owned column block of a 2-D launch *)
   arrays : string list;
   prep : Data_loader.prepared;
   t0 : float;  (** clock at region entry, before the loader ran *)
 }
+
+(* 2-D launch gate. The plan's static eligibility ([tile2d]) must be met
+   by the runtime shape: more than one GPU arranged into a non-trivial
+   grid, a row width above 1, every distributed array's length a whole
+   number of rows, and no scheduler weights in play (a weighted 1-D split
+   and a 2-D grid answer the same question differently — the pinned 1-D
+   path wins whenever the scheduler has an opinion). *)
+let tiling_of t env plan ~num_gpus ~weighted =
+  match plan.Kernel_plan.tile2d with
+  | Some t2 when num_gpus > 1 && not weighted -> (
+      let stride = Host_interp.eval_int env t2.Mgacc_analysis.Tile2d.stride in
+      let pr, pc = Mgacc_analysis.Tile2d.grid_of ~num_gpus in
+      if stride <= 1 || pc < 2 then None
+      else
+        let rows_ok =
+          List.for_all
+            (fun (c : Mgacc_analysis.Array_config.t) ->
+              match Kernel_plan.placement_of plan c.Mgacc_analysis.Array_config.array with
+              | Mgacc_analysis.Array_config.Distributed ->
+                  let da = get_darray t env c.Mgacc_analysis.Array_config.array in
+                  da.Darray.length mod stride = 0 && da.Darray.length / stride >= 1
+              | Mgacc_analysis.Array_config.Replicated -> true)
+            plan.Kernel_plan.configs
+        in
+        if rows_ok then Some (stride, pr, pc) else None)
+  | _ -> None
 
 let prepare_launch t env (loop : Loop_info.t) plan =
   let lo = Host_interp.eval_int env loop.Loop_info.lower in
@@ -363,21 +393,44 @@ let prepare_launch t env (loop : Loop_info.t) plan =
         (Loc.to_string loop.Loop_info.loop_loc) (max 0 (hi - lo)) num_gpus);
   let iterations = max 0 (hi - lo) in
   let thread_multiplier = Kernel_plan.thread_multiplier plan in
-  let ranges =
+  let weights =
     let workload =
       match Kernel_plan.schedule_hint plan with
       | `Uniform -> Mgacc_sched.Scheduler.Uniform
       | `Irregular -> Mgacc_sched.Scheduler.Irregular
     in
-    match
-      Mgacc_sched.Scheduler.weights_for t.scheduler ~loop_id:loop.Loop_info.loop_id ~iterations
-        ~threads_per_iter:thread_multiplier
-        ~iter_cost:(Kernel_plan.static_iter_cost plan)
-        ~workload
-    with
-    | Some weights -> Task_map.split_weighted ~lower:lo ~upper:(max lo hi) ~weights
-    | None -> Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:num_gpus
+    Mgacc_sched.Scheduler.weights_for t.scheduler ~loop_id:loop.Loop_info.loop_id ~iterations
+      ~threads_per_iter:thread_multiplier
+      ~iter_cost:(Kernel_plan.static_iter_cost plan)
+      ~workload
   in
+  let tiling = tiling_of t env plan ~num_gpus ~weighted:(weights <> None) in
+  let ranges =
+    match (weights, tiling) with
+    | Some weights, _ -> Task_map.split_weighted ~lower:lo ~upper:(max lo hi) ~weights
+    | None, Some (_, pr, pc) ->
+        (* Row ranges, duplicated across each row's [pc] column blocks:
+           GPU g = (row_block * pc + col_block) iterates its row share
+           with the kernel's column restriction selecting its columns. *)
+        let row_split = Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:pr in
+        Array.init num_gpus (fun g -> row_split.(g / pc))
+    | None, None -> Task_map.split ~lower:lo ~upper:(max lo hi) ~parts:num_gpus
+  in
+  let col_bounds =
+    match tiling with
+    | Some (stride, _, pc) ->
+        let cs = Task_map.split ~lower:0 ~upper:stride ~parts:pc in
+        Some
+          (Array.init num_gpus (fun g ->
+               (cs.(g mod pc).Task_map.start_, cs.(g mod pc).Task_map.stop_)))
+    | None -> None
+  in
+  (match tiling with
+  | Some (stride, pr, pc) ->
+      Log.debug (fun m ->
+          m "loop %d: 2-D launch on a %dx%d grid (row width %d)" loop.Loop_info.loop_id pr pc
+            stride)
+  | None -> ());
   Hashtbl.replace t.seen_ranges loop.Loop_info.loop_loc ranges;
   let t0 = t.clock in
   (* Phase 1: the data loader makes device copies valid (CPU-GPU). *)
@@ -387,8 +440,9 @@ let prepare_launch t env (loop : Loop_info.t) plan =
       plan.Kernel_plan.free_vars
   in
   let prep =
-    Data_loader.prepare t.cfg plan ~ranges ~eval_int:(Host_interp.eval_int env)
-      ~get_darray:(get_darray t env) ~arrays
+    Data_loader.prepare t.cfg
+      ?grid:(Option.map (fun (_, pr, pc) -> (pr, pc)) tiling)
+      plan ~ranges ~eval_int:(Host_interp.eval_int env) ~get_darray:(get_darray t env) ~arrays
   in
   count_pulls t prep.Data_loader.xfers;
   Log.debug (fun m ->
@@ -397,7 +451,7 @@ let prepare_launch t env (loop : Loop_info.t) plan =
            (fun acc (x : Darray.xfer) -> acc + x.Darray.bytes)
            0 prep.Data_loader.xfers)
         (List.length prep.Data_loader.xfers));
-  { lo; hi; iterations; thread_multiplier; ranges; arrays; prep; t0 }
+  { lo; hi; iterations; thread_multiplier; ranges; tiling; col_bounds; arrays; prep; t0 }
 
 let bytes_per_iter_of t env arrays =
   List.fold_left
@@ -553,7 +607,7 @@ and on_parallel_loop_gpu t env loop plan =
   (* Phase 2: kernels on all GPUs concurrently (KERNELS). *)
   let compiled = compiled_for t env plan in
   let runs, scalar_partials =
-    Launch.run_on_gpus t.cfg plan compiled ~ranges:s.ranges
+    Launch.run_on_gpus t.cfg ?col_bounds:s.col_bounds plan compiled ~ranges:s.ranges
       ~get_scalar:(Host_interp.get_scalar env)
       ~get_darray:(get_darray t env)
       ~get_reduction:(fun name -> List.assoc_opt name reductions)
@@ -594,10 +648,14 @@ and on_parallel_loop_gpu t env loop plan =
       secs_per_gpu.(g) <- sec)
     run_times;
   let bytes_per_iter = bytes_per_iter_of t env s.arrays in
+  (* A 2-D launch duplicates row ranges across column blocks; feeding
+     those to the scheduler would teach it weights that disable tiling on
+     the next launch (and flip-flop after). The 2-D grid is static. *)
   if
-    Mgacc_sched.Scheduler.observe t.scheduler ~loop_id:loop.Loop_info.loop_id
-      ~iterations:iters_per_gpu ~seconds:secs_per_gpu ~total_iterations:s.iterations
-      ~bytes_per_iter
+    s.tiling = None
+    && Mgacc_sched.Scheduler.observe t.scheduler ~loop_id:loop.Loop_info.loop_id
+         ~iterations:iters_per_gpu ~seconds:secs_per_gpu ~total_iterations:s.iterations
+         ~bytes_per_iter
   then Profiler.incr_rebalances t.profiler;
   (* Phase 3: inter-GPU reconciliation (GPU-GPU). *)
   let wrote _ = s.hi > s.lo in
@@ -770,7 +828,7 @@ and on_parallel_loop_gpu_overlap t env loop plan =
   (* Phase 2: kernels, each starting as soon as its own device is ready. *)
   let compiled = compiled_for t env plan in
   let runs, scalar_partials =
-    Launch.run_on_gpus t.cfg plan compiled ~ranges:s.ranges
+    Launch.run_on_gpus t.cfg ?col_bounds:s.col_bounds plan compiled ~ranges:s.ranges
       ~get_scalar:(Host_interp.get_scalar env)
       ~get_darray:(get_darray t env)
       ~get_reduction:(fun name -> List.assoc_opt name reductions)
@@ -817,10 +875,13 @@ and on_parallel_loop_gpu_overlap t env loop plan =
   let iters_per_gpu = Array.make num_gpus 0 in
   List.iter (fun (run, _, _) -> iters_per_gpu.(run.Launch.gpu) <- run.Launch.iterations) spans;
   let bytes_per_iter = bytes_per_iter_of t env s.arrays in
+  (* Like the barrier path: duplicated 2-D row ranges must not train the
+     scheduler's weights (they would disable tiling on the next launch). *)
   if
-    Mgacc_sched.Scheduler.observe_events t.scheduler ~loop_id:loop.Loop_info.loop_id
-      ~iterations:iters_per_gpu ~starts:kstart ~finishes:kfin ~total_iterations:s.iterations
-      ~bytes_per_iter
+    s.tiling = None
+    && Mgacc_sched.Scheduler.observe_events t.scheduler ~loop_id:loop.Loop_info.loop_id
+         ~iterations:iters_per_gpu ~starts:kstart ~finishes:kfin ~total_iterations:s.iterations
+         ~bytes_per_iter
   then Profiler.incr_rebalances t.profiler;
   (* Phase 3: reconciliation as a dependency DAG. Wave 1 carries every op
      whose inputs exist at its source's kernel finish: dirty chunks (after

@@ -17,9 +17,11 @@ type stats = {
   hierarchies : int;
   direct_groups : int;
   segments : int;
+  allreduces : int;
 }
 
-let no_stats = { rings = 0; hierarchies = 0; direct_groups = 0; segments = 0 }
+let no_stats =
+  { rings = 0; hierarchies = 0; direct_groups = 0; segments = 0; allreduces = 0 }
 
 let add_stats a b =
   {
@@ -27,6 +29,7 @@ let add_stats a b =
     hierarchies = a.hierarchies + b.hierarchies;
     direct_groups = a.direct_groups + b.direct_groups;
     segments = a.segments + b.segments;
+    allreduces = a.allreduces + b.allreduces;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -82,6 +85,48 @@ let analyze (gops : Comm_manager.op list) =
             match roots with
             | [ root ] -> Some { root; dsts; payload; op_of_dst }
             | _ -> None)
+
+(* An allreduce group pairs a reduction's gathers (every member ships its
+   partial to the root) with the broadcast of the combined result. It is
+   reshapeable iff the gathers all target one root with equal payloads and
+   the broadcast half is itself a well-formed broadcast from that root to
+   exactly the gather sources — then reduce-scatter + all-gather moves the
+   same 2(p-1) payload copies with every link loaded evenly. *)
+type allreduce_shape = {
+  bcast : group_shape;  (* root, members and payload of the result side *)
+  gather_of_src : (int, Comm_manager.op) Hashtbl.t;
+}
+
+let analyze_allreduce (gops : Comm_manager.op list) =
+  let gathers, rest =
+    List.partition (fun (op : Comm_manager.op) -> op.Comm_manager.kind = Comm_manager.Red_gather) gops
+  in
+  let bcasts, other =
+    List.partition (fun (op : Comm_manager.op) -> op.Comm_manager.kind = Comm_manager.Red_bcast) rest
+  in
+  if gathers = [] || bcasts = [] || other <> [] then None
+  else
+    match analyze bcasts with
+    | None -> None
+    | Some shape ->
+        let gather_of_src = Hashtbl.create 8 in
+        let ok = ref true in
+        List.iter
+          (fun (op : Comm_manager.op) ->
+            match endpoints op with
+            | Some (s, d)
+              when d = shape.root && s <> shape.root
+                   && op.Comm_manager.bytes = shape.payload
+                   && not (Hashtbl.mem gather_of_src s) ->
+                Hashtbl.replace gather_of_src s op
+            | _ -> ok := false)
+          gathers;
+        let srcs =
+          Hashtbl.fold (fun s _ acc -> s :: acc) gather_of_src [] |> List.sort compare
+        in
+        if !ok && srcs = List.sort compare shape.dsts then
+          Some { bcast = shape; gather_of_src }
+        else None
 
 (* ------------------------------------------------------------------ *)
 (* Cost model (selection only; timing comes from the simulation)       *)
@@ -141,6 +186,25 @@ let best_ring fabric cfg order payload =
       if t < bt then (s, t) else (bs, bt))
     (1, ring_time fabric order payload 1)
     (segment_candidates cfg payload)
+
+(* NCCL-style ring-allreduce estimate: 2(p-1) rounds, each bounded by the
+   slowest ring edge moving one payload/p chunk. The node-grouped order
+   keeps the wire crossed once per node boundary per round. *)
+let allreduce_ring_time fabric order payload =
+  let ring = Array.of_list order in
+  let p = Array.length ring in
+  if p < 2 then infinity
+  else begin
+    let seg = float_of_int payload /. float_of_int p in
+    let slot = ref 0.0 in
+    for i = 0 to p - 1 do
+      let dir = Fabric.P2p (ring.(i), ring.((i + 1) mod p)) in
+      let lat = Fabric.latency_of fabric dir in
+      let bw = Fabric.standalone_bandwidth fabric dir in
+      slot := Float.max !slot (lat +. (seg /. bw))
+    done;
+    float_of_int (2 * (p - 1)) *. !slot
+  end
 
 (* Star estimate: every copy leaves the root's egress link back to back;
    cross-node copies additionally serialize on the node's uplink. *)
@@ -320,8 +384,10 @@ let ring_group b shape order s =
 
 (* Two-hop tree: the root feeds its local peers and one leader per remote
    node (level k for segment k); leaders re-broadcast on their node
-   (level k+1, gated on the wire segment's arrival). *)
-let hier_group b fabric shape s =
+   (level k+1, gated on the wire segment's arrival). [base_level] shifts
+   the whole tree down (an allreduce runs it behind its gather stage) and
+   [gate] is a plan index every root-outgoing edge must wait for. *)
+let hier_group ?(base_level = 0) ?(gate = -1) b fabric shape s =
   let sizes = segment_sizes shape.payload s in
   let locals, remotes = node_buckets fabric shape in
   let chain = Hashtbl.create 8 in
@@ -345,36 +411,141 @@ let hier_group b fabric shape s =
     i
   in
   for k = 0 to s - 1 do
-    List.iter (fun d -> ignore (edge ~seg:k ~level:k ~dep:(-1) shape.root d)) locals;
+    List.iter
+      (fun d -> ignore (edge ~seg:k ~level:(base_level + k) ~dep:gate shape.root d))
+      locals;
     List.iter
       (fun (_, leader, members) ->
-        let wire = edge ~seg:k ~level:k ~dep:(-1) shape.root leader in
+        let wire = edge ~seg:k ~level:(base_level + k) ~dep:gate shape.root leader in
         List.iter
           (fun d ->
-            if d <> leader then ignore (edge ~seg:k ~level:(k + 1) ~dep:wire leader d))
+            if d <> leader then
+              ignore (edge ~seg:k ~level:(base_level + k + 1) ~dep:wire leader d))
           members)
       remotes
   done;
   b.st <- add_stats b.st { no_stats with hierarchies = 1; segments = s }
 
+(* Ring allreduce: reduce-scatter then all-gather. The payload splits
+   into one chunk per participant; in reduce-scatter round r every GPU
+   forwards the chunk it just accumulated to its ring successor, so after
+   p-1 rounds chunk (i+1) mod p is fully reduced at participant i, and
+   the p-1 all-gather rounds circulate the finished chunks the same way.
+   2(p-1) rounds, each moving payload/p bytes per link — the
+   bandwidth-optimal schedule star and tree allreduces can't match.
+   Reduce-scatter hops are attributed to the sender's gather op (the hop
+   carries its partial sums), all-gather hops to the receiver's broadcast
+   op (the hop delivers its share of the result), so arrival bookkeeping
+   downstream needs no new cases. *)
+let allreduce_ring_group b ar order =
+  let ring = Array.of_list order in
+  let p = Array.length ring in
+  let sizes = segment_sizes ar.bcast.payload p in
+  let some_gather =
+    match Hashtbl.fold (fun _ op acc -> op :: acc) ar.gather_of_src [] with
+    | op :: _ -> op
+    | [] -> assert false
+  in
+  let some_bcast = Hashtbl.find ar.bcast.op_of_dst (List.hd ar.bcast.dsts) in
+  let op_rs src =
+    try Hashtbl.find ar.gather_of_src src with Not_found -> some_gather
+  in
+  let op_ag dst = try Hashtbl.find ar.bcast.op_of_dst dst with Not_found -> some_bcast in
+  let idx = Array.make_matrix (2 * (p - 1)) p (-1) in
+  for r = 0 to (2 * (p - 1)) - 1 do
+    let rs = r < p - 1 in
+    for i = 0 to p - 1 do
+      let src = ring.(i) and dst = ring.((i + 1) mod p) in
+      (* chunk rotation: position i sends chunk i-r during reduce-scatter
+         and chunk i+1-(r-(p-1)) during all-gather *)
+      let c =
+        let base = if rs then i - r else i + 1 - (r - (p - 1)) in
+        ((base mod p) + p) mod p
+      in
+      let dep = if r >= 1 then idx.(r - 1).((i - 1 + p) mod p) else -1 in
+      let op = if rs then op_rs src else op_ag dst in
+      let suffix = if rs then ":rs" else ":ag" in
+      idx.(r).(i) <-
+        push b
+          {
+            dir = Fabric.P2p (src, dst);
+            bytes = sizes.(c);
+            tag = op.Comm_manager.tag ^ suffix;
+            level = r;
+            dep;
+            dep2 = -1;
+            op;
+          }
+    done
+  done;
+  b.st <- add_stats b.st { no_stats with allreduces = 1; segments = p }
+
+(* Star gathers at level 0 feeding a hierarchical result broadcast: the
+   wire is still crossed once per remote member on the way in, but only
+   once per node on the way out. *)
+let allreduce_hier_group b fabric ar s =
+  let gate = ref (-1) in
+  Hashtbl.iter
+    (fun _ (op : Comm_manager.op) ->
+      gate :=
+        push b
+          {
+            dir = op.Comm_manager.dir;
+            bytes = op.Comm_manager.bytes;
+            tag = op.Comm_manager.tag;
+            level = 0;
+            dep = -1;
+            dep2 = -1;
+            op;
+          })
+    ar.gather_of_src;
+  hier_group ~base_level:1 ~gate:!gate b fabric ar.bcast s;
+  b.st <- add_stats b.st { no_stats with allreduces = 1 }
+
 (* ------------------------------------------------------------------ *)
 
-let plan_group b cfg fabric (gops : Comm_manager.op list) =
-  match analyze gops with
+let plan_allreduce b cfg fabric (gops : Comm_manager.op list) =
+  match analyze_allreduce gops with
   | None -> direct_group b gops
-  | Some shape when List.length shape.dsts < 2 -> direct_group b gops
-  | Some shape -> (
-      let order = ring_order fabric shape in
-      let s_ring, t_ring = best_ring fabric cfg order shape.payload in
+  | Some ar when List.length ar.bcast.dsts < 2 -> direct_group b gops
+  | Some ar -> (
+      let order = ring_order fabric ar.bcast in
       match cfg.Rt_config.collective with
       | Rt_config.Direct -> direct_group b gops
-      | Rt_config.Ring -> ring_group b shape order s_ring
+      | Rt_config.Ring -> allreduce_ring_group b ar order
       | Rt_config.Auto ->
-          let t_direct = direct_time fabric shape in
-          let s_hier, t_hier = hier_time fabric cfg shape in
-          if t_hier <= t_ring && t_hier < t_direct then hier_group b fabric shape s_hier
-          else if t_ring < t_direct then ring_group b shape order s_ring
+          let t_ring = allreduce_ring_time fabric order ar.bcast.payload in
+          (* the gather stage of star and hier is the same ingress star as
+             [direct_time]'s egress star, by link symmetry *)
+          let t_star = 2.0 *. direct_time fabric ar.bcast in
+          let s_hier, t_hier_bcast = hier_time fabric cfg ar.bcast in
+          let t_hier = direct_time fabric ar.bcast +. t_hier_bcast in
+          if t_ring < t_star && t_ring <= t_hier then allreduce_ring_group b ar order
+          else if t_hier < t_star then allreduce_hier_group b fabric ar s_hier
           else direct_group b gops)
+
+let plan_group b cfg fabric (gops : Comm_manager.op list) =
+  if
+    List.exists
+      (fun (op : Comm_manager.op) -> op.Comm_manager.kind = Comm_manager.Red_gather)
+      gops
+  then plan_allreduce b cfg fabric gops
+  else
+    match analyze gops with
+    | None -> direct_group b gops
+    | Some shape when List.length shape.dsts < 2 -> direct_group b gops
+    | Some shape -> (
+        let order = ring_order fabric shape in
+        let s_ring, t_ring = best_ring fabric cfg order shape.payload in
+        match cfg.Rt_config.collective with
+        | Rt_config.Direct -> direct_group b gops
+        | Rt_config.Ring -> ring_group b shape order s_ring
+        | Rt_config.Auto ->
+            let t_direct = direct_time fabric shape in
+            let s_hier, t_hier = hier_time fabric cfg shape in
+            if t_hier <= t_ring && t_hier < t_direct then hier_group b fabric shape s_hier
+            else if t_ring < t_direct then ring_group b shape order s_ring
+            else direct_group b gops)
 
 let plan ~cfg ~fabric (ops : Comm_manager.op list) =
   let groups = Hashtbl.create 8 in

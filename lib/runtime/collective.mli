@@ -56,6 +56,10 @@ type stats = {
   hierarchies : int;  (** groups lowered to hierarchical staging *)
   direct_groups : int;  (** eligible groups the cost model kept direct *)
   segments : int;  (** total pipelining segments across planned groups *)
+  allreduces : int;
+      (** reduction groups (gathers + result broadcast sharing one group
+          id) recognized as allreduces and lowered to ring
+          reduce-scatter/all-gather or gather + hierarchical broadcast *)
 }
 
 val no_stats : stats

@@ -297,16 +297,17 @@ let drain_misses cfg (da : Darray.t) =
                 in
                 Memory.free mem (Memory.alloc_raw mem `System payload);
                 replay_counts.(owner) <- replay_counts.(owner) + List.length entries;
-                (* Functional replay into the owner's partition. *)
+                (* Functional replay into the owner's partition
+                   (offset through the part, which may be a 2-D tile). *)
                 let opart = dist.Darray.parts.(owner) in
-                let lo = opart.Darray.window.Interval.lo in
+                let off idx = Darray.offset_in_part dist.Darray.spec opart idx in
                 (match da.Darray.elem with
                 | Ast.Edouble ->
                     let d = Memory.float_data opart.Darray.buf in
                     List.iter
                       (fun (idx, v) ->
                         match v with
-                        | Miss_buffer.Vf f -> d.(idx - lo) <- f
+                        | Miss_buffer.Vf f -> d.(off idx) <- f
                         | Miss_buffer.Vi _ -> assert false)
                       entries
                 | Ast.Eint ->
@@ -314,7 +315,7 @@ let drain_misses cfg (da : Darray.t) =
                     List.iter
                       (fun (idx, v) ->
                         match v with
-                        | Miss_buffer.Vi n -> d.(idx - lo) <- n
+                        | Miss_buffer.Vi n -> d.(off idx) <- n
                         | Miss_buffer.Vf _ -> assert false)
                       entries)
               end
@@ -322,14 +323,14 @@ let drain_misses cfg (da : Darray.t) =
                 (* A "miss" that is actually owned locally (conservative
                    check): apply in place, no traffic. *)
                 let opart = dist.Darray.parts.(owner) in
-                let lo = opart.Darray.window.Interval.lo in
+                let off idx = Darray.offset_in_part dist.Darray.spec opart idx in
                 match da.Darray.elem with
                 | Ast.Edouble ->
                     let d = Memory.float_data opart.Darray.buf in
                     List.iter
                       (fun (idx, v) ->
                         match v with
-                        | Miss_buffer.Vf f -> d.(idx - lo) <- f
+                        | Miss_buffer.Vf f -> d.(off idx) <- f
                         | Miss_buffer.Vi _ -> assert false)
                       entries
                 | Ast.Eint ->
@@ -337,7 +338,7 @@ let drain_misses cfg (da : Darray.t) =
                     List.iter
                       (fun (idx, v) ->
                         match v with
-                        | Miss_buffer.Vi n -> d.(idx - lo) <- n
+                        | Miss_buffer.Vi n -> d.(off idx) <- n
                         | Miss_buffer.Vf _ -> assert false)
                       entries
               end)
@@ -361,9 +362,84 @@ let drain_misses cfg (da : Darray.t) =
       (List.rev !ops, replays)
   | Darray.Unallocated | Darray.Replicated _ -> ([], [])
 
+(* 2-D variant: each destination's halo is up to four rectangles around
+   its owned tile (whole halo rows above and below the resident column
+   window, halo columns beside the owned rows). Per rectangle row the
+   columns split into maximal same-owner segments (an owner's columns are
+   contiguous, so a segment ends at the owner's column-block edge); the
+   per-(owner, dst) bytes aggregate into ONE wire op per pair — the
+   transfer granularity a real 2-D exchange would use — while the
+   functional copies happen per segment. *)
+let halo_exchange_tiled cfg (da : Darray.t) dist =
+  let num_gpus = cfg.Rt_config.num_gpus in
+  let spec = dist.Darray.spec in
+  let stride = spec.Darray.stride in
+  let ops = ref [] in
+  for dst = 0 to num_gpus - 1 do
+    let part = dist.Darray.parts.(dst) in
+    match part.Darray.tile with
+    | None -> ()
+    | Some tl ->
+        let rects =
+          [
+            ( Interval.make tl.Darray.trow_win.Interval.lo tl.Darray.trows.Interval.lo,
+              tl.Darray.tcol_win );
+            ( Interval.make tl.Darray.trows.Interval.hi tl.Darray.trow_win.Interval.hi,
+              tl.Darray.tcol_win );
+            (tl.Darray.trows, Interval.make tl.Darray.tcol_win.Interval.lo tl.Darray.tcols.Interval.lo);
+            (tl.Darray.trows, Interval.make tl.Darray.tcols.Interval.hi tl.Darray.tcol_win.Interval.hi);
+          ]
+        in
+        let bytes_from = Array.make num_gpus 0 in
+        List.iter
+          (fun ((rows : Interval.t), (cols : Interval.t)) ->
+            if not (Interval.is_empty rows || Interval.is_empty cols) then
+              for r = rows.Interval.lo to rows.Interval.hi - 1 do
+                let c = ref cols.Interval.lo in
+                while !c < cols.Interval.hi do
+                  let idx = (r * stride) + !c in
+                  let owner = Darray.owner_of dist idx in
+                  let oc =
+                    match dist.Darray.parts.(owner).Darray.tile with
+                    | Some ot -> ot.Darray.tcols
+                    | None -> assert false
+                  in
+                  let c_hi = min cols.Interval.hi oc.Interval.hi in
+                  let seg = Interval.make idx ((r * stride) + c_hi) in
+                  if owner <> dst then begin
+                    Darray.copy_seg_part_to_part da spec ~src:dist.Darray.parts.(owner) ~dst:part
+                      seg;
+                    bytes_from.(owner) <-
+                      bytes_from.(owner) + (Interval.length seg * Darray.elem_bytes da)
+                  end;
+                  c := max c_hi (!c + 1)
+                done
+              done)
+          rects;
+        Array.iteri
+          (fun owner bytes ->
+            if bytes > 0 then
+              ops :=
+                {
+                  dir = Fabric.P2p (owner, dst);
+                  bytes;
+                  tag = da.Darray.name ^ ":halo";
+                  array = da.Darray.name;
+                  kind = Halo_segment;
+                  round = 0;
+                  group = -1;
+                }
+                :: !ops)
+          bytes_from
+  done;
+  Darray.mark_halo_synced da;
+  List.rev !ops
+
 (* Refresh halo copies from their owners after the partitions changed. *)
 let halo_exchange cfg (da : Darray.t) =
   match da.Darray.state with
+  | Darray.Distributed dist when dist.Darray.spec.Darray.tile <> None ->
+      halo_exchange_tiled cfg da dist
   | Darray.Distributed dist ->
       let num_gpus = cfg.Rt_config.num_gpus in
       let ops = ref [] in
@@ -477,17 +553,27 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
       let kind_of = function Reduction.Gather -> Red_gather | Reduction.Bcast -> Red_bcast in
       (* Every broadcast edge (star or binomial tree alike) carries the
          same combined result, so all of an array's Red_bcast ops form
-         one collective group; gathers carry distinct partials. *)
-      let bcast_group = ref (-1) in
-      let group_of = function
-        | Reduction.Gather -> -1
-        | Reduction.Bcast ->
-            if !bcast_group < 0 then bcast_group := fresh_group ();
-            !bcast_group
+         one collective group. Under planned collectives, when the result
+         is actually broadcast (not deferred), the gathers join the same
+         group: the pair is an allreduce the planner can lower to ring
+         reduce-scatter/all-gather. Otherwise gathers pass through as
+         point-to-point partial ships, exactly as before. *)
+      let red_group = ref (-1) in
+      let shared () =
+        if !red_group < 0 then red_group := fresh_group ();
+        !red_group
+      in
+      let group_of ~allreduce = function
+        | Reduction.Gather -> if allreduce then shared () else -1
+        | Reduction.Bcast -> shared ()
       in
       if lazy_mode then begin
         let ship = match next_window name with Cw_none -> `Defer | _ -> `Tree in
         let m = Reduction.merge_lazy cfg red da ~ship in
+        let allreduce =
+          Rt_config.planned_collectives cfg
+          && List.exists (fun (_, role, _) -> role = Reduction.Bcast) m.Reduction.rounds
+        in
         prepend_all ops
           (List.map
              (fun ((x : Darray.xfer), role, round) ->
@@ -498,7 +584,7 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
                  array = name;
                  kind = kind_of role;
                  round;
-                 group = group_of role;
+                 group = group_of ~allreduce role;
                })
              m.Reduction.rounds);
         if not (Cost.is_zero m.Reduction.lazy_combine_cost) then
@@ -514,6 +600,10 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
       end
       else begin
         let m = Reduction.merge cfg red da in
+        let allreduce =
+          Rt_config.planned_collectives cfg
+          && List.exists (fun (_, role) -> role = Reduction.Bcast) m.Reduction.xfers
+        in
         prepend_all ops
           (List.map
              (fun ((x : Darray.xfer), role) ->
@@ -524,7 +614,7 @@ let reconcile cfg plan ~get_darray ~reductions ~wrote ~next_window =
                  array = name;
                  kind = kind_of role;
                  round = 0;
-                 group = group_of role;
+                 group = group_of ~allreduce role;
                })
              m.Reduction.xfers);
         if not (Cost.is_zero m.Reduction.combine_cost) then

@@ -12,14 +12,31 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type xfer = { dir : Fabric.direction; bytes : int; tag : string }
 
+type tile = {
+  trows : Interval.t;
+  tcols : Interval.t;
+  trow_win : Interval.t;
+  tcol_win : Interval.t;
+}
+
 type part = {
   window : Interval.t;
   own : Interval.t;
+  tile : tile option;
   buf : Memory.buf;
   miss : Miss_buffer.t;
 }
 
-type dist_spec = { stride : int; left : int; right : int }
+type tile_spec = {
+  pr : int;
+  pc : int;
+  row_left : int;
+  row_right : int;
+  col_left : int;
+  col_right : int;
+}
+
+type dist_spec = { stride : int; left : int; right : int; tile : tile_spec option }
 
 type dist = { parts : part array; spec : dist_spec; ranges : Task_map.range array }
 
@@ -94,6 +111,51 @@ let copy_buf_to_host t buf ~win_lo (iv : Interval.t) =
         let d = Memory.int_data buf in
         for i = iv.Interval.lo to iv.Interval.hi - 1 do
           t.host.View.set_i i d.(i - win_lo)
+        done
+
+(* Box copies between the host view and a tiled part's packed buffer.
+   [rows]/[cols] are absolute row/column intervals inside the tile's
+   resident window. *)
+let copy_host_to_tile t buf ~stride tl ~(rows : Interval.t) ~(cols : Interval.t) =
+  if not (Interval.is_empty rows || Interval.is_empty cols) then
+    let w = Interval.length tl.tcol_win in
+    match t.elem with
+    | Ast.Edouble ->
+        let d = Memory.float_data buf in
+        for r = rows.Interval.lo to rows.Interval.hi - 1 do
+          let base = ((r - tl.trow_win.Interval.lo) * w) - tl.tcol_win.Interval.lo in
+          for c = cols.Interval.lo to cols.Interval.hi - 1 do
+            d.(base + c) <- t.host.View.get_f ((r * stride) + c)
+          done
+        done
+    | Ast.Eint ->
+        let d = Memory.int_data buf in
+        for r = rows.Interval.lo to rows.Interval.hi - 1 do
+          let base = ((r - tl.trow_win.Interval.lo) * w) - tl.tcol_win.Interval.lo in
+          for c = cols.Interval.lo to cols.Interval.hi - 1 do
+            d.(base + c) <- t.host.View.get_i ((r * stride) + c)
+          done
+        done
+
+let copy_tile_to_host t buf ~stride tl ~(rows : Interval.t) ~(cols : Interval.t) =
+  if not (Interval.is_empty rows || Interval.is_empty cols) then
+    let w = Interval.length tl.tcol_win in
+    match t.elem with
+    | Ast.Edouble ->
+        let d = Memory.float_data buf in
+        for r = rows.Interval.lo to rows.Interval.hi - 1 do
+          let base = ((r - tl.trow_win.Interval.lo) * w) - tl.tcol_win.Interval.lo in
+          for c = cols.Interval.lo to cols.Interval.hi - 1 do
+            t.host.View.set_f ((r * stride) + c) d.(base + c)
+          done
+        done
+    | Ast.Eint ->
+        let d = Memory.int_data buf in
+        for r = rows.Interval.lo to rows.Interval.hi - 1 do
+          let base = ((r - tl.trow_win.Interval.lo) * w) - tl.tcol_win.Interval.lo in
+          for c = cols.Interval.lo to cols.Interval.hi - 1 do
+            t.host.View.set_i ((r * stride) + c) d.(base + c)
+          done
         done
 
 let alloc_buf cfg g t n =
@@ -217,13 +279,18 @@ let flush_to_host (cfg : Rt_config.t) t =
       | Distributed d ->
           Array.to_list
             (Array.mapi
-               (fun g p ->
-                 copy_buf_to_host t p.buf ~win_lo:p.window.Interval.lo p.own;
-                 {
-                   dir = Fabric.D2h g;
-                   bytes = Interval.length p.own * elem_bytes t;
-                   tag = t.name ^ ":flush";
-                 })
+               (fun g (p : part) ->
+                 let bytes =
+                   match p.tile with
+                   | None ->
+                       copy_buf_to_host t p.buf ~win_lo:p.window.Interval.lo p.own;
+                       Interval.length p.own * elem_bytes t
+                   | Some tl ->
+                       copy_tile_to_host t p.buf ~stride:d.spec.stride tl ~rows:tl.trows
+                         ~cols:tl.tcols;
+                       Interval.length tl.trows * Interval.length tl.tcols * elem_bytes t
+                 in
+                 { dir = Fabric.D2h g; bytes; tag = t.name ^ ":flush" })
                d.parts)
           |> List.filter (fun x -> x.bytes > 0)
     in
@@ -249,13 +316,18 @@ let load_from_host _cfg t =
       t.device_fresh <- false;
       Array.to_list
         (Array.mapi
-           (fun g p ->
-             copy_host_to_buf t p.buf ~win_lo:p.window.Interval.lo p.window;
-             {
-               dir = Fabric.H2d g;
-               bytes = Interval.length p.window * elem_bytes t;
-               tag = t.name ^ ":load";
-             })
+           (fun g (p : part) ->
+             let bytes =
+               match p.tile with
+               | None ->
+                   copy_host_to_buf t p.buf ~win_lo:p.window.Interval.lo p.window;
+                   Interval.length p.window * elem_bytes t
+               | Some tl ->
+                   copy_host_to_tile t p.buf ~stride:d.spec.stride tl ~rows:tl.trow_win
+                     ~cols:tl.tcol_win;
+                   Interval.length tl.trow_win * Interval.length tl.tcol_win * elem_bytes t
+             in
+             { dir = Fabric.H2d g; bytes; tag = t.name ^ ":load" })
            d.parts)
       |> List.filter (fun x -> x.bytes > 0)
 
@@ -299,6 +371,82 @@ let window_of_range spec range ~length ~g ~num_gpus =
   let window = Interval.hull read own in
   (window, own)
 
+(* 2-D tile of one GPU in a [pr x pc] grid: rows come from the (shared,
+   duplicated-per-column-block) iteration range, columns from the
+   deterministic split of [0, stride). Boundary blocks extend to the array
+   edges exactly like the 1-D split, so the owned boxes tile the whole
+   index space. Row halos translate element halos to whole rows. *)
+let tile_of_range spec ts range ~length ~g =
+  let stride = spec.stride in
+  let rows_total = length / stride in
+  let pr_i = g / ts.pc and pc_i = g mod ts.pc in
+  let row_lo = if pr_i = 0 then 0 else range.Task_map.start_ in
+  let row_hi = if pr_i = ts.pr - 1 then rows_total else range.Task_map.stop_ in
+  let trows = Interval.clamp (Interval.make row_lo (max row_lo row_hi)) ~lo:0 ~hi:rows_total in
+  let hl = ts.row_left and hr = ts.row_right in
+  let trow_win =
+    if Interval.is_empty trows then trows
+    else
+      Interval.clamp
+        (Interval.make (trows.Interval.lo - hl) (trows.Interval.hi + hr))
+        ~lo:0 ~hi:rows_total
+  in
+  let cs = (Task_map.split ~lower:0 ~upper:stride ~parts:ts.pc).(pc_i) in
+  let tcols = Interval.make cs.Task_map.start_ cs.Task_map.stop_ in
+  let tcol_win =
+    if Interval.is_empty tcols then tcols
+    else
+      Interval.clamp
+        (Interval.make (tcols.Interval.lo - ts.col_left) (tcols.Interval.hi + ts.col_right))
+        ~lo:0 ~hi:stride
+  in
+  { trows; tcols; trow_win; tcol_win }
+
+(* Shape of GPU [g]'s part: 1-D (window, own) intervals plus, when the
+   spec carries a tile grid, the 2-D box. For tiled parts the interval
+   fields hold the row hulls (used only for logging / quick rejection;
+   every precise consumer branches on [tile]). *)
+let part_shape spec range ~length ~g ~num_gpus =
+  match spec.tile with
+  | None ->
+      let window, own = window_of_range spec range ~length ~g ~num_gpus in
+      (window, own, None)
+  | Some ts ->
+      let tl = tile_of_range spec ts range ~length ~g in
+      let window =
+        Interval.make (tl.trow_win.Interval.lo * spec.stride) (tl.trow_win.Interval.hi * spec.stride)
+      in
+      let own =
+        Interval.make (tl.trows.Interval.lo * spec.stride) (tl.trows.Interval.hi * spec.stride)
+      in
+      (window, own, Some tl)
+
+let part_size window = function
+  | None -> Interval.length window
+  | Some tl -> Interval.length tl.trow_win * Interval.length tl.tcol_win
+
+let offset_in_part spec (p : part) idx =
+  match p.tile with
+  | None -> idx - p.window.Interval.lo
+  | Some tl ->
+      let r = idx / spec.stride and c = idx mod spec.stride in
+      ((r - tl.trow_win.Interval.lo) * Interval.length tl.tcol_win)
+      + (c - tl.tcol_win.Interval.lo)
+
+let part_contains spec (p : part) idx =
+  match p.tile with
+  | None -> Interval.contains p.window idx
+  | Some tl ->
+      let r = idx / spec.stride and c = idx mod spec.stride in
+      Interval.contains tl.trow_win r && Interval.contains tl.tcol_win c
+
+let part_owns spec (p : part) idx =
+  match p.tile with
+  | None -> Interval.contains p.own idx
+  | Some tl ->
+      let r = idx / spec.stride and c = idx mod spec.stride in
+      Interval.contains tl.trows r && Interval.contains tl.tcols c
+
 (* The existing distribution serves the request when the split is the
    same, ownership is identical, and every resident window covers the
    requested one. Wider resident halos are fine: the communication manager
@@ -308,14 +456,34 @@ let window_of_range spec range ~length ~g ~num_gpus =
 let covers t d spec ranges ~num_gpus =
   Array.length d.ranges = Array.length ranges
   && d.spec.stride = spec.stride
+  && (match (d.spec.tile, spec.tile) with
+     | None, None -> true
+     | Some a, Some b -> a.pr = b.pr && a.pc = b.pc
+     | _ -> false)
   && Array.for_all2 (fun a b -> a = b) d.ranges ranges
   &&
   let ok = ref true in
   Array.iteri
-    (fun g p ->
-      let window, own = window_of_range spec ranges.(g) ~length:t.length ~g ~num_gpus in
-      if not (Interval.equal own p.own && Interval.equal (Interval.hull window p.window) p.window)
-      then ok := false)
+    (fun g (p : part) ->
+      let window, own, tile = part_shape spec ranges.(g) ~length:t.length ~g ~num_gpus in
+      match (p.tile, tile) with
+      | None, None ->
+          if
+            not
+              (Interval.equal own p.own
+              && Interval.equal (Interval.hull window p.window) p.window)
+          then ok := false
+      | Some pt, Some nt ->
+          (* Same ownership, resident windows at least as wide: wider
+             resident halos keep being refreshed, like the 1-D case. *)
+          if
+            not
+              (Interval.equal nt.trows pt.trows
+              && Interval.equal nt.tcols pt.tcols
+              && Interval.equal (Interval.hull nt.trow_win pt.trow_win) pt.trow_win
+              && Interval.equal (Interval.hull nt.tcol_win pt.tcol_win) pt.tcol_win)
+          then ok := false
+      | _ -> ok := false)
     d.parts;
   !ok
 
@@ -324,7 +492,7 @@ let owner_of d idx =
   let rec go g =
     if g >= n then
       invalid_arg (Printf.sprintf "Darray.owner_of: index %d owned by no GPU" idx)
-    else if Interval.contains d.parts.(g).own idx then g
+    else if part_owns d.spec d.parts.(g) idx then g
     else go (g + 1)
   in
   go 0
@@ -345,6 +513,23 @@ let copy_part_to_part t ~src ~dst (seg : Interval.t) =
         d.(i - dlo) <- s.(i - slo)
       done
 
+(* Tile-aware variant: copies one absolute-index segment between two parts
+   through [offset_in_part], so either side may be tiled (a tiled segment
+   must stay within one row). The 1-D [copy_part_to_part] above is kept
+   verbatim for the untiled halo/repartition paths. *)
+let copy_seg_part_to_part t spec ~src ~dst (seg : Interval.t) =
+  match t.elem with
+  | Ast.Edouble ->
+      let s = Memory.float_data src.buf and d = Memory.float_data dst.buf in
+      for i = seg.Interval.lo to seg.Interval.hi - 1 do
+        d.(offset_in_part spec dst i) <- s.(offset_in_part spec src i)
+      done
+  | Ast.Eint ->
+      let s = Memory.int_data src.buf and d = Memory.int_data dst.buf in
+      for i = seg.Interval.lo to seg.Interval.hi - 1 do
+        d.(offset_in_part spec dst i) <- s.(offset_in_part spec src i)
+      done
+
 (* Re-split a live distribution without bouncing through the host: each
    new window fills from the old owners' authoritative blocks, and only
    the cross-GPU segments ride the fabric (as peer transfers — exactly
@@ -359,6 +544,7 @@ let repartition cfg t (d : dist) ~spec ~ranges ~num_gpus =
         {
           window;
           own;
+          tile = None;
           buf = alloc_buf cfg g t (Interval.length window);
           miss = Miss_buffer.create (mem_of cfg g) ~name:t.name ~elem_bytes:(elem_bytes t);
         })
@@ -405,21 +591,26 @@ let ensure_distributed cfg t ~spec ~ranges =
     when cfg.Rt_config.schedule <> Mgacc_sched.Policy.Equal
          && t.device_fresh
          && Array.length d.ranges = Array.length ranges
-         && d.spec = spec ->
+         && d.spec = spec
+         && spec.tile = None ->
       repartition cfg t d ~spec ~ranges ~num_gpus
   | _ ->
       Log.debug (fun m ->
-          m "%s: %s -> distributed (stride %d, halo %d/%d)" t.name (state_name t) spec.stride
-            spec.left spec.right);
+          m "%s: %s -> distributed (stride %d, halo %d/%d%s)" t.name (state_name t) spec.stride
+            spec.left spec.right
+            (match spec.tile with
+            | None -> ""
+            | Some ts -> Printf.sprintf ", tile %dx%d" ts.pr ts.pc));
       let flush = flush_to_host cfg t in
       free_state cfg t;
       let parts =
         Array.init num_gpus (fun g ->
-            let window, own = window_of_range spec ranges.(g) ~length:t.length ~g ~num_gpus in
+            let window, own, tile = part_shape spec ranges.(g) ~length:t.length ~g ~num_gpus in
             {
               window;
               own;
-              buf = alloc_buf cfg g t (Interval.length window);
+              tile;
+              buf = alloc_buf cfg g t (part_size window tile);
               miss = Miss_buffer.create (mem_of cfg g) ~name:t.name ~elem_bytes:(elem_bytes t);
             })
       in

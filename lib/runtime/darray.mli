@@ -14,14 +14,37 @@ module Interval = Mgacc_util.Interval
 
 type xfer = { dir : Mgacc_gpusim.Fabric.direction; bytes : int; tag : string }
 
+type tile = {
+  trows : Interval.t;  (** owned row block *)
+  tcols : Interval.t;  (** owned column block *)
+  trow_win : Interval.t;  (** resident rows (owned + row halo) *)
+  tcol_win : Interval.t;  (** resident columns (owned + column halo) *)
+}
+(** 2-D tile of one GPU under a [pr x pc] decomposition of a row-major
+    array of [length / stride] rows. The part's buffer holds the packed
+    [trow_win x tcol_win] box in row-major order. *)
+
 type part = {
-  window : Interval.t;  (** elements resident on this GPU (owned + halo) *)
-  own : Interval.t;  (** exclusively owned block *)
+  window : Interval.t;
+      (** elements resident on this GPU (owned + halo); for a tiled part
+          this is only the *row hull* — use {!part_contains} for precise
+          membership *)
+  own : Interval.t;  (** exclusively owned block (row hull when tiled) *)
+  tile : tile option;  (** present under a 2-D decomposition *)
   buf : Mgacc_gpusim.Memory.buf;
   miss : Miss_buffer.t;
 }
 
-type dist_spec = { stride : int; left : int; right : int }
+type tile_spec = {
+  pr : int;  (** row blocks *)
+  pc : int;  (** column blocks; [pr * pc = num_gpus] *)
+  row_left : int;  (** halo rows above the owned block *)
+  row_right : int;  (** halo rows below *)
+  col_left : int;  (** halo columns left of the owned block *)
+  col_right : int;  (** halo columns right *)
+}
+
+type dist_spec = { stride : int; left : int; right : int; tile : tile_spec option }
 
 type dist = {
   parts : part array;
@@ -121,4 +144,24 @@ val replica_of : t -> replica
 (** Raises [Invalid_argument] if not replicated. *)
 
 val owner_of : dist -> int -> int
-(** The GPU owning a logical element index. *)
+(** The GPU owning a logical element index (tile-aware). *)
+
+val offset_in_part : dist_spec -> part -> int -> int
+(** Buffer offset of an absolute element index inside a part (1-D window
+    offset, or packed-box offset for tiled parts). The index must be
+    resident ({!part_contains}). *)
+
+val part_contains : dist_spec -> part -> int -> bool
+(** Whether the element is resident on the part (owned or halo). *)
+
+val part_owns : dist_spec -> part -> int -> bool
+(** Whether the element is exclusively owned by the part. *)
+
+val copy_seg_part_to_part : t -> dist_spec -> src:part -> dst:part -> Interval.t -> unit
+(** Functional copy of one absolute-index segment between two parts
+    through {!offset_in_part}; for tiled parts the segment must stay
+    within one row. No transfer descriptor — callers account traffic. *)
+
+val copy_part_to_part : t -> src:part -> dst:part -> Interval.t -> unit
+(** 1-D functional copy between two untiled parts' buffers (window
+    offsets). *)

@@ -54,7 +54,7 @@ let pull_for_launch cfg plan ~(ranges : Task_map.range array) ~get_darray =
                            Darray.pull_valid cfg da ~gpu:g ~want:(want g))))))
       plan.Kernel_plan.configs
 
-let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
+let prepare cfg ?grid plan ~ranges ~eval_int ~get_darray ~arrays =
   let xfers = ref [] in
   let reductions = ref [] in
   let reused = ref [] in
@@ -93,7 +93,25 @@ let prepare cfg plan ~ranges ~eval_int ~get_darray ~arrays =
                         "localaccess stride for %s must be positive (got %d)" name stride;
                     let left = max 0 (eval_int la.Ast.la_left) in
                     let right = max 0 (eval_int la.Ast.la_right) in
-                    { Darray.stride; left; right }
+                    (* Under a 2-D launch every distributed array carries
+                       its tile grid and exact per-array stencil halos
+                       (the launch gate already checked divisibility). *)
+                    let tile =
+                      match (grid, plan.Kernel_plan.tile2d) with
+                      | Some (pr, pc), Some t2 when da.Darray.length mod stride = 0 ->
+                          let h = Mgacc_analysis.Tile2d.halo_of t2 name in
+                          Some
+                            {
+                              Darray.pr;
+                              pc;
+                              row_left = h.Mgacc_analysis.Tile2d.row_l;
+                              row_right = h.Mgacc_analysis.Tile2d.row_r;
+                              col_left = h.Mgacc_analysis.Tile2d.col_l;
+                              col_right = h.Mgacc_analysis.Tile2d.col_r;
+                            }
+                      | _ -> None
+                    in
+                    { Darray.stride; left; right; tile }
                 | None -> assert false (* Distributed implies a localaccess spec *)
               in
               xfers := !xfers @ note_reuse name da (Darray.ensure_distributed cfg da ~spec ~ranges)))

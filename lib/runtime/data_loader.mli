@@ -22,6 +22,7 @@ type prepared = {
 
 val prepare :
   Rt_config.t ->
+  ?grid:int * int ->
   Mgacc_translator.Kernel_plan.t ->
   ranges:Task_map.range array ->
   eval_int:(Ast.expr -> int) ->
@@ -31,5 +32,7 @@ val prepare :
 (** [eval_int] evaluates [localaccess] window parameters in the host
     environment; [arrays] lists every array parameter of the kernel (a view
     is bound for each, so each needs device presence even if only its
-    length is read). Raises {!Mgacc_minic.Loc.Error} when a declared stride
-    is non-positive. *)
+    length is read). [grid] is the [(pr, pc)] GPU grid of a 2-D launch:
+    distributed arrays then carry a {!Darray.tile_spec} built from the
+    plan's stencil halos. Raises {!Mgacc_minic.Loc.Error} when a declared
+    stride is non-positive. *)

@@ -6,14 +6,24 @@ module Frame = Mgacc_exec.Frame
 module Kernel_compile = Mgacc_exec.Kernel_compile
 module Host_interp = Mgacc_exec.Host_interp
 module Kernel_plan = Mgacc_translator.Kernel_plan
+module Tile2d = Mgacc_analysis.Tile2d
 module Interval = Mgacc_util.Interval
 
 type compiled = { kc : Kernel_compile.t; param_types : (string * Ast.typ) list }
 
 let compile_kernel plan ~param_types =
+  (* Under a 2-D plan the inner column loop is restricted to
+     [[__col_lo, __col_hi)], bound per GPU at launch; with the sentinel
+     bounds the kernel behaves exactly like the unrestricted one. *)
+  let loop, param_types =
+    match plan.Kernel_plan.tile2d with
+    | Some t2 ->
+        ( Tile2d.restrict_columns plan.Kernel_plan.loop ~inner_var:t2.Tile2d.inner_var,
+          param_types @ [ (Tile2d.col_lo_param, Ast.Tint); (Tile2d.col_hi_param, Ast.Tint) ] )
+    | None -> (plan.Kernel_plan.loop, param_types)
+  in
   let kc =
-    Kernel_compile.compile ~loop:plan.Kernel_plan.loop ~params:param_types
-      ~classify:(Kernel_plan.classifier plan)
+    Kernel_compile.compile ~loop ~params:param_types ~classify:(Kernel_plan.classifier plan)
   in
   { kc; param_types }
 
@@ -144,12 +154,96 @@ let reduction_view (da : Darray.t) ~gpu (red : Reduction.t) =
             Reduction.reduce_i red ~gpu i v);
       }
 
+(* 2-D variant: the part's buffer is a packed [trow_win x tcol_win] box;
+   membership and offsets go through the tile-aware [Darray] helpers. The
+   instrumentation cost model is identical to the 1-D view (the 2-D index
+   arithmetic folds into the same address computation on real hardware). *)
+let tiled_distributed_view (da : Darray.t) (part : Darray.part) ~gpu ~miss_check ~(cost : Cost.t) =
+  let name = da.Darray.name and length = da.Darray.length in
+  let spec =
+    match da.Darray.state with Darray.Distributed d -> d.Darray.spec | _ -> assert false
+  in
+  let off i = Darray.offset_in_part spec part i in
+  let owns i = Darray.part_owns spec part i in
+  let check_read i =
+    if not (Darray.part_contains spec part i) then
+      raise (Window_violation { array = name; index = i; gpu; what = "read outside window" })
+  in
+  match da.Darray.elem with
+  | Ast.Edouble ->
+      let data = Memory.float_data part.Darray.buf in
+      let set_f i v =
+        if miss_check then begin
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          if owns i then data.(off i) <- v
+          else begin
+            cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+            cost.Cost.random_bytes <- cost.Cost.random_bytes + 12;
+            Miss_buffer.record part.Darray.miss i (Miss_buffer.Vf v)
+          end
+        end
+        else if owns i then data.(off i) <- v
+        else
+          raise
+            (Window_violation
+               { array = name; index = i; gpu; what = "write outside owned tile (miss checks eliminated)" })
+      in
+      {
+        View.name;
+        elem = Ast.Edouble;
+        length;
+        get_f =
+          (fun i ->
+            check_read i;
+            data.(off i));
+        set_f;
+        get_i = (fun _ -> invalid_arg (name ^ ": int access on double array"));
+        set_i = (fun _ _ -> invalid_arg (name ^ ": int access on double array"));
+        reduce_f = no_reduce_f name;
+        reduce_i = no_reduce_i name;
+      }
+  | Ast.Eint ->
+      let data = Memory.int_data part.Darray.buf in
+      let set_i i v =
+        if miss_check then begin
+          cost.Cost.int_ops <- cost.Cost.int_ops + 1;
+          if owns i then data.(off i) <- v
+          else begin
+            cost.Cost.random_accesses <- cost.Cost.random_accesses + 1;
+            cost.Cost.random_bytes <- cost.Cost.random_bytes + 8;
+            Miss_buffer.record part.Darray.miss i (Miss_buffer.Vi v)
+          end
+        end
+        else if owns i then data.(off i) <- v
+        else
+          raise
+            (Window_violation
+               { array = name; index = i; gpu; what = "write outside owned tile (miss checks eliminated)" })
+      in
+      {
+        View.name;
+        elem = Ast.Eint;
+        length;
+        get_i =
+          (fun i ->
+            check_read i;
+            data.(off i));
+        set_i;
+        get_f = (fun _ -> invalid_arg (name ^ ": double access on int array"));
+        set_f = (fun _ _ -> invalid_arg (name ^ ": double access on int array"));
+        reduce_f = no_reduce_f name;
+        reduce_i = no_reduce_i name;
+      }
+
 (* Distributed array: logical indices translate into the partition; reads
    must stay in the declared window; writes are ownership-checked. When the
    check is eliminated, an out-of-block write is a directive violation. *)
 let distributed_view (da : Darray.t) ~gpu ~miss_check ~(cost : Cost.t) =
   let part = Darray.part_for da ~gpu in
   let name = da.Darray.name and length = da.Darray.length in
+  match part.Darray.tile with
+  | Some _ -> tiled_distributed_view da part ~gpu ~miss_check ~cost
+  | None ->
   let win = part.Darray.window and own = part.Darray.own in
   let lo = win.Interval.lo in
   let check_read i =
@@ -237,7 +331,7 @@ let view_for cfg plan ~gpu ~cost ~get_darray ~get_reduction name =
 (* Execution.                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let run_on_gpus cfg plan compiled ~ranges ~get_scalar ~get_darray ~get_reduction =
+let run_on_gpus cfg ?col_bounds plan compiled ~ranges ~get_scalar ~get_darray ~get_reduction =
   let loop = plan.Kernel_plan.loop in
   let scalar_reductions = loop.Mgacc_analysis.Loop_info.scalar_reductions in
   let runs = ref [] in
@@ -258,6 +352,12 @@ let run_on_gpus cfg plan compiled ~ranges ~get_scalar ~get_darray ~get_reduction
                 Frame.set_view frame slot
                   (view_for cfg plan ~gpu ~cost:compiled.kc.Kernel_compile.cost ~get_darray
                      ~get_reduction name)
+            | Ast.Tint when name = Tile2d.col_lo_param ->
+                Frame.set_int frame slot
+                  (match col_bounds with Some b -> fst b.(gpu) | None -> min_int)
+            | Ast.Tint when name = Tile2d.col_hi_param ->
+                Frame.set_int frame slot
+                  (match col_bounds with Some b -> snd b.(gpu) | None -> max_int)
             | Ast.Tint | Ast.Tdouble -> (
                 let red_op =
                   List.find_map

@@ -17,7 +17,10 @@ val compile_kernel :
   Mgacc_translator.Kernel_plan.t ->
   param_types:(string * Ast.typ) list ->
   compiled
-(** Compile the loop body with the plan's coalescing classifier. *)
+(** Compile the loop body with the plan's coalescing classifier. Under a
+    2-D plan ([tile2d] present) the inner column loop is rewritten to
+    iterate [[__col_lo, __col_hi)] and the two bounds are appended as int
+    parameters, bound per GPU by {!run_on_gpus}. *)
 
 exception Window_violation of { array : string; index : int; gpu : int; what : string }
 (** A kernel accessed an element outside what the [localaccess] directive
@@ -32,6 +35,7 @@ type gpu_run = {
 
 val run_on_gpus :
   Rt_config.t ->
+  ?col_bounds:(int * int) array ->
   Mgacc_translator.Kernel_plan.t ->
   compiled ->
   ranges:Task_map.range array ->
@@ -43,4 +47,7 @@ val run_on_gpus :
     scalar-reduction variable, the per-GPU partial values (in GPU order)
     for the caller to fold into the host scalar. Scalar reduction
     variables are bound to the operator identity inside the kernel; other
-    scalars are firstprivate copies of the host values. *)
+    scalars are firstprivate copies of the host values. [col_bounds] gives
+    each GPU's owned column block under a 2-D launch; omitted, the
+    sentinel bounds make a tile2d kernel behave exactly like the
+    unrestricted 1-D one. *)

@@ -5,6 +5,7 @@ type options = {
   enable_layout_transform : bool;
   enable_miss_check_elim : bool;
   enable_fusion : bool;
+  enable_decomp2d : bool;
 }
 
 let default_options =
@@ -13,6 +14,7 @@ let default_options =
     enable_layout_transform = true;
     enable_miss_check_elim = true;
     enable_fusion = false;
+    enable_decomp2d = false;
   }
 
 (* Per-GPU read-window shape of a launch (lazy coherence lookahead). The
@@ -27,6 +29,7 @@ type t = {
   free_vars : string list;
   options : options;
   inner_parallel : (Loop_info.t * int) option;
+  tile2d : Tile2d.t option;
   window_memo : (string, window option) Hashtbl.t;
 }
 
@@ -41,6 +44,11 @@ let of_loop ?(options = default_options) loop =
     | None -> Coalesce.make loop
   in
   let configs = Array_config.build ~classify loop accesses in
+  let tile2d =
+    if options.enable_decomp2d && options.enable_distribution then
+      Tile2d.analyze loop ~configs
+    else None
+  in
   {
     loop;
     accesses;
@@ -48,6 +56,7 @@ let of_loop ?(options = default_options) loop =
     free_vars = Loop_info.free_vars loop;
     options;
     inner_parallel;
+    tile2d;
     window_memo = Hashtbl.create 4;
   }
 

@@ -20,6 +20,9 @@ type options = {
       (** run the translator's fusion/contraction/relayout pass (default
           off: plans and reports stay bit-identical to the unfused
           translator) *)
+  enable_decomp2d : bool;
+      (** analyze stencil loops for 2-D (row x column) block decomposition
+          (default off: the 1-D split stays bit-identical) *)
 }
 
 val default_options : options
@@ -36,6 +39,9 @@ type t = {
   options : options;
   inner_parallel : (Mgacc_analysis.Loop_info.t * int) option;
       (** nested [#pragma acc loop] and its vector width, if present *)
+  tile2d : Mgacc_analysis.Tile2d.t option;
+      (** 2-D decomposition eligibility (present only under
+          [enable_decomp2d] on an eligible stencil loop) *)
   window_memo : (string, window option) Hashtbl.t;
       (** per-array cache of [Program_plan.read_window_of] results *)
 }

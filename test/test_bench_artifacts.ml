@@ -439,7 +439,94 @@ let test_sim_artifact () =
   check Alcotest.bool "floor > 0" true (floor > 0.0);
   if inc_eps < floor then
     Alcotest.failf "%s: incremental %.0f events/s below the committed floor %.0f" file inc_eps
-      floor
+      floor;
+  (* A bench run with --machine adds a purely informational override
+     cell; validate it when present (the pinned keys above must hold
+     either way). *)
+  match j with
+  | Obj kvs -> (
+      match List.assoc_opt "machine_override" kvs with
+      | None -> ()
+      | Some o ->
+          check Alcotest.bool "override spec named" true (str file "spec" o <> "");
+          check Alcotest.bool "override gpus >= 2" true (num file "gpus" o >= 2.0);
+          check Alcotest.bool "override median > 0" true (num file "median_seconds" o > 0.0);
+          check Alcotest.bool "override events/s > 0" true
+            (num file "events_per_second" o > 0.0))
+  | _ -> ()
+
+let test_scale_artifact () =
+  let file, j = load "BENCH_scale.json" in
+  check Alcotest.bool "scale named" true (str file "scale" j <> "");
+  check_flags file j [ "decomp"; "collective"; "coherence"; "overlap" ];
+  let runs = arr file "runs" j in
+  check Alcotest.bool "runs non-empty" true (runs <> []);
+  (* indexed lookup: (app, gpus, decomp, collective) -> run *)
+  let find ~app ~gpus ~decomp ~collective =
+    match
+      List.find_opt
+        (fun run ->
+          str file "app" run = app
+          && num file "gpus" run = gpus
+          && str file "decomp" run = decomp
+          && str file "collective" run = collective)
+        runs
+    with
+    | Some run -> run
+    | None ->
+        Alcotest.failf "%s: no run for %s at %g GPUs %s/%s" file app gpus decomp collective
+  in
+  let seen_gpus = ref [] in
+  List.iter
+    (fun run ->
+      ignore (str file "app" run);
+      ignore (str file "machine" run);
+      let gpus = num file "gpus" run in
+      check Alcotest.bool "gpus >= 4" true (gpus >= 4.0);
+      if not (List.mem gpus !seen_gpus) then seen_gpus := gpus :: !seen_gpus;
+      check Alcotest.bool "decomp named" true (List.mem (str file "decomp" run) [ "1d"; "2d" ]);
+      check Alcotest.bool "collective named" true
+        (List.mem (str file "collective" run) [ "star"; "ring" ]);
+      check Alcotest.bool "time > 0" true (num file "seconds" run > 0.0);
+      List.iter
+        (fun k -> check Alcotest.bool (k ^ " >= 0") true (num file k run >= 0.0))
+        [ "gpu_gpu_bytes"; "halo_bytes_per_gpu"; "wire_bytes"; "rings"; "hierarchies" ];
+      (* per-GPU figure consistent with the total it was derived from *)
+      check Alcotest.bool "halo/GPU consistent" true
+        (Float.abs ((num file "halo_bytes_per_gpu" run *. gpus) -. num file "gpu_gpu_bytes" run)
+        < gpus);
+      (* Hard bar: values never ride the decomposition or the collective. *)
+      check Alcotest.bool "results match" true (boolean file "results_match" run))
+    runs;
+  (* The tracked sweep covers the scale-out story: 4, 16 and 64 GPUs. *)
+  List.iter
+    (fun g ->
+      if not (List.mem g !seen_gpus) then
+        Alcotest.failf "%s: no runs at %g GPUs (the sweep is 4/16/64)" file g)
+    [ 4.0; 16.0; 64.0 ];
+  (* Acceptance bar 1: from 16 GPUs up, the 2-D tiles move strictly fewer
+     per-GPU halo bytes than 1-D rows on the stencil (perimeter vs full
+     row width), and the gap must hold at 64 too. *)
+  List.iter
+    (fun gpus ->
+      let d1 =
+        num file "halo_bytes_per_gpu" (find ~app:"jacobi" ~gpus ~decomp:"1d" ~collective:"star")
+      in
+      let d2 =
+        num file "halo_bytes_per_gpu" (find ~app:"jacobi" ~gpus ~decomp:"2d" ~collective:"star")
+      in
+      if d2 >= d1 then
+        Alcotest.failf "%s: 2-D halo/GPU %.0fB not below 1-D %.0fB at %g GPUs" file d2 d1 gpus)
+    [ 16.0; 64.0 ];
+  (* Acceptance bar 2: at 64 GPUs the ring schedule puts strictly fewer
+     bytes on the inter-node wire than the star for the collective-heavy
+     app, and the planner actually built rings. *)
+  let star = find ~app:"spmv" ~gpus:64.0 ~decomp:"1d" ~collective:"star" in
+  let ring = find ~app:"spmv" ~gpus:64.0 ~decomp:"1d" ~collective:"ring" in
+  let sw = num file "wire_bytes" star and rw = num file "wire_bytes" ring in
+  if rw >= sw then
+    Alcotest.failf "%s: ring wire bytes %.0f not below star %.0f at 64 GPUs" file rw sw;
+  check Alcotest.bool "rings were built" true (num file "rings" ring > 0.0)
 
 let test_fusion_artifact () =
   let file, j = load "BENCH_fusion.json" in
@@ -506,5 +593,6 @@ let suite =
     tc "BENCH_collective.json: schema + acceptance bars" test_collective_artifact;
     tc "BENCH_fleet.json: schema + acceptance bars" test_fleet_artifact;
     tc "BENCH_sim.json: schema + speedup and throughput bars" test_sim_artifact;
+    tc "BENCH_scale.json: schema + scaling acceptance bars" test_scale_artifact;
     tc "BENCH_fusion.json: schema + acceptance bars" test_fusion_artifact;
   ]

@@ -241,6 +241,94 @@ let test_tree_group_keeps_explicit_deps () =
     && plan.(edge_1_3.Collective.dep).Collective.dir = Fabric.P2p (0, 1));
   check Alcotest.bool "deps well-formed" true (deps_well_formed plan)
 
+(* Allreduce group: every member ships its partial toward root 0
+   (gathers) and the combined result broadcasts back out, all under one
+   group id — the shape the communication manager emits for an eager
+   reduction under planned collectives. *)
+let allreduce_group ~bytes machine =
+  let n = Mgacc.Machine.num_gpus machine in
+  List.init (n - 1) (fun i ->
+      mk_op ~kind:Comm_manager.Red_gather ~group:3 ~bytes (i + 1) 0)
+  @ List.init (n - 1) (fun i ->
+        mk_op ~kind:Comm_manager.Red_bcast ~group:3 ~bytes 0 (i + 1))
+
+let test_allreduce_ring_schedule () =
+  (* Ring mode lowers the gather+broadcast pair to reduce-scatter +
+     all-gather: 2(p-1) rounds of p chunk-sized hops, conserving the
+     2(p-1) payload copies of the original star pair. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let bytes = 8 * 1024 * 1024 in
+  let cfg = cfg_for machine Mgacc.Rt_config.Ring in
+  let plan, stats = Collective.plan ~cfg ~fabric (allreduce_group ~bytes machine) in
+  check Alcotest.int "one allreduce" 1 stats.Collective.allreduces;
+  check Alcotest.int "p chunks" 4 stats.Collective.segments;
+  check Alcotest.int "2(p-1) rounds of p hops" (2 * 3 * 4) (Array.length plan);
+  check Alcotest.int "total bytes = 2(p-1) * payload" (2 * 3 * bytes) (total_bytes plan);
+  check Alcotest.bool "deps well-formed" true (deps_well_formed plan);
+  (* every GPU both sends and receives on every round: the load is even *)
+  for g = 0 to 3 do
+    let sent =
+      Array.fold_left
+        (fun acc (it : Collective.item) ->
+          match it.Collective.dir with
+          | Fabric.P2p (s, _) when s = g -> acc + it.Collective.bytes
+          | _ -> acc)
+        0 plan
+    in
+    check
+      (Alcotest.float (float_of_int (2 * 3)))
+      (Printf.sprintf "gpu %d sends 2(p-1)/p of the payload" g)
+      (float_of_int (2 * 3 * bytes) /. 4.0)
+      (float_of_int sent)
+  done
+
+let test_allreduce_auto_beats_star_on_cluster () =
+  (* Large payload on the 2x2 cluster: auto must pick a reshaped
+     allreduce that simulates faster and puts fewer bytes on the
+     inter-node wire than the gather+broadcast star pair. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let bytes = 16 * 1024 * 1024 in
+  let ops = allreduce_group ~bytes machine in
+  let auto_plan, stats =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Auto) ~fabric ops
+  in
+  let direct_plan, _ =
+    Collective.plan ~cfg:(cfg_for machine Mgacc.Rt_config.Direct) ~fabric ops
+  in
+  check Alcotest.int "auto reshapes the allreduce" 1 stats.Collective.allreduces;
+  let t_auto = Collective.simulate ~fabric ~plan:auto_plan ~ready:0.0 in
+  let t_direct = Collective.simulate ~fabric ~plan:direct_plan ~ready:0.0 in
+  check Alcotest.bool
+    (Printf.sprintf "auto (%.6fs) faster than star pair (%.6fs)" t_auto t_direct)
+    true (t_auto < t_direct);
+  check Alcotest.bool "fewer bytes on the wire" true
+    (wire_crossings fabric auto_plan < wire_crossings fabric direct_plan)
+
+let test_allreduce_malformed_stays_direct () =
+  (* Gathers without a broadcast half (a deferred result), or mismatched
+     payloads, must fall back to the explicit-dependency direct schedule
+     with every byte preserved. *)
+  let machine = cluster4 () in
+  let fabric = machine.Mgacc.Machine.fabric in
+  let cfg = cfg_for machine Mgacc.Rt_config.Ring in
+  let gathers_only =
+    List.init 3 (fun i -> mk_op ~kind:Comm_manager.Red_gather ~group:3 ~bytes:4096 (i + 1) 0)
+  in
+  let plan, stats = Collective.plan ~cfg ~fabric gathers_only in
+  check Alcotest.int "gathers-only group stays direct" 1 stats.Collective.direct_groups;
+  check Alcotest.int "no allreduce" 0 stats.Collective.allreduces;
+  check Alcotest.int "bytes preserved" (3 * 4096) (total_bytes plan);
+  let mismatched =
+    mk_op ~kind:Comm_manager.Red_gather ~group:5 ~bytes:1024 1 0
+    :: mk_op ~kind:Comm_manager.Red_gather ~group:5 ~bytes:4096 2 0
+    :: List.init 3 (fun i -> mk_op ~kind:Comm_manager.Red_bcast ~group:5 ~bytes:4096 0 (i + 1))
+  in
+  let plan2, stats2 = Collective.plan ~cfg ~fabric mismatched in
+  check Alcotest.int "mismatched payloads stay direct" 1 stats2.Collective.direct_groups;
+  check Alcotest.int "bytes preserved (mismatched)" (1024 + (4 * 4096)) (total_bytes plan2)
+
 let test_non_group_ops_pass_through () =
   let machine = desktop () in
   let fabric = machine.Mgacc.Machine.fabric in
@@ -327,6 +415,9 @@ let suite =
     tc "auto keeps latency-bound groups direct" test_auto_keeps_small_payloads_direct;
     tc "auto beats direct on the cluster" test_auto_beats_direct_on_cluster;
     tc "direct-kept trees carry explicit deps" test_tree_group_keeps_explicit_deps;
+    tc "ring allreduce: reduce-scatter + all-gather" test_allreduce_ring_schedule;
+    tc "auto allreduce beats the star pair on the cluster" test_allreduce_auto_beats_star_on_cluster;
+    tc "malformed allreduce groups stay direct" test_allreduce_malformed_stays_direct;
     tc "non-group ops pass through untouched" test_non_group_ops_pass_through;
     tc "execute respects plan dependencies" test_execute_respects_deps;
     qtest "plans conserve payload bytes"

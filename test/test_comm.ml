@@ -118,7 +118,7 @@ let test_halo_spans_multiple_owners () =
   let cfg = Rt_config.make ~num_gpus:3 (Machine.supernode ~num_gpus:3 ()) in
   let da = mk_da cfg "h" (Array.init 30 float_of_int) in
   let ranges = Task_map.split ~lower:0 ~upper:30 ~parts:3 in
-  let spec = { Darray.stride = 1; left = 0; right = 15 } in
+  let spec = { Darray.stride = 1; left = 0; right = 15; tile = None } in
   let _ = Darray.ensure_distributed cfg da ~spec ~ranges in
   (* Owners write fresh values into their own blocks (device-side). *)
   let poke gpu logical v =

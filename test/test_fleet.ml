@@ -131,12 +131,36 @@ let test_cache_distinguishes_sources_and_options () =
   check Alcotest.bool "both fresh" false (h1 || h2);
   check Alcotest.int "two entries" 2 (Plan_cache.size cache);
   let opts = Mgacc.Kernel_plan.default_options in
-  let k1 = Plan_cache.fingerprint ~options:opts ~source:saxpy_src in
-  let k2 = Plan_cache.fingerprint ~options:opts ~source:long_src in
+  let k1 = Plan_cache.fingerprint ~options:opts ~source:saxpy_src () in
+  let k2 = Plan_cache.fingerprint ~options:opts ~source:long_src () in
   check Alcotest.bool "distinct sources, distinct keys" true (k1 <> k2);
   let opts' = { opts with Mgacc.Kernel_plan.enable_distribution = false } in
-  let k3 = Plan_cache.fingerprint ~options:opts' ~source:saxpy_src in
+  let k3 = Plan_cache.fingerprint ~options:opts' ~source:saxpy_src () in
   check Alcotest.bool "distinct options, distinct keys" true (k1 <> k3)
+
+let test_cache_distinguishes_machine_and_decomp () =
+  (* Non-aliasing: a plan for a 2-D launch on an 8x4 fat-tree must never
+     be served for a 1-D run on the desktop from the same source. *)
+  let opts = Mgacc.Kernel_plan.default_options in
+  let k_plain = Plan_cache.fingerprint ~options:opts ~source:saxpy_src () in
+  let k_fat = Plan_cache.fingerprint ~machine:"fattree:8x4" ~options:opts ~source:saxpy_src () in
+  let k_mesh = Plan_cache.fingerprint ~machine:"nvmesh:8x4" ~options:opts ~source:saxpy_src () in
+  check Alcotest.bool "machine shape is part of the key" true
+    (k_plain <> k_fat && k_fat <> k_mesh);
+  let opts2d = { opts with Mgacc.Kernel_plan.enable_decomp2d = true } in
+  let k_fat2d =
+    Plan_cache.fingerprint ~machine:"fattree:8x4" ~options:opts2d ~source:saxpy_src ()
+  in
+  check Alcotest.bool "decomposition is part of the key" true (k_fat <> k_fat2d);
+  let cache = Plan_cache.create () in
+  let e1, h1 = Plan_cache.lookup ~machine:"fattree:8x4" ~name:"a.c" cache saxpy_src in
+  let e2, h2 = Plan_cache.lookup ~machine:"cluster:2x2" ~name:"a.c" cache saxpy_src in
+  let e3, h3 = Plan_cache.lookup ~machine:"fattree:8x4" ~name:"a.c" cache saxpy_src in
+  check Alcotest.bool "different shapes miss separately" false (h1 || h2);
+  check Alcotest.bool "same shape hits" true h3;
+  check Alcotest.bool "entries distinct across shapes" true (e1 != e2);
+  check Alcotest.bool "entry reused within a shape" true (e1 == e3);
+  check Alcotest.int "two entries" 2 (Plan_cache.size cache)
 
 let test_cache_measurements () =
   let cache = Plan_cache.create () in
@@ -361,7 +385,9 @@ let test_warm_pool_eviction_under_pressure () =
   let cache = Plan_cache.create () in
   (* Measure the program's footprint once. *)
   ignore (Fleet.run ~cache (Fleet.configure (cluster ())) [ job 0 0.0 ]);
-  let entry, _ = Plan_cache.lookup ~name:"job" cache saxpy_src in
+  let entry, _ =
+    Plan_cache.lookup ~machine:(cluster ()).Machine.name ~name:"job" cache saxpy_src
+  in
   let footprint =
     match entry.Plan_cache.footprint_bytes with
     | Some b -> b
@@ -430,6 +456,8 @@ let suite =
     qtest ~count:25 "plan cache: hit is bit-identical to fresh compile" gen_cache_params
       prop_cache_hit_bit_identical;
     tc "plan cache keys on source and options" test_cache_distinguishes_sources_and_options;
+    tc "plan cache keys on machine shape and decomposition"
+      test_cache_distinguishes_machine_and_decomp;
     tc "plan cache execution profiles" test_cache_measurements;
     tc "spilled-then-restored darray is value-identical" test_spill_then_restore_value_identical;
     tc "session spill_all empties the warm pool" test_session_spill_all;

@@ -303,6 +303,67 @@ let test_machine_presets () =
   let _ = Machine.launch_kernel d ~dev:0 ~ready:0.0 ~threads:100 ~label:"k" c in
   check Alcotest.int "span recorded" 1 (List.length (Mgacc_sim.Trace.spans d.Machine.trace))
 
+(* Every accepted spec string form must round-trip through its canonical
+   spelling, build a machine with the advertised GPU count, and reject
+   malformed strings with a printable error (never a silent clamp). *)
+let test_machine_spec_roundtrip () =
+  let roundtrip s =
+    match Machine.spec_of_string s with
+    | Error e -> Alcotest.failf "spec %S rejected: %s" s e
+    | Ok spec -> (
+        let canon = Machine.spec_to_string spec in
+        match Machine.spec_of_string canon with
+        | Error e -> Alcotest.failf "canonical %S rejected: %s" canon e
+        | Ok spec' ->
+            check Alcotest.bool (Printf.sprintf "%s round-trips via %s" s canon) true
+              (spec = spec');
+            let m = Machine.of_spec spec in
+            check Alcotest.int
+              (Printf.sprintf "%s builds spec_gpus machines" s)
+              (Machine.spec_gpus spec) (Machine.num_gpus m))
+  in
+  List.iter roundtrip
+    [
+      (* presets *)
+      "desktop"; "desktop-mixed"; "supernode"; "cluster";
+      (* explicit cluster shape *)
+      "cluster:2x2"; "cluster:8x4";
+      (* fat tree, default and explicit oversubscription *)
+      "fattree:8x4"; "fattree:4x2:1"; "fattree:16x4:4";
+      (* multi-rail, default and explicit rail count *)
+      "multirail:8x4"; "multirail:2x4:3";
+      (* NVLink-style mesh *)
+      "nvmesh:8x4"; "nvmesh:2x2";
+    ];
+  let rejected s =
+    match Machine.spec_of_string s with
+    | Error msg ->
+        check Alcotest.bool (Printf.sprintf "%s error is printable" s) true
+          (String.length msg > 0)
+    | Ok spec ->
+        Alcotest.failf "bad spec %S accepted as %s" s (Machine.spec_to_string spec)
+  in
+  List.iter rejected
+    [ "laptop"; "cluster:0x4"; "cluster:2x"; "fattree:8x4:0"; "multirail:8x4:-1";
+      "nvmesh:x4"; "cluster:2x2x2"; "" ]
+
+let test_machine_spec_canonical_forms () =
+  let canon s expect =
+    match Machine.spec_of_string s with
+    | Error e -> Alcotest.failf "spec %S rejected: %s" s e
+    | Ok spec -> check Alcotest.string (s ^ " canonical form") expect (Machine.spec_to_string spec)
+  in
+  canon "desktop" "desktop";
+  canon "cluster:2x2" "cluster:2x2";
+  canon "fattree:8x4" (Machine.spec_to_string (Machine.Fat_tree_spec { nodes = 8; gpus_per_node = 4; oversub = 2.0 }));
+  canon "nvmesh:8x4" "nvmesh:8x4";
+  check Alcotest.bool "grammar mentions fattree" true
+    (let g = Machine.spec_grammar in
+     let needle = "fattree" in
+     let n = String.length needle and gl = String.length g in
+     let rec scan i = i + n <= gl && (String.sub g i n = needle || scan (i + 1)) in
+     scan 0)
+
 let test_cuda_api () =
   let m = Machine.desktop () in
   let ctx = Cuda.init m in
@@ -345,5 +406,7 @@ let suite =
     tc "kernel cost: broadcast discount" test_kernel_cost_broadcast_discount;
     tc "cpu model: thread scaling" test_cpu_model_scaling;
     tc "machine: presets and tracing" test_machine_presets;
+    tc "machine: spec strings round-trip" test_machine_spec_roundtrip;
+    tc "machine: spec canonical forms and grammar" test_machine_spec_canonical_forms;
     tc "cuda: malloc/memcpy/launch" test_cuda_api;
   ]

@@ -62,6 +62,7 @@ let test_distribution_shrinks_memory () =
       enable_layout_transform = false;
       enable_miss_check_elim = false;
       enable_fusion = false;
+      enable_decomp2d = false;
     }
   in
   let m = machine () in
@@ -263,6 +264,83 @@ let test_stencil2d_row_distribution () =
   (* Traffic is halo rows, not whole grids. *)
   check Alcotest.bool "only halo rows" true
     (report.Mgacc.Report.gpu_gpu_bytes < 6 * 4 * 40 * 8)
+
+(* The same 2-D stencil with an inner parallel column loop: under
+   [enable_decomp2d] and 4 GPUs the runtime partitions rows *and* columns
+   (2x2 grid) and still matches the sequential reference exactly. *)
+let stencil2d_vector_src =
+  {|void main() {
+      int rows = 48; int cols = 36; int it; int r; int c;
+      double u[rows][cols];
+      double v[rows][cols];
+      for (r = 0; r < rows; r++) { for (c = 0; c < cols; c++) { u[r][c] = 1.0 * ((r * 7 + c) % 13); v[r][c] = 0.0; } }
+      #pragma acc data copy(u[0:rows*cols]) copy(v[0:rows*cols])
+      {
+        for (it = 0; it < 3; it++) {
+          #pragma acc parallel loop localaccess(u: stride(cols, cols, cols), v: stride(cols))
+          for (r = 0; r < rows; r++) {
+            if (r > 0 && r < rows - 1) {
+              #pragma acc loop
+              for (c = 1; c < cols - 1; c++) {
+                v[r][c] = 0.25 * (u[r-1][c] + u[r+1][c] + u[r][c-1] + u[r][c+1]);
+              }
+            }
+          }
+          #pragma acc parallel loop localaccess(v: stride(cols, cols, cols), u: stride(cols))
+          for (r = 0; r < rows; r++) {
+            if (r > 0 && r < rows - 1) {
+              #pragma acc loop
+              for (c = 1; c < cols - 1; c++) {
+                u[r][c] = 0.25 * (v[r-1][c] + v[r+1][c] + v[r][c-1] + v[r][c+1]);
+              }
+            }
+          }
+        }
+      }
+    }|}
+
+let decomp2d_options =
+  {
+    Mgacc.Kernel_plan.enable_distribution = true;
+    enable_layout_transform = true;
+    enable_miss_check_elim = true;
+    enable_fusion = false;
+    enable_decomp2d = true;
+  }
+
+let test_stencil2d_2d_decomposition () =
+  let ref_env = reference stencil2d_vector_src in
+  let m = Mgacc.Machine.cluster ~nodes:2 ~gpus_per_node:2 () in
+  let config = Mgacc.Rt_config.make ~num_gpus:4 ~translator:decomp2d_options m in
+  let env, report =
+    Mgacc.run_acc ~config ~machine:m (Mgacc.parse_string ~name:"t.c" stencil2d_vector_src)
+  in
+  check_floats "u" ref_env env;
+  check_floats "v" ref_env env;
+  check Alcotest.bool "halo traffic" true (report.Mgacc.Report.gpu_gpu_bytes > 0)
+
+let test_stencil2d_2d_matches_1d () =
+  (* Same program, same machine: the 2-D run must agree with the pinned
+     1-D run bit for bit (values never ride the decomposition), and its
+     halo exchange must move fewer bytes (O(n/sqrt P) vs O(n) edges). *)
+  let m1 = Mgacc.Machine.cluster ~nodes:2 ~gpus_per_node:2 () in
+  let config_1d = Mgacc.Rt_config.make ~num_gpus:4 m1 in
+  let env1, report1 =
+    Mgacc.run_acc ~config:config_1d ~machine:m1
+      (Mgacc.parse_string ~name:"t.c" stencil2d_vector_src)
+  in
+  let m2 = Mgacc.Machine.cluster ~nodes:2 ~gpus_per_node:2 () in
+  let config_2d = Mgacc.Rt_config.make ~num_gpus:4 ~translator:decomp2d_options m2 in
+  let env2, report2 =
+    Mgacc.run_acc ~config:config_2d ~machine:m2
+      (Mgacc.parse_string ~name:"t.c" stencil2d_vector_src)
+  in
+  check (Alcotest.array (Alcotest.float 0.0)) "u identical"
+    (Mgacc.float_results env1 "u") (Mgacc.float_results env2 "u");
+  check (Alcotest.array (Alcotest.float 0.0)) "v identical"
+    (Mgacc.float_results env1 "v") (Mgacc.float_results env2 "v");
+  check Alcotest.bool "both exchange halos" true
+    (report1.Mgacc.Report.gpu_gpu_bytes > 0 && report2.Mgacc.Report.gpu_gpu_bytes > 0)
 
 let test_inner_vector_improves_occupancy () =
   (* Few outer iterations: without nested parallelism the GPU starves;
@@ -472,6 +550,8 @@ let suite =
     tc "write misses forward to the owner" test_write_miss_forwarding;
     tc "jacobi: halo exchange" test_jacobi_halo_exchange;
     tc "2-D stencil: row distribution and halo rows" test_stencil2d_row_distribution;
+    tc "2-D stencil: 2-D block decomposition matches reference" test_stencil2d_2d_decomposition;
+    tc "2-D stencil: 2-D run identical to 1-D, halos exchanged" test_stencil2d_2d_matches_1d;
     tc "nested parallelism: vector lanes raise occupancy" test_inner_vector_improves_occupancy;
     tc "lying localaccess directives are caught" test_window_violation_detected;
     tc "scalar reductions merge across GPUs" test_scalar_reduction_across_gpus;

@@ -266,6 +266,149 @@ let prop_fabric_incremental_matches_reference txs =
          Float.equal a.Fabric.start b.Fabric.start && Float.equal a.Fabric.finish b.Fabric.finish)
        fast slow
 
+(* ---------------- 2-D tile decomposition ---------------- *)
+
+(* Random array extents, GPU-grid shapes and halo widths: the tiled parts
+   built by [Darray.ensure_distributed] must partition the index space —
+   every element owned by exactly one GPU, [owner_of] agreeing with
+   [part_owns], every resident (owned or halo) element's packed-box
+   offset inside its buffer, and every tile's resident window clamped to
+   the array bounds. Degenerate shapes (more row blocks than rows, more
+   column blocks than columns) produce empty tiles, which must not
+   break coverage. *)
+let gen_tiling =
+  QCheck2.Gen.(
+    triple
+      (pair (int_range 1 24) (int_range 2 24)) (* rows, cols *)
+      (pair (int_range 1 4) (int_range 1 4)) (* nodes, gpus per node *)
+      (quad (int_bound 2) (int_bound 2) (int_bound 2) (int_bound 2)) (* halos *))
+
+let prop_tiles_partition ((rows, cols), (nodes, gpn), (rl, rr, cl, cr)) =
+  let num_gpus = nodes * gpn in
+  let length = rows * cols in
+  let machine = Mgacc_gpusim.Machine.cluster ~nodes ~gpus_per_node:gpn () in
+  let cfg = Rt_config.make ~num_gpus machine in
+  let da =
+    Darray.create cfg ~name:"t"
+      ~host:(Mgacc_exec.View.of_float_array ~name:"t" (Array.init length float_of_int))
+  in
+  let pr, pc = Mgacc_analysis.Tile2d.grid_of ~num_gpus in
+  let spec =
+    {
+      Darray.stride = cols;
+      left = 0;
+      right = 0;
+      tile = Some { Darray.pr; pc; row_left = rl; row_right = rr; col_left = cl; col_right = cr };
+    }
+  in
+  let row_split = Task_map.split ~lower:0 ~upper:rows ~parts:pr in
+  let ranges = Array.init num_gpus (fun g -> row_split.(g / pc)) in
+  let _ = Darray.ensure_distributed cfg da ~spec ~ranges in
+  match da.Darray.state with
+  | Darray.Distributed d ->
+      let parts = d.Darray.parts in
+      let in_bounds =
+        Array.for_all
+          (fun (p : Darray.part) ->
+            match p.Darray.tile with
+            | None -> false
+            | Some tl ->
+                tl.Darray.trow_win.Interval.lo >= 0
+                && tl.Darray.trow_win.Interval.hi <= rows
+                && tl.Darray.tcol_win.Interval.lo >= 0
+                && tl.Darray.tcol_win.Interval.hi <= cols)
+          parts
+      in
+      let covered = ref in_bounds in
+      for idx = 0 to length - 1 do
+        let owners = ref 0 in
+        Array.iter (fun p -> if Darray.part_owns d.Darray.spec p idx then incr owners) parts;
+        if !owners <> 1 then covered := false;
+        if not (Darray.part_owns d.Darray.spec parts.(Darray.owner_of d idx) idx) then
+          covered := false;
+        Array.iter
+          (fun (p : Darray.part) ->
+            if Darray.part_contains d.Darray.spec p idx then begin
+              let size =
+                match p.Darray.tile with
+                | Some tl ->
+                    Interval.length tl.Darray.trow_win * Interval.length tl.Darray.tcol_win
+                | None -> Interval.length p.Darray.window
+              in
+              let off = Darray.offset_in_part d.Darray.spec p idx in
+              if off < 0 || off >= size then covered := false
+            end)
+          parts
+      done;
+      !covered
+  | _ -> false
+
+(* Random 5-point stencils through the whole compiler + runtime on a 2x2
+   GPU grid: the 2-D decomposition under lazy coherence must produce
+   bit-identical results to the same 2-D run under eager coherence —
+   deferring halo/validity reconciliation can reorder transfers but never
+   change values. *)
+let gen_stencil =
+  QCheck2.Gen.(
+    triple
+      (pair (int_range 6 20) (int_range 6 18)) (* rows, cols *)
+      (pair (int_range 1 2) (int_range 1 3)) (* halo width, sweeps *)
+      (triple (int_range 1 9) (int_range 1 9) (int_range 3 13)) (* init pattern *))
+
+let stencil_src ((rows, cols), (h, iters), (ia, ib, im)) =
+  Printf.sprintf
+    {|void main() {
+        int rows = %d; int cols = %d; int it; int r; int c;
+        double u[rows][cols];
+        double v[rows][cols];
+        for (r = 0; r < rows; r++) { for (c = 0; c < cols; c++) { u[r][c] = 1.0 * ((r * %d + c * %d) %% %d); v[r][c] = u[r][c]; } }
+        #pragma acc data copy(u[0:rows*cols]) copy(v[0:rows*cols])
+        {
+          for (it = 0; it < %d; it++) {
+            #pragma acc parallel loop localaccess(u: stride(cols, %d * cols, %d * cols), v: stride(cols))
+            for (r = 0; r < rows; r++) {
+              if (r > %d - 1 && r < rows - %d) {
+                #pragma acc loop
+                for (c = %d; c < cols - %d; c++) {
+                  v[r][c] = 0.2 * (u[r][c] + u[r-%d][c] + u[r+%d][c] + u[r][c-%d] + u[r][c+%d]);
+                }
+              }
+            }
+            #pragma acc parallel loop localaccess(v: stride(cols, %d * cols, %d * cols), u: stride(cols))
+            for (r = 0; r < rows; r++) {
+              if (r > %d - 1 && r < rows - %d) {
+                #pragma acc loop
+                for (c = %d; c < cols - %d; c++) {
+                  u[r][c] = 0.2 * (v[r][c] + v[r-%d][c] + v[r+%d][c] + v[r][c-%d] + v[r][c+%d]);
+                }
+              }
+            }
+          }
+        }
+      }|}
+    rows cols ia ib im iters h h h h h h h h h h h h h h h h h h h h
+
+let decomp2d_options =
+  {
+    Mgacc_translator.Kernel_plan.enable_distribution = true;
+    enable_layout_transform = true;
+    enable_miss_check_elim = true;
+    enable_fusion = false;
+    enable_decomp2d = true;
+  }
+
+let run_stencil_2d ~coherence src =
+  let m = Mgacc_gpusim.Machine.cluster ~nodes:2 ~gpus_per_node:2 () in
+  let config = Rt_config.make ~num_gpus:4 ~translator:decomp2d_options ~coherence m in
+  let env, _ = Mgacc.run_acc ~config ~machine:m (Mgacc.parse_string ~name:"prop.c" src) in
+  (Mgacc.float_results env "u", Mgacc.float_results env "v")
+
+let prop_stencil_2d_lazy_eq_eager params =
+  let src = stencil_src params in
+  let ue, ve = run_stencil_2d ~coherence:Rt_config.Eager src in
+  let ul, vl = run_stencil_2d ~coherence:Rt_config.Lazy src in
+  ue = ul && ve = vl
+
 (* ---------------- Affine analysis vs direct evaluation ---------------- *)
 
 (* Random affine-expressible expressions over i and uniforms u, v. *)
@@ -393,6 +536,9 @@ let suite =
       prop_fabric_makespan_monotone;
     qtest ~count:300 "fabric incremental allocator matches reference bit-for-bit"
       gen_cluster_batch prop_fabric_incremental_matches_reference;
+    qtest ~count:120 "2-D tiles partition the index space" gen_tiling prop_tiles_partition;
+    qtest ~count:15 "2-D stencil: lazy coherence matches eager bit-for-bit" gen_stencil
+      prop_stencil_2d_lazy_eq_eager;
     qtest ~count:500 "affine form evaluates correctly" gen_affine_expr prop_affine_matches_eval;
     qtest ~count:400 "frontend is total on token soup" gen_token_soup prop_frontend_total;
     qtest ~count:400 "pragma parser is total on clause soup" gen_pragma_soup prop_pragma_total;

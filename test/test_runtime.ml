@@ -135,7 +135,7 @@ let test_darray_distribute_windows () =
   let cfg = mk_cfg () in
   let da = mk_da cfg "a" (Array.init 100 float_of_int) in
   let ranges = Task_map.split ~lower:0 ~upper:100 ~parts:2 in
-  let spec = { Darray.stride = 1; left = 1; right = 1 } in
+  let spec = { Darray.stride = 1; left = 1; right = 1; tile = None } in
   let xfers = Darray.ensure_distributed cfg da ~spec ~ranges in
   (* windows: [0,51) and [49,100): 51+51 elements. *)
   check Alcotest.int "window bytes" ((51 + 51) * 8) (xfer_bytes xfers);
@@ -167,7 +167,7 @@ let test_darray_transition_flushes () =
   Darray.mark_device_written da;
   (* Transition to distributed must flush through the host. *)
   let ranges = Task_map.split ~lower:0 ~upper:10 ~parts:2 in
-  let xfers = Darray.ensure_distributed cfg da ~spec:{ Darray.stride = 1; left = 0; right = 0 } ~ranges in
+  let xfers = Darray.ensure_distributed cfg da ~spec:{ Darray.stride = 1; left = 0; right = 0; tile = None } ~ranges in
   check Alcotest.bool "host saw the write" true (host.(3) = 99.0);
   (* flush (80 bytes D2H) + reload (80 bytes H2D split across GPUs) *)
   check Alcotest.int "flush+reload bytes" 160 (xfer_bytes xfers);
@@ -199,15 +199,15 @@ let test_darray_halo_covering_reuse () =
   let cfg = mk_cfg () in
   let da = mk_da cfg "a" (Array.init 100 float_of_int) in
   let ranges = Task_map.split ~lower:0 ~upper:100 ~parts:2 in
-  let wide = { Darray.stride = 1; left = 2; right = 2 } in
-  let narrow = { Darray.stride = 1; left = 0; right = 0 } in
+  let wide = { Darray.stride = 1; left = 2; right = 2; tile = None } in
+  let narrow = { Darray.stride = 1; left = 0; right = 0; tile = None } in
   let x1 = Darray.ensure_distributed cfg da ~spec:wide ~ranges in
   check Alcotest.bool "initial load" true (xfer_bytes x1 > 0);
   check Alcotest.int "narrower request reuses" 0
     (xfer_bytes (Darray.ensure_distributed cfg da ~spec:narrow ~ranges));
   check Alcotest.bool "wider request reshapes" true
     (xfer_bytes
-       (Darray.ensure_distributed cfg da ~spec:{ Darray.stride = 1; left = 5; right = 5 } ~ranges)
+       (Darray.ensure_distributed cfg da ~spec:{ Darray.stride = 1; left = 5; right = 5; tile = None } ~ranges)
     > 0)
 
 let test_halo_exchange_three_gpus () =
@@ -219,7 +219,7 @@ let test_halo_exchange_three_gpus () =
   let cfg = Rt_config.make ~num_gpus:3 machine in
   let da = mk_da cfg "a" (Array.init 90 float_of_int) in
   let ranges = Task_map.split ~lower:0 ~upper:90 ~parts:3 in
-  let spec = { Darray.stride = 1; left = 1; right = 1 } in
+  let spec = { Darray.stride = 1; left = 1; right = 1; tile = None } in
   let _ = Darray.ensure_distributed cfg da ~spec ~ranges in
   (* Write each GPU's own block functionally and mark written. *)
   (match da.Darray.state with

@@ -30,6 +30,17 @@ dune exec bench/main.exe -- --smoke sim
 # Fusion smoke: run the fusion-friendly apps with --fuse off vs on and
 # check both against the sequential reference (see docs/FUSION.md).
 dune exec bench/main.exe -- --smoke fusion
+# Scale-out smoke: jacobi + spmv on a spec-built machine, 1-D vs 2-D
+# decomposition crossed with star vs ring collectives; the bench fails
+# loudly if any combination diverges from the sequential reference
+# (see docs/TOPOLOGY.md).
+dune exec bench/main.exe -- --smoke scale
+# The CLI must reject a --gpus count its --machine spec cannot supply
+# (printable error, no silent clamp).
+if dune exec bin/accc.exe -- run samples/heat2d.c --machine cluster:2x2 --gpus 9 >/dev/null 2>&1; then
+  echo "check.sh: accc accepted --gpus 9 on a 4-GPU machine" >&2
+  exit 1
+fi
 # Observability smoke: a traced run and a metered fleet replay, with the
 # emitted artifacts validated for internal consistency (the trace parses
 # and every flow event references a recorded span; every Prometheus
